@@ -1,0 +1,190 @@
+// Command ttamc model checks the TTA startup algorithm: it builds the
+// cluster model for the requested configuration and verifies the paper's
+// lemmas with the chosen engine.
+//
+// Examples:
+//
+//	ttamc -n 3 -faulty-node 1 -degree 6 -lemma safety,liveness
+//	ttamc -n 4 -faulty-hub 0 -lemma safety_2 -trace
+//	ttamc -n 3 -no-big-bang -faulty-hub 0 -lemma safety -trace   (Section 5.2)
+//	ttamc -n 3 -engine bmc -depth 20 -lemma safety
+//	ttamc -n 3 -wcsup                                            (Section 5.3)
+//	ttamc -n 3 -restartable -recovery                            (Section 2.1 restart)
+//	ttamc -n 3 -no-interlinks -faulty-node 1 -lemma sanity       (future-work variant)
+//	ttamc -n 3 -dump-model                                       (SAL-like model dump)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ttastartup/internal/bdd"
+	"ttastartup/internal/core"
+	"ttastartup/internal/mc"
+	"ttastartup/internal/mc/explicit"
+	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/tta/startup"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ttamc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n          = flag.Int("n", 3, "cluster size (number of nodes)")
+		faultyNode = flag.Int("faulty-node", -1, "inject a faulty node with this id (-1: none)")
+		faultyHub  = flag.Int("faulty-hub", -1, "inject a faulty hub on this channel (-1: none)")
+		degree     = flag.Int("degree", 6, "fault degree δ_failure (1..6, Fig. 3)")
+		deltaInit  = flag.Int("delta-init", 0, "power-on window in slots (0: the paper's 8·round)")
+		noFeedback = flag.Bool("no-feedback", false, "disable the feedback state-space reduction")
+		noBigBang  = flag.Bool("no-big-bang", false, "disable the big-bang mechanism (Section 5.2 variant)")
+		noILinks   = flag.Bool("no-interlinks", false, "sever the guardian interlinks (the conclusion's future-work variant)")
+		noCSPrio   = flag.Bool("no-cs-priority", false, "ablation: drop valid-cs preference in guardian arbitration")
+		noCSWin    = flag.Bool("no-cs-window", false, "ablation: drop the nodes' cold-start acceptance window")
+		noWatchdog = flag.Bool("no-watchdog", false, "ablation: drop the guardians' ACTIVE silence watchdog")
+		dumpModel  = flag.Bool("dump-model", false, "print the model in guarded-command (SAL-like) form and exit")
+		lemmas     = flag.String("lemma", "safety,liveness,timeliness", "comma-separated lemmas: safety, liveness, timeliness, safety_2, sanity")
+		engine     = flag.String("engine", "symbolic", "engine: symbolic, explicit, bmc, induction")
+		depth      = flag.Int("depth", 0, "bmc unrolling depth (0: 2·w_sup)")
+		bound      = flag.Int("bound", 0, "timeliness bound in slots (0: w_sup + round)")
+		trace      = flag.Bool("trace", false, "print counterexample traces")
+		wcsup      = flag.Bool("wcsup", false, "explore the worst-case startup time (Section 5.3)")
+		recovery   = flag.Bool("recovery", false, "check the CTL recovery property AG(AF all-active)")
+		restart    = flag.Bool("restartable", false, "allow one transient restart per correct node (the Section 2.1 restart problem)")
+		count      = flag.Bool("count", false, "report the exact reachable-state count")
+		nodeLimit  = flag.Int("bdd-nodes", 0, "BDD node limit (0: default)")
+	)
+	flag.Parse()
+
+	cfg := startup.DefaultConfig(*n)
+	cfg.FaultyNode = *faultyNode
+	cfg.FaultyHub = *faultyHub
+	cfg.FaultDegree = *degree
+	cfg.DeltaInit = *deltaInit
+	cfg.Feedback = !*noFeedback
+	cfg.DisableBigBang = *noBigBang
+	cfg.DisableInterlinks = *noILinks
+	cfg.DisableCSPriority = *noCSPrio
+	cfg.DisableCSWindow = *noCSWin
+	cfg.DisableWatchdog = *noWatchdog
+	cfg.RestartableNodes = *restart
+
+	opts := core.Options{
+		Symbolic:        symbolic.Options{BDD: bdd.Config{NodeLimit: *nodeLimit}},
+		Explicit:        explicit.Options{},
+		BMCDepth:        *depth,
+		TimelinessBound: *bound,
+	}
+	suite, err := core.NewSuite(cfg, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %s  (faulty-node=%d faulty-hub=%d degree=%d δ_init=%d big-bang=%v feedback=%v)\n",
+		suite.Model.Sys.Name, cfg.FaultyNode, cfg.FaultyHub, cfg.FaultDegree,
+		cfg.DeltaInit, !cfg.DisableBigBang, cfg.Feedback)
+
+	if *dumpModel {
+		return suite.Model.Sys.WriteModel(os.Stdout)
+	}
+
+	if *count {
+		c, err := suite.CountStates()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reachable states: %v\n", c)
+	}
+
+	if *wcsup {
+		res, err := suite.WorstCaseStartup(0)
+		if err != nil {
+			return err
+		}
+		for _, p := range res.Probes {
+			verdict := "counterexample"
+			if p.Holds {
+				verdict = "holds"
+			}
+			fmt.Printf("  timeliness(%2d): %-14s %v\n", p.Bound, verdict, p.Duration.Round(1000000))
+		}
+		fmt.Printf("worst-case startup time: %d slots (paper formula 7n-5 = %d)\n", res.WSup, res.PaperWSup)
+		return nil
+	}
+
+	if *recovery {
+		eng, err := suite.Symbolic()
+		if err != nil {
+			return err
+		}
+		res, err := eng.CheckCTL("recovery AG(AF all-active)", suite.Model.Recovery())
+		if err != nil {
+			return err
+		}
+		printResult(res)
+		if !res.Holds() {
+			return fmt.Errorf("recovery property violated")
+		}
+		return nil
+	}
+
+	list, err := core.ParseLemmas(*lemmas)
+	if err != nil {
+		return err
+	}
+
+	eng := core.EngineSymbolic
+	switch *engine {
+	case "symbolic":
+	case "explicit":
+		eng = core.EngineExplicit
+	case "bmc":
+		eng = core.EngineBMC
+	case "induction":
+		eng = core.EngineInduction
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+
+	failed := 0
+	for _, l := range list {
+		res, err := suite.Check(l, eng)
+		if err != nil {
+			return fmt.Errorf("%v: %w", l, err)
+		}
+		printResult(res)
+		if !res.Holds() {
+			failed++
+			if *trace && res.Trace != nil {
+				fmt.Println("counterexample timeline:")
+				fmt.Print(suite.Model.FormatTimeline(res.Trace))
+				fmt.Println("\nvariable-level trace:")
+				fmt.Println(res.Trace.Format(suite.Model.Sys))
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d lemma(s) violated", failed)
+	}
+	return nil
+}
+
+func printResult(res *mc.Result) {
+	stats := res.Stats
+	extra := ""
+	if stats.Reachable != nil {
+		extra = fmt.Sprintf("  reachable=%v", stats.Reachable)
+	}
+	if stats.BDDVars > 0 {
+		extra += fmt.Sprintf("  bdd-vars=%d", stats.BDDVars)
+	}
+	if stats.Conflicts > 0 {
+		extra += fmt.Sprintf("  conflicts=%d depth=%d", stats.Conflicts, stats.Iterations)
+	}
+	fmt.Printf("%-14s [%s] %-18s cpu=%v%s\n",
+		res.Property.Name, stats.Engine, res.Verdict, stats.Duration.Round(1000000), extra)
+}

@@ -1,0 +1,33 @@
+// Package ttastartup reproduces "Model Checking a Fault-Tolerant Startup
+// Algorithm: From Design Exploration To Exhaustive Fault Simulation"
+// (Steiner, Rushby, Sorea, Pfeifer; DSN 2004) as a self-contained Go
+// library: the fault-tolerant startup algorithm of the Time-Triggered
+// Architecture, a guarded-command modelling language, three model-checking
+// engines built from scratch (explicit-state, BDD-based symbolic, and
+// SAT-based bounded), a concrete cluster simulator with Monte-Carlo fault
+// injection, and a benchmark harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// Layout:
+//
+//	internal/gcl          the modelling language ("mini-SAL")
+//	internal/circuit      and-inverter-graph boolean circuits
+//	internal/bdd          ROBDD engine
+//	internal/sat          CDCL SAT solver
+//	internal/mc           engine-independent model-checking vocabulary
+//	internal/mc/explicit  explicit-state engine
+//	internal/mc/symbolic  BDD-based symbolic engine
+//	internal/mc/bmc       SAT-based bounded model checking
+//	internal/tta          TTA domain parameters and fault degrees
+//	internal/tta/startup  the verified startup-algorithm model
+//	internal/tta/original the baseline bus-topology algorithm
+//	internal/tta/sim      concrete simulator and fault injection
+//	internal/core         top-level verification API
+//	internal/exp          the paper's evaluation experiments
+//	cmd/ttamc             model-checking CLI
+//	cmd/ttasim            simulation CLI
+//	cmd/ttabench          regenerate the paper's tables and figures
+//
+// The benchmarks in bench_test.go exercise one experiment per paper table
+// or figure; EXPERIMENTS.md records paper-versus-measured outcomes.
+package ttastartup

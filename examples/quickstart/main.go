@@ -1,0 +1,49 @@
+// Quickstart: build the TTA startup model for a 3-node cluster with a
+// maximally faulty node (fault degree 6) and verify the paper's lemmas
+// with the symbolic model checker — the core "exhaustive fault simulation"
+// workflow in under a minute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ttastartup/internal/core"
+	"ttastartup/internal/tta/startup"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 3-node cluster; node 1 is faulty and may emit, every slot and per
+	// channel, anything the fault hypothesis allows (degree 6: quiet,
+	// correct or masquerading cs-/i-frames, noise).
+	cfg := startup.DefaultConfig(3).WithFaultyNode(1)
+	cfg.DeltaInit = 6 // power-on window in slots (8·round reproduces the paper)
+
+	suite, err := core.NewSuite(cfg, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	count, err := suite.CountStates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d nodes, faulty node %d at fault degree %d\n",
+		cfg.N, cfg.FaultyNode, cfg.FaultDegree)
+	fmt.Printf("reachable states: %v\n\n", count)
+
+	report, err := suite.ExhaustiveFaultSimulation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range report.Results {
+		fmt.Println(" ", res)
+	}
+	if report.AllHold() {
+		fmt.Println("\nall lemmas hold: the startup algorithm tolerates the faulty node.")
+	} else {
+		fmt.Println("\nLEMMA VIOLATED — see the counterexample above.")
+	}
+}

@@ -1,0 +1,3 @@
+module ttastartup
+
+go 1.22

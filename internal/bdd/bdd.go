@@ -1,0 +1,269 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// with a chained unique table, a direct-mapped operation cache, explicit
+// mark-and-sweep garbage collection, quantification, relational products,
+// order-preserving renaming, and exact model counting. It is the backend of
+// the symbolic model checker (package mc/symbolic).
+package bdd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ref identifies a BDD node in a Manager. The constants False and True are
+// the terminal nodes of every manager.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+// ErrNodeLimit is thrown (via panic, recovered at engine boundaries) when a
+// manager exceeds its configured node capacity.
+var ErrNodeLimit = errors.New("bdd: node limit exceeded")
+
+type node struct {
+	level     int32 // variable index; terminals use level = nvars
+	low, high Ref
+	next      int32 // unique-table chain
+}
+
+type cacheEntry struct {
+	op      int32
+	f, g, h Ref
+	result  Ref
+}
+
+// Cache operation codes.
+const (
+	opIte int32 = iota + 1
+	opExists
+	opAndExists
+	opPermute
+)
+
+// Manager owns the node pool of a BDD universe with a fixed variable order:
+// variable i is at level i (0 is topmost).
+type Manager struct {
+	nvars   int32
+	nodes   []node
+	free    []Ref // freelist from GC
+	buckets []int32
+	cache   []cacheEntry
+
+	roots     map[Ref]int // protected external references
+	nodeLimit int
+	gcCount   int
+	permEpoch int32 // distinguishes permutations in the op cache
+
+	// Stats
+	gcFreed int
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// NodeLimit caps the node pool (0 = default 48M nodes, roughly 1 GiB).
+	NodeLimit int
+	// CacheSize is the operation-cache entry count, rounded up to a power
+	// of two (0 = default 1<<20).
+	CacheSize int
+}
+
+// New returns a manager with nvars boolean variables.
+func New(nvars int, cfg Config) *Manager {
+	if cfg.NodeLimit == 0 {
+		cfg.NodeLimit = 48 << 20
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1 << 20
+	}
+	cacheSize := 1
+	for cacheSize < cfg.CacheSize {
+		cacheSize <<= 1
+	}
+	m := &Manager{
+		nvars:     int32(nvars),
+		nodes:     make([]node, 2, 1<<16),
+		buckets:   make([]int32, 1<<14),
+		cache:     make([]cacheEntry, cacheSize),
+		roots:     make(map[Ref]int),
+		nodeLimit: cfg.NodeLimit,
+	}
+	for i := range m.buckets {
+		m.buckets[i] = -1
+	}
+	m.nodes[False] = node{level: m.nvars, low: False, high: False, next: -1}
+	m.nodes[True] = node{level: m.nvars, low: True, high: True, next: -1}
+	return m
+}
+
+// NumVars returns the variable count.
+func (m *Manager) NumVars() int { return int(m.nvars) }
+
+// NumNodes returns the number of live (allocated, not freed) nodes,
+// including the two terminals.
+func (m *Manager) NumNodes() int { return len(m.nodes) - len(m.free) }
+
+// Level returns the level (variable index) labelling f, or NumVars for
+// terminals.
+func (m *Manager) Level(f Ref) int { return int(m.nodes[f].level) }
+
+// Low and High return the cofactors of a non-terminal node.
+func (m *Manager) Low(f Ref) Ref { return m.nodes[f].low }
+
+// High returns the positive cofactor of a non-terminal node.
+func (m *Manager) High(f Ref) Ref { return m.nodes[f].high }
+
+// Var returns the BDD for variable i.
+func (m *Manager) Var(i int) Ref {
+	return m.mkNode(int32(i), False, True)
+}
+
+// NVar returns the BDD for the negation of variable i.
+func (m *Manager) NVar(i int) Ref {
+	return m.mkNode(int32(i), True, False)
+}
+
+func hash3(a, b, c int32) uint64 {
+	h := uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)*0xbf58476d1ce4e5b9 ^ uint64(c)*0x94d049bb133111eb
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// mkNode returns the canonical node (level, low, high), creating it if
+// needed.
+func (m *Manager) mkNode(level int32, low, high Ref) Ref {
+	if low == high {
+		return low
+	}
+	h := hash3(level, int32(low), int32(high)) & uint64(len(m.buckets)-1)
+	for i := m.buckets[h]; i >= 0; i = m.nodes[i].next {
+		n := &m.nodes[i]
+		if n.level == level && n.low == low && n.high == high {
+			return Ref(i)
+		}
+	}
+	var r Ref
+	if len(m.free) > 0 {
+		r = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+		m.nodes[r] = node{level: level, low: low, high: high, next: m.buckets[h]}
+	} else {
+		if len(m.nodes) >= m.nodeLimit {
+			panic(ErrNodeLimit)
+		}
+		m.nodes = append(m.nodes, node{level: level, low: low, high: high, next: m.buckets[h]})
+		r = Ref(len(m.nodes) - 1)
+	}
+	m.buckets[h] = int32(r)
+	if m.NumNodes() > 2*len(m.buckets) {
+		m.rehash()
+	}
+	return r
+}
+
+func (m *Manager) rehash() {
+	m.buckets = make([]int32, len(m.buckets)*2)
+	for i := range m.buckets {
+		m.buckets[i] = -1
+	}
+	freeSet := make(map[Ref]bool, len(m.free))
+	for _, f := range m.free {
+		freeSet[f] = true
+	}
+	for i := 2; i < len(m.nodes); i++ {
+		if freeSet[Ref(i)] {
+			continue
+		}
+		n := &m.nodes[i]
+		h := hash3(n.level, int32(n.low), int32(n.high)) & uint64(len(m.buckets)-1)
+		n.next = m.buckets[h]
+		m.buckets[h] = int32(i)
+	}
+}
+
+func (m *Manager) cacheLookup(op int32, f, g, h Ref) (Ref, bool) {
+	e := &m.cache[hash3(op^int32(f), int32(g), int32(h))&uint64(len(m.cache)-1)]
+	if e.op == op && e.f == f && e.g == g && e.h == h {
+		return e.result, true
+	}
+	return 0, false
+}
+
+func (m *Manager) cacheStore(op int32, f, g, h, result Ref) {
+	e := &m.cache[hash3(op^int32(f), int32(g), int32(h))&uint64(len(m.cache)-1)]
+	*e = cacheEntry{op: op, f: f, g: g, h: h, result: result}
+}
+
+// Ite computes if-then-else: f ? g : h.
+func (m *Manager) Ite(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	if r, ok := m.cacheLookup(opIte, f, g, h); ok {
+		return r
+	}
+	nf, ng, nh := &m.nodes[f], &m.nodes[g], &m.nodes[h]
+	top := nf.level
+	if ng.level < top {
+		top = ng.level
+	}
+	if nh.level < top {
+		top = nh.level
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	r0 := m.Ite(f0, g0, h0)
+	r1 := m.Ite(f1, g1, h1)
+	r := m.mkNode(top, r0, r1)
+	m.cacheStore(opIte, f, g, h, r)
+	return r
+}
+
+func (m *Manager) cofactors(f Ref, level int32) (Ref, Ref) {
+	n := &m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.low, n.high
+}
+
+// Not returns the negation of f.
+func (m *Manager) Not(f Ref) Ref { return m.Ite(f, False, True) }
+
+// And returns f AND g.
+func (m *Manager) And(f, g Ref) Ref { return m.Ite(f, g, False) }
+
+// Or returns f OR g.
+func (m *Manager) Or(f, g Ref) Ref { return m.Ite(f, True, g) }
+
+// Xor returns f XOR g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.Ite(f, m.Not(g), g) }
+
+// Iff returns f <-> g.
+func (m *Manager) Iff(f, g Ref) Ref { return m.Ite(f, g, m.Not(g)) }
+
+// Implies returns f -> g.
+func (m *Manager) Implies(f, g Ref) Ref { return m.Ite(f, g, True) }
+
+// Diff returns f AND NOT g.
+func (m *Manager) Diff(f, g Ref) Ref { return m.Ite(g, False, f) }
+
+// String renders summary statistics.
+func (m *Manager) String() string {
+	return fmt.Sprintf("bdd: %d vars, %d nodes (%d GCs, %d freed)",
+		m.nvars, m.NumNodes(), m.gcCount, m.gcFreed)
+}

@@ -1,0 +1,114 @@
+package circuit
+
+// BV is a little-endian bit vector of literals (index 0 is the LSB). Bit
+// vectors are the word-level layer the guarded-command compiler lowers
+// finite-domain expressions onto.
+type BV []Lit
+
+// ConstBV returns an n-bit constant vector for value v (truncated to n bits).
+func ConstBV(v, n int) BV {
+	bv := make(BV, n)
+	for i := range n {
+		if v&(1<<i) != 0 {
+			bv[i] = True
+		} else {
+			bv[i] = False
+		}
+	}
+	return bv
+}
+
+// BVValue decodes a constant bit vector; ok is false if any bit is
+// non-constant.
+func BVValue(bv BV) (int, bool) {
+	v := 0
+	for i, l := range bv {
+		switch l {
+		case True:
+			v |= 1 << i
+		case False:
+		default:
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// EqBV returns a literal that is true iff x == y. The vectors must have the
+// same width.
+func (b *Builder) EqBV(x, y BV) Lit {
+	mustSameWidth(x, y)
+	parts := make([]Lit, len(x))
+	for i := range x {
+		parts[i] = b.Iff(x[i], y[i])
+	}
+	return b.AndAll(parts)
+}
+
+// LtBV returns a literal that is true iff x < y (unsigned).
+func (b *Builder) LtBV(x, y BV) Lit {
+	mustSameWidth(x, y)
+	// Ripple from LSB: lt_{i+1} = (!x_i & y_i) | (x_i <-> y_i) & lt_i.
+	lt := False
+	for i := range x {
+		bitLt := b.And(x[i].Not(), y[i])
+		eq := b.Iff(x[i], y[i])
+		lt = b.Or(bitLt, b.And(eq, lt))
+	}
+	return lt
+}
+
+// LeBV returns a literal that is true iff x <= y (unsigned).
+func (b *Builder) LeBV(x, y BV) Lit { return b.LtBV(y, x).Not() }
+
+// MuxBV returns c ? t : e, bitwise. The vectors must have the same width.
+func (b *Builder) MuxBV(c Lit, t, e BV) BV {
+	mustSameWidth(t, e)
+	out := make(BV, len(t))
+	for i := range t {
+		out[i] = b.Ite(c, t[i], e[i])
+	}
+	return out
+}
+
+// AddConstBV returns x + k (unsigned, truncated to the width of x).
+func (b *Builder) AddConstBV(x BV, k int) BV {
+	out := make(BV, len(x))
+	carryIn := ConstBV(k, len(x))
+	carry := False
+	for i := range x {
+		sum := b.Xor(b.Xor(x[i], carryIn[i]), carry)
+		carry = b.Or(b.And(x[i], carryIn[i]), b.And(carry, b.Xor(x[i], carryIn[i])))
+		out[i] = sum
+	}
+	return out
+}
+
+// AddBV returns x + y (unsigned, truncated to the width of x).
+func (b *Builder) AddBV(x, y BV) BV {
+	mustSameWidth(x, y)
+	out := make(BV, len(x))
+	carry := False
+	for i := range x {
+		sum := b.Xor(b.Xor(x[i], y[i]), carry)
+		carry = b.Or(b.And(x[i], y[i]), b.And(carry, b.Xor(x[i], y[i])))
+		out[i] = sum
+	}
+	return out
+}
+
+// InRangeBV returns a literal that is true iff the value of x is strictly
+// less than card (the domain-membership constraint for a variable whose
+// cardinality is not a power of two).
+func (b *Builder) InRangeBV(x BV, card int) Lit {
+	if card >= 1<<len(x) {
+		return True
+	}
+	return b.LtBV(x, ConstBV(card, len(x)))
+}
+
+func mustSameWidth(x, y BV) {
+	if len(x) != len(y) {
+		panic("circuit: bit-vector width mismatch")
+	}
+}

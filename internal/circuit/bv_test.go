@@ -1,0 +1,169 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// evalBV evaluates a bit vector to an integer under an input assignment.
+func evalBV(b *Builder, bv BV, assign []bool) int {
+	v := 0
+	for i, l := range bv {
+		if b.Eval(l, assign) {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// mkInputBV allocates a w-bit input vector.
+func mkInputBV(b *Builder, w int) BV {
+	bv := make(BV, w)
+	for i := range bv {
+		bv[i] = b.Input()
+	}
+	return bv
+}
+
+// encode writes the w low bits of v into assign starting at off.
+func encode(assign []bool, off, w, v int) {
+	for i := range w {
+		assign[off+i] = v&(1<<i) != 0
+	}
+}
+
+func TestConstBVRoundTrip(t *testing.T) {
+	for _, v := range []int{0, 1, 5, 13, 255} {
+		bv := ConstBV(v, 8)
+		got, ok := BVValue(bv)
+		if !ok || got != v {
+			t.Errorf("BVValue(ConstBV(%d)) = %d,%v", v, got, ok)
+		}
+	}
+	b := New()
+	x := b.Input()
+	if _, ok := BVValue(BV{x}); ok {
+		t.Error("BVValue of non-constant should fail")
+	}
+}
+
+func TestCompareExhaustive(t *testing.T) {
+	const w = 4
+	b := New()
+	x := mkInputBV(b, w)
+	y := mkInputBV(b, w)
+	eq := b.EqBV(x, y)
+	lt := b.LtBV(x, y)
+	le := b.LeBV(x, y)
+	assign := make([]bool, 2*w)
+	for vx := range 1 << w {
+		for vy := range 1 << w {
+			encode(assign, 0, w, vx)
+			encode(assign, w, w, vy)
+			if got := b.Eval(eq, assign); got != (vx == vy) {
+				t.Fatalf("Eq(%d,%d) = %v", vx, vy, got)
+			}
+			if got := b.Eval(lt, assign); got != (vx < vy) {
+				t.Fatalf("Lt(%d,%d) = %v", vx, vy, got)
+			}
+			if got := b.Eval(le, assign); got != (vx <= vy) {
+				t.Fatalf("Le(%d,%d) = %v", vx, vy, got)
+			}
+		}
+	}
+}
+
+func TestAddExhaustive(t *testing.T) {
+	const w = 4
+	b := New()
+	x := mkInputBV(b, w)
+	y := mkInputBV(b, w)
+	sum := b.AddBV(x, y)
+	assign := make([]bool, 2*w)
+	for vx := range 1 << w {
+		for vy := range 1 << w {
+			encode(assign, 0, w, vx)
+			encode(assign, w, w, vy)
+			if got := evalBV(b, sum, assign); got != (vx+vy)&(1<<w-1) {
+				t.Fatalf("Add(%d,%d) = %d", vx, vy, got)
+			}
+		}
+	}
+}
+
+func TestAddConstExhaustive(t *testing.T) {
+	const w = 5
+	for _, k := range []int{0, 1, 3, 17, 31} {
+		b := New()
+		x := mkInputBV(b, w)
+		sum := b.AddConstBV(x, k)
+		assign := make([]bool, w)
+		for vx := range 1 << w {
+			encode(assign, 0, w, vx)
+			if got := evalBV(b, sum, assign); got != (vx+k)&(1<<w-1) {
+				t.Fatalf("AddConst(%d,%d) = %d", vx, k, got)
+			}
+		}
+	}
+}
+
+func TestMuxExhaustive(t *testing.T) {
+	const w = 3
+	b := New()
+	c := b.Input()
+	x := mkInputBV(b, w)
+	y := mkInputBV(b, w)
+	m := b.MuxBV(c, x, y)
+	assign := make([]bool, 1+2*w)
+	for _, vc := range []bool{false, true} {
+		for vx := range 1 << w {
+			for vy := range 1 << w {
+				assign[0] = vc
+				encode(assign, 1, w, vx)
+				encode(assign, 1+w, w, vy)
+				want := vy
+				if vc {
+					want = vx
+				}
+				if got := evalBV(b, m, assign); got != want {
+					t.Fatalf("Mux(%v,%d,%d) = %d", vc, vx, vy, got)
+				}
+			}
+		}
+	}
+}
+
+func TestInRange(t *testing.T) {
+	const w = 4
+	for _, card := range []int{1, 3, 7, 10, 16} {
+		b := New()
+		x := mkInputBV(b, w)
+		ir := b.InRangeBV(x, card)
+		assign := make([]bool, w)
+		for vx := range 1 << w {
+			encode(assign, 0, w, vx)
+			if got := b.Eval(ir, assign); got != (vx < card) {
+				t.Fatalf("InRange(%d, card=%d) = %v", vx, card, got)
+			}
+		}
+	}
+}
+
+// Property: x+y == y+x as circuits, checked by evaluation on random inputs.
+func TestAddCommutes(t *testing.T) {
+	f := func(vx, vy uint8) bool {
+		const w = 8
+		b := New()
+		x := mkInputBV(b, w)
+		y := mkInputBV(b, w)
+		s1 := b.AddBV(x, y)
+		s2 := b.AddBV(y, x)
+		assign := make([]bool, 2*w)
+		encode(assign, 0, w, int(vx))
+		encode(assign, w, w, int(vy))
+		return evalBV(b, s1, assign) == evalBV(b, s2, assign)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	b := New()
+	if got := b.And(True, True); got != True {
+		t.Errorf("And(1,1) = %v, want True", got)
+	}
+	if got := b.And(True, False); got != False {
+		t.Errorf("And(1,0) = %v, want False", got)
+	}
+	if got := b.Or(False, False); got != False {
+		t.Errorf("Or(0,0) = %v, want False", got)
+	}
+	if got := True.Not(); got != False {
+		t.Errorf("Not(True) = %v, want False", got)
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	b := New()
+	x, y := b.Input(), b.Input()
+	a1 := b.And(x, y)
+	a2 := b.And(y, x)
+	if a1 != a2 {
+		t.Errorf("And not commutative under hashing: %v vs %v", a1, a2)
+	}
+	n := b.NumNodes()
+	_ = b.And(x, y)
+	if b.NumNodes() != n {
+		t.Errorf("duplicate And created a node")
+	}
+}
+
+func TestAndAbsorption(t *testing.T) {
+	b := New()
+	x := b.Input()
+	if got := b.And(x, x); got != x {
+		t.Errorf("And(x,x) = %v, want x", got)
+	}
+	if got := b.And(x, x.Not()); got != False {
+		t.Errorf("And(x,!x) = %v, want False", got)
+	}
+	if got := b.And(x, True); got != x {
+		t.Errorf("And(x,1) = %v, want x", got)
+	}
+	if got := b.And(x, False); got != False {
+		t.Errorf("And(x,0) = %v, want False", got)
+	}
+}
+
+// TestGateTruthTables exhaustively checks every 2-input gate.
+func TestGateTruthTables(t *testing.T) {
+	type gate struct {
+		name string
+		mk   func(b *Builder, x, y Lit) Lit
+		fn   func(x, y bool) bool
+	}
+	gates := []gate{
+		{"And", (*Builder).And, func(x, y bool) bool { return x && y }},
+		{"Or", (*Builder).Or, func(x, y bool) bool { return x || y }},
+		{"Xor", (*Builder).Xor, func(x, y bool) bool { return x != y }},
+		{"Iff", (*Builder).Iff, func(x, y bool) bool { return x == y }},
+		{"Implies", (*Builder).Implies, func(x, y bool) bool { return !x || y }},
+	}
+	for _, g := range gates {
+		b := New()
+		x, y := b.Input(), b.Input()
+		l := g.mk(b, x, y)
+		for _, vx := range []bool{false, true} {
+			for _, vy := range []bool{false, true} {
+				got := b.Eval(l, []bool{vx, vy})
+				if want := g.fn(vx, vy); got != want {
+					t.Errorf("%s(%v,%v) = %v, want %v", g.name, vx, vy, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIteTruthTable(t *testing.T) {
+	b := New()
+	c, x, y := b.Input(), b.Input(), b.Input()
+	l := b.Ite(c, x, y)
+	for mask := range 8 {
+		in := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		want := in[2]
+		if in[0] {
+			want = in[1]
+		}
+		if got := b.Eval(l, in); got != want {
+			t.Errorf("Ite%v = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestAndAllOrAll(t *testing.T) {
+	b := New()
+	if b.AndAll(nil) != True {
+		t.Error("AndAll(nil) != True")
+	}
+	if b.OrAll(nil) != False {
+		t.Error("OrAll(nil) != False")
+	}
+	ins := []Lit{b.Input(), b.Input(), b.Input(), b.Input(), b.Input()}
+	and := b.AndAll(ins)
+	or := b.OrAll(ins)
+	for mask := range 32 {
+		assign := make([]bool, 5)
+		all, any := true, false
+		for i := range 5 {
+			assign[i] = mask&(1<<i) != 0
+			all = all && assign[i]
+			any = any || assign[i]
+		}
+		if got := b.Eval(and, assign); got != all {
+			t.Errorf("AndAll mask=%d got %v want %v", mask, got, all)
+		}
+		if got := b.Eval(or, assign); got != any {
+			t.Errorf("OrAll mask=%d got %v want %v", mask, got, any)
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	b := New()
+	x, y, z := b.Input(), b.Input(), b.Input()
+	_ = z
+	l := b.Or(b.And(x, y), x)
+	got := b.Support(l)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Support = %v, want [0 1]", got)
+	}
+	if s := b.Support(True); len(s) != 0 {
+		t.Errorf("Support(True) = %v, want empty", s)
+	}
+}
+
+func TestInputID(t *testing.T) {
+	b := New()
+	x := b.Input()
+	y := b.Input()
+	if id, ok := b.InputID(x); !ok || id != 0 {
+		t.Errorf("InputID(x) = %d,%v", id, ok)
+	}
+	if id, ok := b.InputID(y.Not()); !ok || id != 1 {
+		t.Errorf("InputID(!y) = %d,%v", id, ok)
+	}
+	if _, ok := b.InputID(b.And(x, y)); ok {
+		t.Error("InputID of an AND gate should fail")
+	}
+	if _, ok := b.InputID(True); ok {
+		t.Error("InputID of a constant should fail")
+	}
+}
+
+// Property: Eval distributes over construction for random formulas.
+func TestEvalRandomFormulas(t *testing.T) {
+	f := func(ops []uint8, assign [6]bool) bool {
+		b := New()
+		ins := make([]Lit, 6)
+		for i := range ins {
+			ins[i] = b.Input()
+		}
+		// Build a random formula as a stack machine over the inputs, and a
+		// mirror boolean computation.
+		lits := append([]Lit{}, ins...)
+		vals := make([]bool, 6)
+		for i := range vals {
+			vals[i] = assign[i]
+		}
+		for _, op := range ops {
+			i := int(op) % len(lits)
+			j := int(op>>3) % len(lits)
+			switch op % 4 {
+			case 0:
+				lits = append(lits, b.And(lits[i], lits[j]))
+				vals = append(vals, vals[i] && vals[j])
+			case 1:
+				lits = append(lits, b.Or(lits[i], lits[j]))
+				vals = append(vals, vals[i] || vals[j])
+			case 2:
+				lits = append(lits, b.Xor(lits[i], lits[j]))
+				vals = append(vals, vals[i] != vals[j])
+			case 3:
+				lits = append(lits, lits[i].Not())
+				vals = append(vals, !vals[i])
+			}
+		}
+		top := lits[len(lits)-1]
+		return b.Eval(top, assign[:]) == vals[len(vals)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package core is the top-level verification API of the reproduction: it
+// binds the TTA startup model to the three model-checking engines and
+// exposes the paper's experiments — checking the four lemmas (Section 4),
+// exhaustive fault simulation at a chosen fault degree (Section 5.4),
+// worst-case-startup-time exploration (Section 5.3), and the big-bang
+// design-exploration experiment (Section 5.2).
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/mc"
+	"ttastartup/internal/mc/bmc"
+	"ttastartup/internal/mc/explicit"
+	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/tta/startup"
+)
+
+// Lemma identifies one of the paper's correctness properties.
+type Lemma int
+
+// The paper's lemmas plus the model-sanity properties used "to gain
+// confidence in the model".
+const (
+	// LemmaSafety is Lemma 1: active correct nodes agree on the slot time.
+	LemmaSafety Lemma = iota + 1
+	// LemmaLiveness is Lemma 2: all correct nodes eventually reach ACTIVE.
+	LemmaLiveness
+	// LemmaTimeliness is Lemma 3: ACTIVE is reached within a bounded time.
+	LemmaTimeliness
+	// LemmaSafety2 is Lemma 4: agreement plus timely synchronisation of
+	// the correct guardian, checked against a faulty hub.
+	LemmaSafety2
+	// LemmaNoError: the diagnostic fallback commands never fire.
+	LemmaNoError
+	// LemmaLocksOnlyFaulty: correct guardians never lock correct nodes.
+	LemmaLocksOnlyFaulty
+	// LemmaHubsAgree: two active correct guardians agree on the schedule.
+	LemmaHubsAgree
+	// LemmaNodeHubAgree: active nodes and guardians agree on the schedule.
+	LemmaNodeHubAgree
+)
+
+func (l Lemma) String() string {
+	switch l {
+	case LemmaSafety:
+		return "safety"
+	case LemmaLiveness:
+		return "liveness"
+	case LemmaTimeliness:
+		return "timeliness"
+	case LemmaSafety2:
+		return "safety_2"
+	case LemmaNoError:
+		return "no-error"
+	case LemmaLocksOnlyFaulty:
+		return "locks-only-faulty"
+	case LemmaHubsAgree:
+		return "hubs-agree"
+	case LemmaNodeHubAgree:
+		return "node-hub-agree"
+	default:
+		return fmt.Sprintf("Lemma(%d)", int(l))
+	}
+}
+
+// AllLemmas lists the four paper lemmas in order.
+func AllLemmas() []Lemma {
+	return []Lemma{LemmaSafety, LemmaLiveness, LemmaTimeliness, LemmaSafety2}
+}
+
+// ParseLemmas resolves a comma-separated lemma list ("safety,liveness",
+// "sanity" expands to the model-confidence set, "all" to the four paper
+// lemmas).
+func ParseLemmas(spec string) ([]Lemma, error) {
+	var out []Lemma
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case "safety":
+			out = append(out, LemmaSafety)
+		case "liveness":
+			out = append(out, LemmaLiveness)
+		case "timeliness":
+			out = append(out, LemmaTimeliness)
+		case "safety_2", "safety2":
+			out = append(out, LemmaSafety2)
+		case "all":
+			out = append(out, AllLemmas()...)
+		case "sanity":
+			out = append(out, SanityLemmas()...)
+		case "":
+		default:
+			return nil, fmt.Errorf("core: unknown lemma %q", name)
+		}
+	}
+	return out, nil
+}
+
+// SanityLemmas lists the additional model-confidence lemmas.
+func SanityLemmas() []Lemma {
+	return []Lemma{LemmaNoError, LemmaLocksOnlyFaulty, LemmaHubsAgree, LemmaNodeHubAgree}
+}
+
+// Engine selects a model-checking backend.
+type Engine int
+
+// Engines.
+const (
+	// EngineSymbolic is the BDD-based engine (the paper's workhorse).
+	EngineSymbolic Engine = iota + 1
+	// EngineExplicit is the explicit-state engine (Section 3's baseline).
+	EngineExplicit
+	// EngineBMC is SAT-based bounded model checking: bug hunting for
+	// invariants, lasso refutation for liveness.
+	EngineBMC
+	// EngineInduction is SAT-based k-induction: unbounded invariant
+	// proofs without BDDs (an extension beyond the paper's SAL 2.0).
+	EngineInduction
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSymbolic:
+		return symbolic.EngineName
+	case EngineExplicit:
+		return explicit.EngineName
+	case EngineBMC:
+		return bmc.EngineName
+	case EngineInduction:
+		return "k-induction"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Options tunes a verification suite.
+type Options struct {
+	// Symbolic configures the BDD engine.
+	Symbolic symbolic.Options
+	// Explicit configures the explicit-state engine.
+	Explicit explicit.Options
+	// BMCDepth bounds the bounded engine's unrolling (default 2·w_sup).
+	BMCDepth int
+	// TimelinessBound overrides the bound used for Lemma 3 and Lemma 4
+	// (default: the paper's w_sup formula plus the discretisation margin).
+	TimelinessBound int
+}
+
+// Suite verifies the startup model of one configuration. Engines and the
+// compiled form are constructed lazily and cached; in particular the
+// symbolic engine's reachable set is shared by all invariant checks.
+type Suite struct {
+	Cfg   startup.Config
+	Model *startup.Model
+	opts  Options
+
+	comp *gcl.Compiled
+	sym  *symbolic.Engine
+}
+
+// NewSuite builds the model for cfg and prepares a verification suite.
+func NewSuite(cfg startup.Config, opts Options) (*Suite, error) {
+	model, err := startup.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{Cfg: cfg, Model: model, opts: opts}, nil
+}
+
+// Compiled returns the boolean compilation, building it on first use.
+func (s *Suite) Compiled() *gcl.Compiled {
+	if s.comp == nil {
+		s.comp = s.Model.Sys.Compile()
+	}
+	return s.comp
+}
+
+// Symbolic returns the shared symbolic engine, building it on first use.
+func (s *Suite) Symbolic() (*symbolic.Engine, error) {
+	if s.sym == nil {
+		eng, err := symbolic.New(s.Compiled(), s.opts.Symbolic)
+		if err != nil {
+			return nil, err
+		}
+		s.sym = eng
+	}
+	return s.sym, nil
+}
+
+// TimelinessBound returns the bound used for the timeliness lemmas: the
+// configured override, or the paper's w_sup plus a fixed margin of one
+// round that absorbs the ±constant differences of our discretisation
+// conventions (EXPERIMENTS.md discusses the calibration).
+func (s *Suite) TimelinessBound() int {
+	if s.opts.TimelinessBound > 0 {
+		return s.opts.TimelinessBound
+	}
+	return s.Model.P.WorstCaseStartup() + s.Model.P.Round()
+}
+
+// Property returns the mc.Property for a lemma.
+func (s *Suite) Property(l Lemma) (mc.Property, error) {
+	m := s.Model
+	switch l {
+	case LemmaSafety:
+		return m.Safety(), nil
+	case LemmaLiveness:
+		return m.Liveness(), nil
+	case LemmaTimeliness:
+		return m.Timeliness(s.TimelinessBound()), nil
+	case LemmaSafety2:
+		return m.Safety2(s.TimelinessBound()), nil
+	case LemmaNoError:
+		return m.NoError(), nil
+	case LemmaLocksOnlyFaulty:
+		return m.LocksOnlyFaulty(), nil
+	case LemmaHubsAgree:
+		return m.HubsAgree(), nil
+	case LemmaNodeHubAgree:
+		return m.NodeHubAgree(), nil
+	default:
+		return mc.Property{}, fmt.Errorf("core: unknown lemma %v", l)
+	}
+}
+
+// Check verifies one lemma with one engine.
+func (s *Suite) Check(l Lemma, e Engine) (*mc.Result, error) {
+	prop, err := s.Property(l)
+	if err != nil {
+		return nil, err
+	}
+	switch e {
+	case EngineSymbolic:
+		eng, err := s.Symbolic()
+		if err != nil {
+			return nil, err
+		}
+		if prop.Kind == mc.Eventually {
+			return eng.CheckEventually(prop)
+		}
+		return eng.CheckInvariant(prop)
+	case EngineExplicit:
+		if prop.Kind == mc.Eventually {
+			return explicit.CheckEventually(s.Model.Sys, prop, s.opts.Explicit)
+		}
+		return explicit.CheckInvariant(s.Model.Sys, prop, s.opts.Explicit)
+	case EngineBMC:
+		depth := s.opts.BMCDepth
+		if depth == 0 {
+			depth = 2 * s.Model.P.WorstCaseStartup()
+		}
+		if prop.Kind == mc.Eventually {
+			return bmc.CheckEventuallyRefute(s.Compiled(), prop, bmc.Options{MaxDepth: depth})
+		}
+		return bmc.CheckInvariant(s.Compiled(), prop, bmc.Options{MaxDepth: depth})
+	case EngineInduction:
+		if prop.Kind == mc.Eventually {
+			return nil, fmt.Errorf("core: k-induction cannot prove liveness lemma %v", l)
+		}
+		depth := s.opts.BMCDepth
+		if depth == 0 {
+			depth = 2 * s.Model.P.WorstCaseStartup()
+		}
+		return bmc.CheckInvariantInduction(s.Compiled(), prop, bmc.InductionOptions{MaxK: depth})
+	default:
+		return nil, fmt.Errorf("core: unknown engine %v", e)
+	}
+}
+
+// CheckAll verifies the given lemmas with one engine, in order.
+func (s *Suite) CheckAll(e Engine, lemmas ...Lemma) ([]*mc.Result, error) {
+	if len(lemmas) == 0 {
+		lemmas = AllLemmas()
+	}
+	out := make([]*mc.Result, 0, len(lemmas))
+	for _, l := range lemmas {
+		res, err := s.Check(l, e)
+		if err != nil {
+			return out, fmt.Errorf("core: %v: %w", l, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// CountStates returns the exact reachable-state count (symbolic engine).
+func (s *Suite) CountStates() (*big.Int, error) {
+	eng, err := s.Symbolic()
+	if err != nil {
+		return nil, err
+	}
+	return eng.CountStates()
+}

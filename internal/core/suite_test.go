@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"ttastartup/internal/mc"
+	"ttastartup/internal/tta/startup"
+)
+
+// quick returns a suite with a reduced power-on window.
+func quick(t *testing.T, cfg startup.Config) *Suite {
+	t.Helper()
+	if cfg.DeltaInit == 0 {
+		cfg.DeltaInit = 4
+	}
+	s, err := NewSuite(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCheckAllLemmasSymbolic(t *testing.T) {
+	s := quick(t, startup.DefaultConfig(3).WithFaultyNode(1))
+	results, err := s.CheckAll(EngineSymbolic, LemmaSafety, LemmaLiveness, LemmaTimeliness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Holds() {
+			t.Errorf("%s: %v", r.Property.Name, r.Verdict)
+		}
+	}
+}
+
+func TestCheckSafety2FaultyHub(t *testing.T) {
+	s := quick(t, startup.DefaultConfig(3).WithFaultyHub(0))
+	res, err := s.Check(LemmaSafety2, EngineSymbolic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds() {
+		t.Errorf("safety_2: %v", res.Verdict)
+	}
+}
+
+func TestSanityLemmas(t *testing.T) {
+	s := quick(t, startup.DefaultConfig(3))
+	results, err := s.CheckAll(EngineSymbolic, SanityLemmas()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Holds() {
+			t.Errorf("%s: %v", r.Property.Name, r.Verdict)
+		}
+	}
+}
+
+// TestEnginesAgreeOnStartupModel cross-validates symbolic against explicit
+// and bounded on the real startup model (small window, degree-1 fault to
+// keep the explicit run tractable).
+func TestEnginesAgreeOnStartupModel(t *testing.T) {
+	cfg := startup.DefaultConfig(3).WithFaultyNode(2)
+	cfg.FaultDegree = 1
+	cfg.DeltaInit = 3
+	s, err := NewSuite(cfg, Options{BMCDepth: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []Lemma{LemmaSafety, LemmaNoError} {
+		sym, err := s.Check(l, EngineSymbolic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := s.Check(l, EngineExplicit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounded, err := s.Check(l, EngineBMC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sym.Verdict != mc.Holds || exp.Verdict != mc.Holds {
+			t.Errorf("%v: symbolic %v explicit %v", l, sym.Verdict, exp.Verdict)
+		}
+		if bounded.Verdict != mc.HoldsBounded {
+			t.Errorf("%v: bmc %v", l, bounded.Verdict)
+		}
+		if sym.Stats.Reachable.Cmp(exp.Stats.Reachable) != 0 {
+			t.Errorf("%v: state counts differ: %v vs %v", l, sym.Stats.Reachable, exp.Stats.Reachable)
+		}
+	}
+}
+
+// TestBMCLivenessRefutation: the bounded engine can only refute liveness;
+// on the (true) liveness lemma it must report holds-bounded, not a
+// spurious lasso.
+func TestBMCLivenessRefutation(t *testing.T) {
+	cfg := startup.DefaultConfig(3)
+	cfg.DeltaInit = 3
+	s, err := NewSuite(cfg, Options{BMCDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Check(LemmaLiveness, EngineBMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.HoldsBounded {
+		t.Errorf("verdict %v, want holds-bounded", res.Verdict)
+	}
+}
+
+// TestInductionEngineOnSanityLemma: k-induction proves the no-error lemma
+// outright when it is inductive, and stays sound otherwise.
+func TestInductionEngineOnSanityLemma(t *testing.T) {
+	cfg := startup.DefaultConfig(3)
+	cfg.DeltaInit = 3
+	s, err := NewSuite(cfg, Options{BMCDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Check(LemmaNoError, EngineInduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict == mc.Violated {
+		t.Errorf("k-induction fabricated a violation of a true lemma")
+	}
+	if _, err := s.Check(LemmaLiveness, EngineInduction); err == nil {
+		t.Error("k-induction should refuse liveness lemmas")
+	}
+}
+
+func TestWorstCaseStartup(t *testing.T) {
+	s := quick(t, startup.DefaultConfig(3).WithFaultyNode(0))
+	res, err := s.WorstCaseStartup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WSup <= 0 {
+		t.Fatal("no worst case found")
+	}
+	if res.WSup > res.PaperWSup {
+		t.Errorf("measured w_sup %d exceeds the paper's %d", res.WSup, res.PaperWSup)
+	}
+	// The sweep must end with exactly one holding probe, preceded by
+	// counterexamples.
+	last := res.Probes[len(res.Probes)-1]
+	if !last.Holds || last.Bound != res.WSup {
+		t.Error("sweep did not end at the holding bound")
+	}
+	for _, p := range res.Probes[:len(res.Probes)-1] {
+		if p.Holds {
+			t.Errorf("bound %d holds before the reported w_sup", p.Bound)
+		}
+	}
+}
+
+func TestExhaustiveFaultSimulationDefaults(t *testing.T) {
+	s := quick(t, startup.DefaultConfig(3).WithFaultyNode(1))
+	rep, err := s.ExhaustiveFaultSimulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 || !rep.AllHold() {
+		t.Errorf("faulty-node report: %d results, allHold=%v", len(rep.Results), rep.AllHold())
+	}
+
+	sh := quick(t, startup.DefaultConfig(3).WithFaultyHub(1))
+	repH, err := sh.ExhaustiveFaultSimulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repH.Results) != 1 || !repH.AllHold() {
+		t.Errorf("faulty-hub report: %d results, allHold=%v", len(repH.Results), repH.AllHold())
+	}
+}
+
+func TestBigBangExploration(t *testing.T) {
+	cfg := startup.DefaultConfig(3).WithFaultyHub(0)
+	cfg.DeltaInit = 6
+	res, err := BigBangExploration(cfg, Options{BMCDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Symbolic.Verdict != mc.Violated {
+		t.Errorf("symbolic: %v, want violated", res.Symbolic.Verdict)
+	}
+	if res.Bounded.Verdict != mc.Violated {
+		t.Errorf("bounded: %v, want violated", res.Bounded.Verdict)
+	}
+	if res.Bounded.Stats.Iterations >= res.Symbolic.Trace.Len() {
+		t.Errorf("bmc depth %d should be below the symbolic trace length %d (shortest path)",
+			res.Bounded.Stats.Iterations, res.Symbolic.Trace.Len())
+	}
+}
+
+func TestCountStates(t *testing.T) {
+	s := quick(t, startup.DefaultConfig(3))
+	c, err := s.CountStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sign() <= 0 {
+		t.Error("state count must be positive")
+	}
+}
+
+func TestLemmaAndEngineStrings(t *testing.T) {
+	if LemmaSafety.String() != "safety" || LemmaSafety2.String() != "safety_2" {
+		t.Error("lemma names broken")
+	}
+	if EngineSymbolic.String() != "symbolic" || EngineBMC.String() != "bmc" {
+		t.Error("engine names broken")
+	}
+	if len(AllLemmas()) != 4 || len(SanityLemmas()) != 4 {
+		t.Error("lemma lists broken")
+	}
+}
+
+func TestTimelinessBoundOverride(t *testing.T) {
+	cfg := startup.DefaultConfig(3)
+	cfg.DeltaInit = 4
+	s, err := NewSuite(cfg, Options{TimelinessBound: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TimelinessBound() != 12 {
+		t.Errorf("bound override ignored: %d", s.TimelinessBound())
+	}
+	prop, err := s.Property(LemmaTimeliness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Name != "timeliness(12)" {
+		t.Errorf("property name %q", prop.Name)
+	}
+}
+
+func TestParseLemmas(t *testing.T) {
+	got, err := ParseLemmas("safety, liveness,safety2")
+	if err != nil || len(got) != 3 || got[2] != LemmaSafety2 {
+		t.Errorf("ParseLemmas: %v %v", got, err)
+	}
+	if got, err := ParseLemmas("all"); err != nil || len(got) != 4 {
+		t.Errorf("all: %v %v", got, err)
+	}
+	if got, err := ParseLemmas("sanity"); err != nil || len(got) != 4 {
+		t.Errorf("sanity: %v %v", got, err)
+	}
+	if _, err := ParseLemmas("bogus"); err == nil {
+		t.Error("bogus lemma accepted")
+	}
+}

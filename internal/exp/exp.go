@@ -1,0 +1,730 @@
+// Package exp implements the paper's evaluation: one function per table or
+// figure, each returning both structured rows and a formatted table. The
+// ttabench command and the repository's benchmarks are thin wrappers
+// around this package. Scale guidance: Quick configurations reproduce
+// every experiment's shape in minutes on a laptop; Full configurations
+// match the paper's cluster sizes and power-on windows and can take hours
+// (the paper's own Fig. 6(b) n=5 run took 11.5 hours on its hardware).
+package exp
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"time"
+
+	"ttastartup/internal/bdd"
+	"ttastartup/internal/core"
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/mc"
+	"ttastartup/internal/mc/explicit"
+	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/tta"
+	"ttastartup/internal/tta/original"
+	"ttastartup/internal/tta/sim"
+	"ttastartup/internal/tta/startup"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Scales.
+const (
+	// Quick shrinks cluster sizes and power-on windows so the whole
+	// evaluation runs in minutes while preserving every qualitative shape.
+	Quick Scale = iota + 1
+	// Full uses the paper's parameters (δ_init = 8·round, n up to 5).
+	Full
+)
+
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// deltaInit returns the power-on window used at this scale (0 = paper).
+func (s Scale) deltaInit(n int) int {
+	if s == Full {
+		return 0
+	}
+	return n + 1
+}
+
+func (s Scale) bddConfig() bdd.Config {
+	if s == Full {
+		return bdd.Config{NodeLimit: 320 << 20, CacheSize: 1 << 22}
+	}
+	return bdd.Config{}
+}
+
+func (s Scale) suite(cfg startup.Config) (*core.Suite, error) {
+	if cfg.DeltaInit == 0 {
+		cfg.DeltaInit = s.deltaInit(cfg.N)
+	}
+	return core.NewSuite(cfg, core.Options{
+		Symbolic: symbolic.Options{BDD: s.bddConfig(), NoTrace: true},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — the fault-degree matrix
+
+// Fig3 renders the 6×6 fault-degree matrix exactly as in the paper.
+func Fig3() string {
+	m := tta.DegreeMatrix()
+	var b strings.Builder
+	b.WriteString("Fig. 3 — fault degree of combined outputs (chA rows, chB columns)\n")
+	b.WriteString("              quiet cs(g) i(g) noise cs(b) i(b)\n")
+	names := []string{"quiet", "cs(g)", "i(g) ", "noise", "cs(b)", "i(b) "}
+	for a := range tta.NumFaultKinds {
+		fmt.Fprintf(&b, "  %s      ", names[a])
+		for c := range tta.NumFaultKinds {
+			fmt.Fprintf(&b, "%4d ", m[a][c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — verification time vs fault degree
+
+// Fig4Row is one cell row of the Fig. 4 table.
+type Fig4Row struct {
+	Degree     int
+	Safety     time.Duration
+	Liveness   time.Duration
+	Timeliness time.Duration
+}
+
+// Fig4 measures symbolic model-checking time for the safety, liveness, and
+// timeliness lemmas as the fault degree increases (the paper used n = 4
+// and δ_failure = 1, 3, 5; Quick scale uses n = 3 and a reduced power-on
+// window). A fresh suite per degree keeps the timings independent.
+func Fig4(scale Scale, n int, degrees []int) ([]Fig4Row, string, error) {
+	if len(degrees) == 0 {
+		degrees = []int{1, 3, 5}
+	}
+	rows := make([]Fig4Row, 0, len(degrees))
+	for _, d := range degrees {
+		cfg := startup.DefaultConfig(n).WithFaultyNode(n / 2)
+		cfg.FaultDegree = d
+		row := Fig4Row{Degree: d}
+		for _, l := range []core.Lemma{core.LemmaSafety, core.LemmaLiveness, core.LemmaTimeliness} {
+			s, err := scale.suite(cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			res, err := s.Check(l, core.EngineSymbolic)
+			if err != nil {
+				return nil, "", fmt.Errorf("fig4 degree %d %v: %w", d, l, err)
+			}
+			if !res.Holds() {
+				return nil, "", fmt.Errorf("fig4: lemma %v unexpectedly violated at degree %d", l, d)
+			}
+			switch l {
+			case core.LemmaSafety:
+				row.Safety = res.Stats.Duration
+			case core.LemmaLiveness:
+				row.Liveness = res.Stats.Duration
+			case core.LemmaTimeliness:
+				row.Timeliness = res.Stats.Duration
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — effect of fault degree on model-checking time (n=%d, %s scale)\n", n, scale)
+	b.WriteString("  δ_failure   safety      liveness    timeliness\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %4d        %-11v %-11v %-11v\n",
+			r.Degree, r.Safety.Round(time.Millisecond),
+			r.Liveness.Round(time.Millisecond), r.Timeliness.Round(time.Millisecond))
+	}
+	b.WriteString("  paper (s): degree 1: 44/196/77; degree 3: 166/892/615; degree 5: 251/1324/922\n")
+	return rows, b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — scenario counts and reachable states
+
+// Fig5Row is one row of the Fig. 5 table.
+type Fig5Row struct {
+	N         int
+	DeltaInit int
+	SSup      *big.Int
+	Degree    int
+	WSup      int
+	SFn       *big.Int
+	Reachable *big.Int // measured (nil when not computed)
+}
+
+// Fig5 evaluates the paper's closed-form scenario counts and, when measure
+// is true, the exact reachable-state count of the faulty-node model at the
+// given scale.
+func Fig5(scale Scale, ns []int, measure bool) ([]Fig5Row, string, error) {
+	if len(ns) == 0 {
+		ns = []int{3, 4, 5}
+	}
+	rows := make([]Fig5Row, 0, len(ns))
+	for _, n := range ns {
+		p := tta.Params{N: n}
+		di := p.DefaultDeltaInit()
+		row := Fig5Row{
+			N:         n,
+			DeltaInit: di,
+			SSup:      tta.ScenarioCountStartup(n, di),
+			Degree:    6,
+			WSup:      p.WorstCaseStartup(),
+			SFn:       tta.ScenarioCountFaultyNode(6, p.WorstCaseStartup()),
+		}
+		if measure {
+			s, err := scale.suite(startup.DefaultConfig(n).WithFaultyNode(n / 2))
+			if err != nil {
+				return nil, "", err
+			}
+			count, err := s.CountStates()
+			if err != nil {
+				return nil, "", fmt.Errorf("fig5 n=%d: %w", n, err)
+			}
+			row.Reachable = count
+		}
+		rows = append(rows, row)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5 — number of scenarios (%s scale)\n", scale)
+	b.WriteString("  n   δ_init  |S_sup|        δ_failure  w_sup  |S_f.n.|      reachable(measured)\n")
+	for _, r := range rows {
+		reach := "-"
+		if r.Reachable != nil {
+			reach = r.Reachable.String()
+		}
+		fmt.Fprintf(&b, "  %d   %4d    %-12s   %d        %3d    %-12s %s\n",
+			r.N, r.DeltaInit, sci(r.SSup), r.Degree, r.WSup, sci(r.SFn), reach)
+	}
+	b.WriteString("  paper: |S_sup| = 3.3e5 / 3.3e7 / 4.1e9; |S_f.n.| = 8e24 / 6e35 / 4.9e46\n")
+	b.WriteString("  paper reachable states (big-bang model): 1.08e9 / 5.09e11 / 2.59e14\n")
+	return rows, b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Design ablations: remove one protective mechanism at a time and report
+// which lemma the model checker breaks (the DESIGN.md findings, as a
+// reproducible table).
+
+// AblationRow records one ablation outcome.
+type AblationRow struct {
+	Mechanism string
+	Lemma     core.Lemma
+	Fault     string
+	Holds     bool
+	CPU       time.Duration
+}
+
+// Ablation verifies that each protective mechanism of the design is
+// load-bearing: the full design passes every probe, and every ablated
+// variant fails its characteristic lemma under its characteristic fault.
+func Ablation(scale Scale, n int) ([]AblationRow, string, error) {
+	type variant struct {
+		name   string
+		mut    func(*startup.Config)
+		lemma  core.Lemma
+		faulty string // "node" or "hub"
+	}
+	variants := []variant{
+		{"full design (safety)", func(*startup.Config) {}, core.LemmaSafety, "hub"},
+		{"full design (liveness)", func(*startup.Config) {}, core.LemmaLiveness, "node"},
+		{"no big-bang", func(c *startup.Config) { c.DisableBigBang = true }, core.LemmaSafety, "hub"},
+		{"no cs-priority", func(c *startup.Config) { c.DisableCSPriority = true }, core.LemmaLiveness, "node"},
+		// The cold-start window was needed during reconstruction (before
+		// interlink integration existed); the checker now shows it is
+		// redundant defense-in-depth at checkable scales.
+		{"no cs-window", func(c *startup.Config) { c.DisableCSWindow = true }, core.LemmaSafety, "hub"},
+		{"no interlinks", func(c *startup.Config) { c.DisableInterlinks = true }, core.LemmaHubsAgree, "node"},
+		{"no watchdog", func(c *startup.Config) {
+			c.DisableWatchdog = true
+			c.RestartableNodes = true
+		}, core.LemmaLiveness, "node"},
+	}
+
+	rows := make([]AblationRow, 0, len(variants))
+	for _, v := range variants {
+		cfg := startup.DefaultConfig(n)
+		if v.faulty == "hub" {
+			cfg = cfg.WithFaultyHub(0)
+		} else {
+			cfg = cfg.WithFaultyNode(n / 2)
+		}
+		v.mut(&cfg)
+		cfg.DeltaInit = 2 * n // a window wide enough for the known scenarios
+		s, err := scale.suite(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := s.Check(v.lemma, core.EngineSymbolic)
+		if err != nil {
+			return nil, "", fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		rows = append(rows, AblationRow{
+			Mechanism: v.name, Lemma: v.lemma, Fault: v.faulty,
+			Holds: res.Holds(), CPU: res.Stats.Duration,
+		})
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Design ablations (n=%d, %s scale)\n", n, scale)
+	b.WriteString("  variant                  lemma       fault  verdict       cpu\n")
+	for _, r := range rows {
+		verdict := "VIOLATED"
+		if r.Holds {
+			verdict = "holds"
+		}
+		fmt.Fprintf(&b, "  %-24s %-11s %-6s %-13s %v\n",
+			r.Mechanism, r.Lemma, r.Fault, verdict, r.CPU.Round(time.Millisecond))
+	}
+	b.WriteString("  every mechanism except the cs-window is load-bearing; the window became\n")
+	b.WriteString("  redundant defense-in-depth once interlink integration was added\n")
+	return rows, b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Restart problem (paper Section 2.1) — an extension experiment
+
+// RestartRow summarises the restart-problem verification.
+type RestartRow struct {
+	N         int
+	Lemma     string
+	Holds     bool
+	CPU       time.Duration
+	Reachable *big.Int
+}
+
+// Restart verifies the Section 2.1 restart problem: with one transient
+// reset allowed per correct node, the safety and liveness lemmas and the
+// CTL recovery property AG(AF all-active) must hold.
+func Restart(scale Scale, n int) ([]RestartRow, string, error) {
+	cfg := startup.DefaultConfig(n)
+	cfg.RestartableNodes = true
+	s, err := scale.suite(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	var rows []RestartRow
+	for _, l := range []core.Lemma{core.LemmaSafety, core.LemmaLiveness} {
+		res, err := s.Check(l, core.EngineSymbolic)
+		if err != nil {
+			return nil, "", fmt.Errorf("restart %v: %w", l, err)
+		}
+		rows = append(rows, RestartRow{
+			N: n, Lemma: l.String(), Holds: res.Holds(),
+			CPU: res.Stats.Duration, Reachable: res.Stats.Reachable,
+		})
+	}
+	eng, err := s.Symbolic()
+	if err != nil {
+		return nil, "", err
+	}
+	rec, err := eng.CheckCTL("recovery", s.Model.Recovery())
+	if err != nil {
+		return nil, "", err
+	}
+	rows = append(rows, RestartRow{
+		N: n, Lemma: "AG(AF all-active)", Holds: rec.Holds(),
+		CPU: rec.Stats.Duration, Reachable: rec.Stats.Reachable,
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Restart problem (Section 2.1 extension; one transient reset per node, n=%d, %s scale)\n", n, scale)
+	b.WriteString("  property           eval   cpu          reachable\n")
+	for _, r := range rows {
+		reach := "-"
+		if r.Reachable != nil {
+			reach = sci(r.Reachable)
+		}
+		fmt.Fprintf(&b, "  %-18s %-6v %-12v %s\n", r.Lemma, r.Holds, r.CPU.Round(time.Millisecond), reach)
+	}
+	b.WriteString("  requires the guardian silence watchdog; without it the model checker\n")
+	b.WriteString("  exhibits a liveness counterexample (see DESIGN.md finding 5)\n")
+	return rows, b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection campaign (the experimental counterpart of Section 5.4,
+// in the style of the paper's reference [1])
+
+// CampaignRow summarises one Monte-Carlo configuration.
+type CampaignRow struct {
+	N            int
+	FaultyNode   int
+	FaultyHub    int
+	Runs         int
+	Synchronized int
+	AgreementOK  int
+	WorstStartup int
+	PaperWSup    int
+}
+
+// Campaign runs Monte-Carlo fault injection on the concrete simulator for
+// a fault-free, a faulty-node, and a faulty-hub configuration, reporting
+// agreement and worst sampled startup time against the verified bound.
+func Campaign(n, runs int) ([]CampaignRow, string, error) {
+	configs := []sim.CampaignConfig{
+		{N: n, Runs: runs, Seed: 1, FaultyNode: -1, FaultyHub: -1},
+		{N: n, Runs: runs, Seed: 2, FaultyNode: n / 2, FaultDegree: 6, FaultyHub: -1},
+		{N: n, Runs: runs, Seed: 3, FaultyNode: -1, FaultyHub: 0},
+	}
+	rows := make([]CampaignRow, 0, len(configs))
+	for _, cc := range configs {
+		res, err := sim.RunCampaign(cc)
+		if err != nil {
+			return nil, "", err
+		}
+		rows = append(rows, CampaignRow{
+			N: n, FaultyNode: cc.FaultyNode, FaultyHub: cc.FaultyHub,
+			Runs: res.Runs, Synchronized: res.Synchronized,
+			AgreementOK: res.AgreementOK, WorstStartup: res.WorstStartup,
+			PaperWSup: (tta.Params{N: n}).WorstCaseStartup(),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault-injection campaign (simulator, n=%d, %d runs each)\n", n, runs)
+	b.WriteString("  fault          synced   agreement  worst-startup  paper w_sup\n")
+	for _, r := range rows {
+		fault := "none"
+		switch {
+		case r.FaultyNode >= 0:
+			fault = fmt.Sprintf("node %d (deg 6)", r.FaultyNode)
+		case r.FaultyHub >= 0:
+			fault = fmt.Sprintf("hub %d", r.FaultyHub)
+		}
+		fmt.Fprintf(&b, "  %-14s %6d   %9d  %6d         %d\n",
+			fault, r.Synchronized, r.AgreementOK, r.WorstStartup, r.PaperWSup)
+	}
+	b.WriteString("  sampling never observed an agreement violation nor exceeded the verified bound\n")
+	return rows, b.String(), nil
+}
+
+// sci renders a big integer in short scientific notation.
+func sci(v *big.Int) string {
+	s := v.String()
+	if len(s) <= 6 {
+		return s
+	}
+	return fmt.Sprintf("%c.%se%d", s[0], s[1:2], len(s)-1)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — exhaustive fault simulation
+
+// Fig6Row is one row of a Fig. 6 sub-table.
+type Fig6Row struct {
+	N         int
+	Eval      bool
+	CPU       time.Duration
+	BDDVars   int
+	Reachable *big.Int
+	WSup      int // only for the timeliness sub-table
+}
+
+// Fig6 runs one lemma of the exhaustive fault simulation (fault degree 6)
+// across cluster sizes: sub-tables (a) safety, (b) liveness, (c)
+// timeliness against a faulty node, and (d) safety-2 against a faulty hub.
+func Fig6(scale Scale, lemma core.Lemma, ns []int) ([]Fig6Row, string, error) {
+	if len(ns) == 0 {
+		ns = []int{3, 4}
+	}
+	rows := make([]Fig6Row, 0, len(ns))
+	for _, n := range ns {
+		cfg := startup.DefaultConfig(n)
+		if lemma == core.LemmaSafety2 {
+			cfg = cfg.WithFaultyHub(0)
+		} else {
+			cfg = cfg.WithFaultyNode(n / 2)
+		}
+		s, err := scale.suite(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := s.Check(lemma, core.EngineSymbolic)
+		if err != nil {
+			return nil, "", fmt.Errorf("fig6 %v n=%d: %w", lemma, n, err)
+		}
+		row := Fig6Row{
+			N:         n,
+			Eval:      res.Holds(),
+			CPU:       res.Stats.Duration,
+			BDDVars:   res.Stats.BDDVars,
+			Reachable: res.Stats.Reachable,
+		}
+		if lemma == core.LemmaTimeliness {
+			row.WSup = s.TimelinessBound()
+		}
+		rows = append(rows, row)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 — exhaustive fault simulation, lemma %v (δ_failure=6, feedback on, %s scale)\n", lemma, scale)
+	b.WriteString("  nodes  eval   cpu          BDD vars  reachable\n")
+	for _, r := range rows {
+		reach := "-"
+		if r.Reachable != nil {
+			reach = sci(r.Reachable)
+		}
+		fmt.Fprintf(&b, "  %d      %-6v %-12v %4d      %s\n",
+			r.N, r.Eval, r.CPU.Round(time.Millisecond), r.BDDVars, reach)
+	}
+	switch lemma {
+	case core.LemmaSafety:
+		b.WriteString("  paper (n=3/4/5): true, 62/260/921 s, 248/316/422 BDD vars\n")
+	case core.LemmaLiveness:
+		b.WriteString("  paper (n=3/4/5): true, 228/1243/41264 s, 250/318/424 BDD vars\n")
+	case core.LemmaTimeliness:
+		b.WriteString("  paper (n=3/4/5): true, 48/908/4481 s, 268/336/442 BDD vars, w_sup 16/23/30\n")
+	case core.LemmaSafety2:
+		b.WriteString("  paper (n=3/4/5): true, 57/83/4290 s, 272/348/462 BDD vars\n")
+	}
+	return rows, b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Section 3 — explicit vs symbolic on the original algorithm
+
+// BaselineRow is one row of the Section 3 comparison.
+type BaselineRow struct {
+	N           int
+	Reachable   int
+	Holds       bool
+	ExplicitCPU time.Duration
+	SymbolicCPU time.Duration
+}
+
+// Baseline reproduces the Section 3 comparison: check the safety property
+// of the ORIGINAL bus-topology startup algorithm with the explicit-state
+// and the symbolic engine (the paper: 30 s vs 0.38 s at n=4; 13 min vs
+// 0.62 s at n=5 on its explicit-state model of 41,322 states).
+func Baseline(ns []int, faulty bool) ([]BaselineRow, string, error) {
+	if len(ns) == 0 {
+		ns = []int{3, 4, 5}
+	}
+	rows := make([]BaselineRow, 0, len(ns))
+	for _, n := range ns {
+		cfg := original.DefaultConfig(n)
+		if faulty {
+			cfg.FaultyNode = 0
+			cfg.FaultDegree = 3
+		}
+		model, err := original.Build(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		prop := model.Safety()
+
+		// Full exploration on both engines, so the comparison is
+		// exhaustive-work vs exhaustive-work even when the property fails
+		// (the ORIGINAL algorithm predates the guardian protections, and
+		// with a faulty node its safety genuinely fails — the paper used
+		// this model for performance comparison only).
+		expBegin := time.Now()
+		g, err := explicit.Explore(model.Sys, explicit.Options{})
+		if err != nil {
+			return nil, "", fmt.Errorf("baseline explicit n=%d: %w", n, err)
+		}
+		expHolds := true
+		for _, st := range g.States {
+			if !gcl.Holds(prop.Pred, st) {
+				expHolds = false
+				break
+			}
+		}
+		expCPU := time.Since(expBegin)
+
+		eng, err := symbolic.New(model.Sys.Compile(), symbolic.Options{NoTrace: true})
+		if err != nil {
+			return nil, "", err
+		}
+		symRes, err := eng.CheckInvariant(prop)
+		if err != nil {
+			return nil, "", fmt.Errorf("baseline symbolic n=%d: %w", n, err)
+		}
+		if expHolds != symRes.Holds() {
+			return nil, "", fmt.Errorf("baseline: engines disagree at n=%d", n)
+		}
+		if symRes.Stats.Reachable.Cmp(big.NewInt(int64(g.NumStates()))) != 0 {
+			return nil, "", fmt.Errorf("baseline: state counts disagree at n=%d: %d vs %v",
+				n, g.NumStates(), symRes.Stats.Reachable)
+		}
+		rows = append(rows, BaselineRow{
+			N:           n,
+			Reachable:   g.NumStates(),
+			Holds:       expHolds,
+			ExplicitCPU: expCPU,
+			SymbolicCPU: symRes.Stats.Duration,
+		})
+	}
+
+	var b strings.Builder
+	b.WriteString("Section 3 — explicit vs symbolic on the original (bus) startup algorithm\n")
+	b.WriteString("  n   reachable  safety  explicit     symbolic\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %d   %8d   %-6v  %-12v %-12v\n",
+			r.N, r.Reachable, r.Holds,
+			r.ExplicitCPU.Round(time.Millisecond), r.SymbolicCPU.Round(time.Millisecond))
+	}
+	b.WriteString("  paper (their preliminary model): 41,322 states; explicit 30 s (n=4) / 13 min (n=5); symbolic 0.38 s / 0.62 s\n")
+	return rows, b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Section 5.1 — feedback ablation
+
+// FeedbackRow compares one configuration with feedback on and off.
+type FeedbackRow struct {
+	N         int
+	Feedback  bool
+	CPU       time.Duration
+	Reachable *big.Int
+	PeakNodes int
+}
+
+// FeedbackAblation measures the effect of the feedback state-space
+// reduction (Section 5.1) on the safety check with a degree-6 faulty node.
+func FeedbackAblation(scale Scale, n int) ([]FeedbackRow, string, error) {
+	rows := make([]FeedbackRow, 0, 2)
+	for _, fb := range []bool{true, false} {
+		cfg := startup.DefaultConfig(n).WithFaultyNode(n / 2)
+		cfg.Feedback = fb
+		s, err := scale.suite(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := s.Check(core.LemmaSafety, core.EngineSymbolic)
+		if err != nil {
+			return nil, "", fmt.Errorf("feedback n=%d fb=%v: %w", n, fb, err)
+		}
+		rows = append(rows, FeedbackRow{
+			N: n, Feedback: fb, CPU: res.Stats.Duration,
+			Reachable: res.Stats.Reachable, PeakNodes: res.Stats.PeakNodes,
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 5.1 — feedback ablation (safety, n=%d, δ_failure=6, %s scale)\n", n, scale)
+	b.WriteString("  feedback  cpu          reachable      peak BDD nodes\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8v  %-12v %-14s %d\n",
+			r.Feedback, r.CPU.Round(time.Millisecond), sci(r.Reachable), r.PeakNodes)
+	}
+	b.WriteString("  paper: one 6-node property: 30,352 s with feedback on; >51 h (unterminated) off\n")
+	return rows, b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Section 5.2 — big-bang exploration
+
+// BigBang runs the design-exploration experiment: disable the big-bang
+// mechanism and find the clique counterexample with both the symbolic and
+// the bounded engine, then confirm the fixed design verifies.
+func BigBang(scale Scale, n int) (*core.BigBangResult, *mc.Result, string, error) {
+	cfg := startup.DefaultConfig(n).WithFaultyHub(0)
+	cfg.DeltaInit = scale.deltaInit(n)
+	if cfg.DeltaInit == 0 {
+		cfg.DeltaInit = 2 * n // keep the BMC unrolling tractable at full scale
+	}
+	opts := core.Options{Symbolic: symbolic.Options{BDD: scale.bddConfig()}}
+	broken, err := core.BigBangExploration(cfg, opts)
+	if err != nil {
+		return nil, nil, "", err
+	}
+
+	fixed, err := core.NewSuite(cfg, opts) // big-bang enabled
+	if err != nil {
+		return nil, nil, "", err
+	}
+	fixedRes, err := fixed.Check(core.LemmaSafety2, core.EngineSymbolic)
+	if err != nil {
+		return nil, nil, "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 5.2 — big-bang design exploration (n=%d, faulty hub, %s scale)\n", n, scale)
+	fmt.Fprintf(&b, "  big-bang OFF, symbolic: %-10v cpu=%-10v trace=%d steps\n",
+		broken.Symbolic.Verdict, broken.Symbolic.Stats.Duration.Round(time.Millisecond), traceLen(broken.Symbolic))
+	fmt.Fprintf(&b, "  big-bang OFF, bounded:  %-10v cpu=%-10v depth=%d conflicts=%d\n",
+		broken.Bounded.Verdict, broken.Bounded.Stats.Duration.Round(time.Millisecond),
+		broken.Bounded.Stats.Iterations, broken.Bounded.Stats.Conflicts)
+	fmt.Fprintf(&b, "  big-bang ON,  symbolic: %-10v cpu=%v\n",
+		fixedRes.Verdict, fixedRes.Stats.Duration.Round(time.Millisecond))
+	b.WriteString("  paper: violation found; bounded depth 13 in 93 s vs symbolic 127 s (5 nodes)\n")
+	return broken, fixedRes, b.String(), nil
+}
+
+func traceLen(r *mc.Result) int {
+	if r.Trace == nil {
+		return 0
+	}
+	return r.Trace.Len()
+}
+
+// ---------------------------------------------------------------------------
+// Section 5.3 — worst-case startup times
+
+// WCSupRow is one row of the worst-case startup table.
+type WCSupRow struct {
+	N        int
+	Measured int
+	Paper    int
+	Probes   int
+	CPU      time.Duration
+}
+
+// WorstCase sweeps the timeliness bound for each cluster size, reproducing
+// the Section 5.3 exploration, with a degree-6 faulty node present (the
+// paper: the worst case occurs with a faulty node).
+func WorstCase(scale Scale, ns []int) ([]WCSupRow, string, error) {
+	if len(ns) == 0 {
+		ns = []int{3, 4}
+	}
+	rows := make([]WCSupRow, 0, len(ns))
+	for _, n := range ns {
+		worst := 0
+		probes := 0
+		var cpu time.Duration
+		// The worst case ranges over the faulty component's identity.
+		cfgs := []startup.Config{startup.DefaultConfig(n).WithFaultyHub(0)}
+		for id := range n {
+			cfgs = append(cfgs, startup.DefaultConfig(n).WithFaultyNode(id))
+		}
+		for _, cfg := range cfgs {
+			s, err := scale.suite(cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			begin := time.Now()
+			res, err := s.WorstCaseStartup(0)
+			if err != nil {
+				return nil, "", fmt.Errorf("wcsup n=%d: %w", n, err)
+			}
+			cpu += time.Since(begin)
+			probes += len(res.Probes)
+			if res.WSup > worst {
+				worst = res.WSup
+			}
+		}
+		rows = append(rows, WCSupRow{
+			N: n, Measured: worst, Paper: (tta.Params{N: n}).WorstCaseStartup(),
+			Probes: probes, CPU: cpu,
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 5.3 — worst-case startup time w_sup (%s scale)\n", scale)
+	b.WriteString("  n   measured  paper(7n-5)  probes  cpu\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %d   %4d      %4d         %3d     %v\n",
+			r.N, r.Measured, r.Paper, r.Probes, r.CPU.Round(time.Millisecond))
+	}
+	b.WriteString("  shape: linear in n; our discretisation starts faster by a constant offset\n")
+	return rows, b.String(), nil
+}

@@ -1,0 +1,62 @@
+package gcl
+
+import "testing"
+
+// benchSystem builds a synthetic multi-module system: a ring of counters
+// with cross-module primed reads and a choice variable, roughly the shape
+// of one TTA channel.
+func benchSystem(modules, card int) *System {
+	sys := NewSystem("bench")
+	typ := IntType("c", card)
+	var prev *Var
+	for m := range modules {
+		mod := sys.Module(names[m%len(names)] + string(rune('0'+m)))
+		v := mod.Var("v", typ, InitConst(0))
+		ch := mod.Choice("ch", IntType("pick", 3))
+		guard := Lt(X(v), C(typ, card-1))
+		if prev != nil {
+			mod.Cmd("follow", guard,
+				Set(v, Ite(Eq(X(ch), C(IntType("pick", 3), 0)), XN(prev), AddSat(X(v), 1))))
+		} else {
+			mod.Cmd("count", guard, Set(v, AddSat(X(v), 1)))
+		}
+		mod.Fallback("wrap", SetC(v, 0))
+		prev = v
+	}
+	sys.MustFinalize()
+	return sys
+}
+
+var names = []string{"alpha", "beta", "gamma", "delta"}
+
+// BenchmarkFinalize measures system validation and ordering.
+func BenchmarkFinalize(b *testing.B) {
+	for b.Loop() {
+		_ = benchSystem(8, 16)
+	}
+}
+
+// BenchmarkCompile measures boolean compilation to circuits.
+func BenchmarkCompile(b *testing.B) {
+	sys := benchSystem(8, 16)
+	b.ResetTimer()
+	for b.Loop() {
+		_ = sys.Compile()
+	}
+}
+
+// BenchmarkSuccessors measures concrete successor enumeration.
+func BenchmarkSuccessors(b *testing.B) {
+	sys := benchSystem(6, 16)
+	st := NewStepper(sys)
+	var init State
+	st.InitStates(func(s State) bool { init = s.Clone(); return false })
+	b.ResetTimer()
+	for b.Loop() {
+		count := 0
+		st.Successors(init, func(State) bool { count++; return true })
+		if count == 0 {
+			b.Fatal("no successors")
+		}
+	}
+}

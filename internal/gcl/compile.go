@@ -1,0 +1,245 @@
+package gcl
+
+import (
+	"fmt"
+
+	"ttastartup/internal/circuit"
+)
+
+// BitRole classifies a circuit primary input produced by compilation.
+type BitRole int8
+
+// Bit roles.
+const (
+	RoleCur    BitRole = iota + 1 // current-state bit
+	RoleNext                      // next-state bit
+	RoleChoice                    // per-step nondeterministic input bit
+)
+
+// BitInfo describes one circuit primary input: which variable and bit
+// position it encodes, and in which role.
+type BitInfo struct {
+	Var  *Var
+	Bit  int // bit position, 0 = LSB
+	Role BitRole
+}
+
+// ModuleRel is the compiled transition relation of a single module:
+// rel(cur, choice, next_m) constrains exactly the module's own state
+// variables. The conjunction over all modules is the global transition
+// relation.
+type ModuleRel struct {
+	Module *Module
+	Rel    circuit.Lit
+}
+
+// Compiled is the boolean compilation of a system: a circuit whose primary
+// inputs are the current-state, next-state, and choice bits of every
+// variable. Current and next bits of each state variable are interleaved in
+// input-ID order (cur bit immediately before its next bit, most significant
+// bits first), which package bdd exploits for order-preserving renaming.
+type Compiled struct {
+	Sys *System
+	B   *circuit.Builder
+
+	Bits []BitInfo // per circuit input ID
+
+	cur    map[*Var]circuit.BV // LSB-first
+	next   map[*Var]circuit.BV
+	choice map[*Var]circuit.BV
+
+	// Init is the initial-state predicate over current-state bits.
+	Init circuit.Lit
+	// Rels holds one relation per module, in evaluation order.
+	Rels []ModuleRel
+}
+
+// compiler is the Env-analogue used by Expr.compile.
+type compiler struct {
+	b *circuit.Builder
+	c *Compiled
+}
+
+func (cc *compiler) curBV(v *Var) circuit.BV    { return cc.c.cur[v] }
+func (cc *compiler) nextBV(v *Var) circuit.BV   { return cc.c.next[v] }
+func (cc *compiler) choiceBV(v *Var) circuit.BV { return cc.c.choice[v] }
+
+// Compile lowers the system to its boolean form. The system must be
+// finalized.
+func (s *System) Compile() *Compiled {
+	if !s.finalized {
+		panic("gcl: Compile before Finalize")
+	}
+	b := circuit.New()
+	c := &Compiled{
+		Sys:    s,
+		B:      b,
+		cur:    make(map[*Var]circuit.BV, len(s.vars)),
+		next:   make(map[*Var]circuit.BV, len(s.vars)),
+		choice: make(map[*Var]circuit.BV, len(s.vars)),
+	}
+
+	// Allocate inputs. MSB-first within a variable; cur/next interleaved.
+	for _, v := range s.vars {
+		w := v.Type.Bits()
+		if v.Kind == KindChoice {
+			bv := make(circuit.BV, w)
+			for bit := w - 1; bit >= 0; bit-- {
+				bv[bit] = b.Input()
+				c.Bits = append(c.Bits, BitInfo{Var: v, Bit: bit, Role: RoleChoice})
+			}
+			c.choice[v] = bv
+			continue
+		}
+		cbv := make(circuit.BV, w)
+		nbv := make(circuit.BV, w)
+		for bit := w - 1; bit >= 0; bit-- {
+			cbv[bit] = b.Input()
+			c.Bits = append(c.Bits, BitInfo{Var: v, Bit: bit, Role: RoleCur})
+			nbv[bit] = b.Input()
+			c.Bits = append(c.Bits, BitInfo{Var: v, Bit: bit, Role: RoleNext})
+		}
+		c.cur[v] = cbv
+		c.next[v] = nbv
+	}
+
+	cc := &compiler{b: b, c: c}
+
+	// Initial-state predicate.
+	initParts := make([]circuit.Lit, 0, len(s.stateVars))
+	for _, v := range s.stateVars {
+		bv := c.cur[v]
+		if v.init == nil {
+			initParts = append(initParts, b.InRangeBV(bv, v.Type.Card))
+			continue
+		}
+		vals := make([]circuit.Lit, len(v.init))
+		for i, val := range v.init {
+			vals[i] = b.EqBV(bv, circuit.ConstBV(val, len(bv)))
+		}
+		initParts = append(initParts, b.OrAll(vals))
+	}
+	c.Init = b.AndAll(initParts)
+
+	// Per-module relations, in evaluation order.
+	for _, m := range s.order {
+		c.Rels = append(c.Rels, ModuleRel{Module: m, Rel: c.compileModule(cc, m)})
+	}
+	return c
+}
+
+func (c *Compiled) compileModule(cc *compiler, m *Module) circuit.Lit {
+	b := cc.b
+	guards := make([]circuit.Lit, 0, len(m.cmds))
+	branches := make([]circuit.Lit, 0, len(m.cmds)+1)
+	var fallback *Command
+	for _, cmd := range m.cmds {
+		if cmd.Fallback {
+			fallback = cmd
+			continue
+		}
+		g := boolLit(cmd.Guard.compile(cc))
+		guards = append(guards, g)
+		branches = append(branches, b.And(g, c.compileUpdates(cc, m, cmd)))
+	}
+	if fallback != nil {
+		none := b.OrAll(guards).Not()
+		branches = append(branches, b.And(none, c.compileUpdates(cc, m, fallback)))
+	}
+	rel := b.OrAll(branches)
+
+	// Domain constraints for choice variables with non-power-of-two
+	// cardinality (state variables stay in range by construction).
+	for _, v := range m.vars {
+		if v.Kind == KindChoice {
+			rel = b.And(rel, b.InRangeBV(c.choice[v], v.Type.Card))
+		}
+	}
+	return rel
+}
+
+func (c *Compiled) compileUpdates(cc *compiler, m *Module, cmd *Command) circuit.Lit {
+	b := cc.b
+	assigned := make(map[*Var]bool, len(cmd.Updates))
+	parts := make([]circuit.Lit, 0, len(m.vars))
+	for _, u := range cmd.Updates {
+		assigned[u.Var] = true
+		rhs := u.Expr.compile(cc)
+		lhs := c.next[u.Var]
+		lhs, rhs = padPair(lhs, rhs)
+		parts = append(parts, b.EqBV(lhs, rhs))
+	}
+	for _, v := range m.vars {
+		if v.Kind == KindState && !assigned[v] {
+			parts = append(parts, b.EqBV(c.next[v], c.cur[v]))
+		}
+	}
+	return b.AndAll(parts)
+}
+
+// CompileExpr lowers a state predicate (boolean expression over current
+// variables) to a circuit literal.
+func (c *Compiled) CompileExpr(e Expr) circuit.Lit {
+	if e.Type() != boolType {
+		panic("gcl: CompileExpr requires a boolean expression")
+	}
+	return boolLit(e.compile(&compiler{b: c.B, c: c}))
+}
+
+// CurBV returns the current-state bit vector of v (LSB first).
+func (c *Compiled) CurBV(v *Var) circuit.BV { return c.cur[v] }
+
+// NextBV returns the next-state bit vector of v (LSB first).
+func (c *Compiled) NextBV(v *Var) circuit.BV { return c.next[v] }
+
+// ChoiceBV returns the choice bit vector of v (LSB first).
+func (c *Compiled) ChoiceBV(v *Var) circuit.BV { return c.choice[v] }
+
+// NumInputs returns the number of circuit primary inputs.
+func (c *Compiled) NumInputs() int { return len(c.Bits) }
+
+// DecodeState reconstructs a concrete state from an assignment to the
+// circuit inputs, reading bits in the given role (RoleCur or RoleNext).
+func (c *Compiled) DecodeState(assign []bool, role BitRole) State {
+	st := make(State, len(c.Sys.vars))
+	for id, info := range c.Bits {
+		if info.Role != role || id >= len(assign) || !assign[id] {
+			continue
+		}
+		st[info.Var.id] |= 1 << info.Bit
+	}
+	return st
+}
+
+// EncodeState produces the input assignment bits of a concrete state in the
+// given role; other inputs are left false.
+func (c *Compiled) EncodeState(st State, role BitRole, assign []bool) {
+	for id, info := range c.Bits {
+		if info.Role != role || info.Var.Kind == KindChoice {
+			continue
+		}
+		assign[id] = st[info.Var.id]&(1<<info.Bit) != 0
+	}
+}
+
+// EvalLit concretely evaluates a compiled literal under a full input
+// assignment (diagnostic helper).
+func (c *Compiled) EvalLit(l circuit.Lit, assign []bool) bool {
+	return c.B.Eval(l, assign)
+}
+
+// String summarizes the compilation for logs.
+func (c *Compiled) String() string {
+	stateBits := 0
+	choiceBits := 0
+	for _, info := range c.Bits {
+		switch info.Role {
+		case RoleCur:
+			stateBits++
+		case RoleChoice:
+			choiceBits++
+		}
+	}
+	return fmt.Sprintf("compiled %s: %d state bits, %d choice bits, %d circuit nodes",
+		c.Sys.Name, stateBits, choiceBits, c.B.NumNodes())
+}

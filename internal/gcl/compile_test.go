@@ -1,0 +1,264 @@
+package gcl
+
+import (
+	"sort"
+	"testing"
+)
+
+// bruteForceRelation enumerates every input assignment of the compiled
+// circuit and returns, for each in-range current state, the sorted set of
+// successor keys admitted by the conjunction of module relations. Only
+// usable for tiny systems.
+func bruteForceRelation(t *testing.T, sys *System, c *Compiled) map[string][]string {
+	t.Helper()
+	nin := c.NumInputs()
+	if nin > 22 {
+		t.Fatalf("system too large for brute force: %d inputs", nin)
+	}
+	out := make(map[string]map[string]bool)
+	assign := make([]bool, nin)
+	for mask := 0; mask < 1<<nin; mask++ {
+		for i := range nin {
+			assign[i] = mask&(1<<i) != 0
+		}
+		ok := true
+		for _, mr := range c.Rels {
+			if !c.B.Eval(mr.Rel, assign) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		cur := c.DecodeState(assign, RoleCur)
+		next := c.DecodeState(assign, RoleNext)
+		if !inRange(sys, cur) {
+			continue
+		}
+		if !inRange(sys, next) {
+			t.Fatalf("relation admits out-of-range successor %v", next)
+		}
+		ck := Key(cur, sys.StateVars())
+		if out[ck] == nil {
+			out[ck] = make(map[string]bool)
+		}
+		out[ck][Key(next, sys.StateVars())] = true
+	}
+	res := make(map[string][]string, len(out))
+	for k, set := range out {
+		keys := make([]string, 0, len(set))
+		for nk := range set {
+			keys = append(keys, nk)
+		}
+		sort.Strings(keys)
+		res[k] = keys
+	}
+	return res
+}
+
+func inRange(sys *System, st State) bool {
+	for _, v := range sys.StateVars() {
+		if st.Get(v) >= v.Type.Card {
+			return false
+		}
+	}
+	return true
+}
+
+// eachState enumerates all in-range states of a tiny system.
+func eachState(sys *System, f func(State)) {
+	vs := sys.StateVars()
+	st := make(State, len(sys.Vars()))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vs) {
+			f(st)
+			return
+		}
+		for val := 0; val < vs[i].Type.Card; val++ {
+			st.Set(vs[i], val)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// checkCompileMatchesStepper is the central oracle: for every state of a
+// tiny system, the successor set computed by brute-forcing the compiled
+// boolean relation must equal the successor set enumerated by the concrete
+// stepper.
+func checkCompileMatchesStepper(t *testing.T, sys *System) {
+	t.Helper()
+	c := sys.Compile()
+	rel := bruteForceRelation(t, sys, c)
+	st := NewStepper(sys)
+	eachState(sys, func(cur State) {
+		keys, _ := collectSuccessors(st, cur)
+		ck := Key(cur, sys.StateVars())
+		got := rel[ck]
+		if len(keys) != len(got) {
+			t.Fatalf("state %s: stepper has %d successors, circuit %d",
+				sys.FormatState(cur), len(keys), len(got))
+		}
+		for i := range keys {
+			if keys[i] != got[i] {
+				t.Fatalf("state %s: successor sets differ", sys.FormatState(cur))
+			}
+		}
+	})
+}
+
+func TestCompileMatchesStepperCounter(t *testing.T) {
+	sys := NewSystem("counter")
+	m := sys.Module("m")
+	typ := IntType("c", 5)
+	v := m.Var("v", typ, InitConst(0))
+	m.Cmd("inc", Lt(X(v), C(typ, 4)), Set(v, AddSat(X(v), 1)))
+	m.Cmd("wrap", Eq(X(v), C(typ, 4)), SetC(v, 0))
+	sys.MustFinalize()
+	checkCompileMatchesStepper(t, sys)
+}
+
+func TestCompileMatchesStepperNondetChoice(t *testing.T) {
+	sys := NewSystem("ndchoice")
+	m := sys.Module("m")
+	typ := IntType("c", 6)
+	pick := IntType("pick", 3)
+	v := m.Var("v", typ, InitConst(0))
+	ch := m.Choice("ch", pick)
+	m.Cmd("set", True(), Set(v, Ite(Eq(X(ch), C(pick, 2)), C(typ, 5), X(ch))))
+	sys.MustFinalize()
+	checkCompileMatchesStepper(t, sys)
+}
+
+func TestCompileMatchesStepperFallback(t *testing.T) {
+	sys := NewSystem("fallback")
+	m := sys.Module("m")
+	typ := IntType("c", 6)
+	v := m.Var("v", typ, InitConst(0))
+	flag := m.Bool("flag", InitConst(0))
+	m.Cmd("inc", Lt(X(v), C(typ, 3)), Set(v, AddSat(X(v), 1)))
+	m.Cmd("alt", Eq(X(v), C(typ, 1)), Set(v, C(typ, 4)))
+	m.Fallback("diag", SetC(flag, 1))
+	sys.MustFinalize()
+	checkCompileMatchesStepper(t, sys)
+}
+
+func TestCompileMatchesStepperCrossModule(t *testing.T) {
+	sys := NewSystem("cross")
+	typ := IntType("c", 4)
+	prod := sys.Module("p")
+	cons := sys.Module("q")
+	p := prod.Var("x", typ, InitConst(0))
+	q := cons.Var("y", typ, InitConst(0))
+	prod.Cmd("inc", True(), Set(p, AddMod(X(p), 1)))
+	prod.Cmd("hold", Lt(X(p), C(typ, 2)))
+	cons.Cmd("track", True(), Set(q, XN(p)))
+	sys.MustFinalize()
+	checkCompileMatchesStepper(t, sys)
+}
+
+func TestCompileMatchesStepperGuardOnPrimed(t *testing.T) {
+	// A consumer whose enabledness depends on the producer's primed value —
+	// exercises guards over next-state inputs in the relation.
+	sys := NewSystem("gp")
+	typ := IntType("c", 4)
+	prod := sys.Module("p")
+	cons := sys.Module("q")
+	p := prod.Var("x", typ, InitConst(0))
+	q := cons.Var("y", typ, InitConst(0))
+	prod.Cmd("inc", True(), Set(p, AddMod(X(p), 1)))
+	prod.Cmd("reset", True(), SetC(p, 0))
+	cons.Cmd("sees-even", Eq(XN(p), C(typ, 0)), Set(q, C(typ, 1)))
+	cons.Cmd("sees-odd", Ne(XN(p), C(typ, 0)), Set(q, C(typ, 2)))
+	sys.MustFinalize()
+	checkCompileMatchesStepper(t, sys)
+}
+
+func TestCompiledInitPredicate(t *testing.T) {
+	sys := NewSystem("init")
+	m := sys.Module("m")
+	typ := IntType("c", 5)
+	a := m.Var("a", typ, InitSet(1, 3))
+	b := m.Var("b", IntType("d", 3), InitAny())
+	m.Cmd("t", True())
+	sys.MustFinalize()
+	c := sys.Compile()
+
+	// All initial states from the stepper satisfy Init; count matches.
+	st := NewStepper(sys)
+	want := make(map[string]bool)
+	st.InitStates(func(s State) bool {
+		want[Key(s, sys.StateVars())] = true
+		return true
+	})
+
+	got := make(map[string]bool)
+	nin := c.NumInputs()
+	assign := make([]bool, nin)
+	for mask := 0; mask < 1<<nin; mask++ {
+		for i := range nin {
+			assign[i] = mask&(1<<i) != 0
+		}
+		if !c.B.Eval(c.Init, assign) {
+			continue
+		}
+		s := c.DecodeState(assign, RoleCur)
+		if !inRange(sys, s) {
+			t.Fatalf("Init admits out-of-range state")
+		}
+		if s.Get(a) != 1 && s.Get(a) != 3 {
+			t.Fatalf("Init admits a=%d", s.Get(a))
+		}
+		if s.Get(b) >= 3 {
+			t.Fatalf("Init admits b=%d", s.Get(b))
+		}
+		got[Key(s, sys.StateVars())] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("init sets differ: circuit %d, stepper %d", len(got), len(want))
+	}
+}
+
+func TestBitLayoutInterleaved(t *testing.T) {
+	sys := NewSystem("layout")
+	m := sys.Module("m")
+	typ := IntType("c", 5)
+	v := m.Var("v", typ, InitConst(0))
+	_ = v
+	m.Cmd("t", True())
+	sys.MustFinalize()
+	c := sys.Compile()
+	// Expect cur/next interleaved, MSB first: cur[2],next[2],cur[1],next[1],cur[0],next[0].
+	wantBits := []int{2, 2, 1, 1, 0, 0}
+	wantRoles := []BitRole{RoleCur, RoleNext, RoleCur, RoleNext, RoleCur, RoleNext}
+	if len(c.Bits) != 6 {
+		t.Fatalf("got %d inputs", len(c.Bits))
+	}
+	for i, info := range c.Bits {
+		if info.Bit != wantBits[i] || info.Role != wantRoles[i] {
+			t.Errorf("input %d: bit=%d role=%d, want bit=%d role=%d",
+				i, info.Bit, info.Role, wantBits[i], wantRoles[i])
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	sys := NewSystem("rt")
+	m := sys.Module("m")
+	a := m.Var("a", IntType("c", 13), InitConst(0))
+	b := m.Var("b", IntType("d", 7), InitConst(0))
+	m.Cmd("t", True())
+	sys.MustFinalize()
+	c := sys.Compile()
+	st := make(State, len(sys.Vars()))
+	st.Set(a, 11)
+	st.Set(b, 6)
+	assign := make([]bool, c.NumInputs())
+	c.EncodeState(st, RoleCur, assign)
+	got := c.DecodeState(assign, RoleCur)
+	if got.Get(a) != 11 || got.Get(b) != 6 {
+		t.Fatalf("round trip: a=%d b=%d", got.Get(a), got.Get(b))
+	}
+}

@@ -1,0 +1,235 @@
+package gcl
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// State is a concrete assignment to every variable of a finalized system,
+// indexed by Var.ID. Entries for choice variables are unused between steps.
+type State []uint16
+
+// Clone returns a copy of the state.
+func (st State) Clone() State {
+	out := make(State, len(st))
+	copy(out, st)
+	return out
+}
+
+// Key returns a hashable identity for the state restricted to the given
+// variables (typically the system's state variables).
+func Key(st State, vs []*Var) string {
+	buf := make([]byte, 0, 2*len(vs))
+	for _, v := range vs {
+		x := st[v.id]
+		buf = append(buf, byte(x), byte(x>>8))
+	}
+	return unsafe.String(unsafe.SliceData(buf), len(buf))
+}
+
+// Get returns the value of v in st.
+func (st State) Get(v *Var) int { return int(st[v.id]) }
+
+// Set assigns the value of v in st.
+func (st State) Set(v *Var, val int) { st[v.id] = uint16(val) }
+
+// stepEnv implements Env during successor enumeration.
+type stepEnv struct {
+	cur     State
+	next    State
+	nextSet []bool
+	choice  []uint16
+	chSet   []bool
+}
+
+func (e *stepEnv) Cur(v *Var) int { return int(e.cur[v.id]) }
+
+func (e *stepEnv) Next(v *Var) int {
+	if !e.nextSet[v.id] {
+		panic(fmt.Sprintf("gcl: primed read of %s before its module evaluated", v))
+	}
+	return int(e.next[v.id])
+}
+
+func (e *stepEnv) Choice(v *Var) int {
+	if !e.chSet[v.id] {
+		panic(fmt.Sprintf("gcl: read of choice %s outside its enumeration", v))
+	}
+	return int(e.choice[v.id])
+}
+
+// constEnv evaluates expressions against a single complete state (no primed
+// or choice reads). It is used for property evaluation.
+type constEnv struct{ st State }
+
+func (e constEnv) Cur(v *Var) int { return int(e.st[v.id]) }
+func (e constEnv) Next(v *Var) int {
+	panic(fmt.Sprintf("gcl: primed read of %s in state predicate", v))
+}
+func (e constEnv) Choice(v *Var) int {
+	panic(fmt.Sprintf("gcl: choice read of %s in state predicate", v))
+}
+
+// EvalIn evaluates a state predicate (an expression without primed or
+// choice reads) in the given state.
+func EvalIn(e Expr, st State) int { return e.Eval(constEnv{st: st}) }
+
+// Holds reports whether the boolean predicate e holds in st.
+func Holds(e Expr, st State) bool { return EvalIn(e, st) != 0 }
+
+// Stepper enumerates initial states and successors of a finalized system.
+// It is not safe for concurrent use.
+type Stepper struct {
+	sys *System
+	env stepEnv
+}
+
+// NewStepper returns a stepper for the system, which must be finalized.
+func NewStepper(s *System) *Stepper {
+	if !s.finalized {
+		panic("gcl: NewStepper before Finalize")
+	}
+	n := len(s.vars)
+	return &Stepper{
+		sys: s,
+		env: stepEnv{
+			next:    make(State, n),
+			nextSet: make([]bool, n),
+			choice:  make([]uint16, n),
+			chSet:   make([]bool, n),
+		},
+	}
+}
+
+// System returns the underlying system.
+func (st *Stepper) System() *System { return st.sys }
+
+// InitStates enumerates the initial states (the product of all per-variable
+// initial sets). Enumeration stops early if yield returns false.
+func (st *Stepper) InitStates(yield func(State) bool) {
+	vs := st.sys.stateVars
+	cur := make(State, len(st.sys.vars))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(vs) {
+			return yield(cur)
+		}
+		v := vs[i]
+		if v.init == nil {
+			for val := 0; val < v.Type.Card; val++ {
+				cur[v.id] = uint16(val)
+				if !rec(i + 1) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, val := range v.init {
+			cur[v.id] = uint16(val)
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// Successors enumerates the successor states of cur, calling yield for each
+// (duplicates possible; callers dedup). It returns true if the state is a
+// deadlock (no combination of enabled commands exists). Enumeration stops
+// early if yield returns false; early-stopped states are not reported as
+// deadlocks.
+func (st *Stepper) Successors(cur State, yield func(State) bool) (deadlock bool) {
+	e := &st.env
+	e.cur = cur
+	produced, halted := st.stepModule(0, e, func() bool { return yield(e.next) })
+	return !produced && !halted
+}
+
+// stepModule recursively picks a firing command (and choice values) for each
+// module in evaluation order. It reports whether at least one complete
+// combination was produced and whether the continuation requested a halt.
+func (st *Stepper) stepModule(i int, e *stepEnv, k func() bool) (produced, halted bool) {
+	if i == len(st.sys.order) {
+		return true, !k()
+	}
+	m := st.sys.order[i]
+
+	fire := func(c *Command) {
+		// Apply updates, then frame unassigned state vars, then recurse.
+		for _, u := range c.Updates {
+			val := u.Expr.Eval(e)
+			if val < 0 || val >= u.Var.Type.Card {
+				panic(fmt.Sprintf("gcl: update %s.%s/%s yields %d outside domain %s", m.Name, c.Name, u.Var, val, u.Var.Type.Name))
+			}
+			e.next[u.Var.id] = uint16(val)
+			e.nextSet[u.Var.id] = true
+		}
+		for _, v := range m.vars {
+			if v.Kind == KindState && !e.nextSet[v.id] {
+				e.next[v.id] = e.cur[v.id]
+				e.nextSet[v.id] = true
+			}
+		}
+		p, h := st.stepModule(i+1, e, k)
+		for _, v := range m.vars {
+			if v.Kind == KindState {
+				e.nextSet[v.id] = false
+			}
+		}
+		produced = produced || p
+		halted = halted || h
+	}
+
+	anyEnabled := false
+	for _, c := range m.cmds {
+		if c.Fallback {
+			continue
+		}
+		st.eachChoice(c.choiceVars, 0, e, func() bool {
+			if c.Guard.Eval(e) == 0 {
+				return !halted
+			}
+			anyEnabled = true
+			fire(c)
+			return !halted
+		})
+		if halted {
+			return produced, true
+		}
+	}
+	if !anyEnabled {
+		for _, c := range m.cmds {
+			if !c.Fallback {
+				continue
+			}
+			st.eachChoice(c.choiceVars, 0, e, func() bool {
+				fire(c)
+				return !halted
+			})
+			if halted {
+				return produced, true
+			}
+		}
+	}
+	return produced, false
+}
+
+// eachChoice enumerates assignments to the command's choice variables,
+// stopping early when k returns false.
+func (st *Stepper) eachChoice(vs []*Var, i int, e *stepEnv, k func() bool) bool {
+	if i == len(vs) {
+		return k()
+	}
+	v := vs[i]
+	e.chSet[v.id] = true
+	defer func() { e.chSet[v.id] = false }()
+	for val := 0; val < v.Type.Card; val++ {
+		e.choice[v.id] = uint16(val)
+		if !st.eachChoice(vs, i+1, e, k) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,37 @@
+package gcl_test
+
+import (
+	"fmt"
+
+	"ttastartup/internal/gcl"
+)
+
+// Example builds a two-module system — a producer counting modulo 3 and a
+// consumer mirroring it through a primed read — and enumerates the first
+// transition.
+func Example() {
+	sys := gcl.NewSystem("demo")
+	counter := gcl.IntType("counter", 3)
+
+	producer := sys.Module("producer")
+	p := producer.Var("v", counter, gcl.InitConst(0))
+	producer.Cmd("tick", gcl.True(), gcl.Set(p, gcl.AddMod(gcl.X(p), 1)))
+
+	consumer := sys.Module("consumer")
+	q := consumer.Var("mirror", counter, gcl.InitConst(0))
+	consumer.Cmd("copy", gcl.True(), gcl.Set(q, gcl.XN(p)))
+
+	sys.MustFinalize()
+
+	stepper := gcl.NewStepper(sys)
+	var state gcl.State
+	stepper.InitStates(func(s gcl.State) bool { state = s.Clone(); return false })
+	fmt.Println("initial:", sys.FormatState(state))
+	stepper.Successors(state, func(next gcl.State) bool {
+		fmt.Println("next:   ", sys.FormatState(next))
+		return false
+	})
+	// Output:
+	// initial: producer.v=0 consumer.mirror=0
+	// next:    producer.v=1 consumer.mirror=1
+}

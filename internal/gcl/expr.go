@@ -1,0 +1,476 @@
+package gcl
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"ttastartup/internal/circuit"
+)
+
+// Env supplies variable values during concrete expression evaluation. Cur
+// reads a latched state variable, Next reads the primed (post-step) value of
+// a variable computed by an earlier module in the evaluation order, and
+// Choice reads the step's value for a choice variable.
+type Env interface {
+	Cur(v *Var) int
+	Next(v *Var) int
+	Choice(v *Var) int
+}
+
+// Expr is a side-effect-free expression over the variables of a system.
+// Expressions evaluate concretely (Eval) and compile to bit vectors over a
+// boolean circuit (used by the symbolic and bounded backends).
+type Expr interface {
+	Type() *Type
+	Eval(env Env) int
+	compile(c *compiler) circuit.BV
+	vars(f func(v *Var, primed bool))
+	String() string
+}
+
+// ---------------------------------------------------------------------------
+// Constants
+
+type constExpr struct {
+	t *Type
+	v int
+}
+
+// C returns a typed constant.
+func C(t *Type, v int) Expr {
+	if v < 0 || v >= t.Card {
+		panic(fmt.Sprintf("gcl: constant %d out of range for type %s (card %d)", v, t.Name, t.Card))
+	}
+	return constExpr{t: t, v: v}
+}
+
+// B returns a boolean constant.
+func B(v bool) Expr {
+	if v {
+		return constExpr{t: boolType, v: 1}
+	}
+	return constExpr{t: boolType, v: 0}
+}
+
+// True and False are the boolean constants.
+var (
+	exprTrue  = B(true)
+	exprFalse = B(false)
+)
+
+// True returns the boolean constant true.
+func True() Expr { return exprTrue }
+
+// False returns the boolean constant false.
+func False() Expr { return exprFalse }
+
+func (e constExpr) Type() *Type           { return e.t }
+func (e constExpr) Eval(Env) int          { return e.v }
+func (e constExpr) vars(func(*Var, bool)) {}
+func (e constExpr) compile(c *compiler) circuit.BV {
+	return circuit.ConstBV(e.v, e.t.Bits())
+}
+func (e constExpr) String() string { return e.t.ValueName(e.v) }
+
+// ---------------------------------------------------------------------------
+// Variable references
+
+type varExpr struct {
+	v      *Var
+	primed bool
+}
+
+// X reads the current (latched) value of a variable. For choice variables it
+// reads the step's chosen value.
+func X(v *Var) Expr { return varExpr{v: v} }
+
+// XN reads the primed (post-step) value of a state variable computed by an
+// earlier module in the evaluation order.
+func XN(v *Var) Expr {
+	if v.Kind != KindState {
+		panic("gcl: XN applies only to state variables")
+	}
+	return varExpr{v: v, primed: true}
+}
+
+func (e varExpr) Type() *Type { return e.v.Type }
+
+func (e varExpr) Eval(env Env) int {
+	switch {
+	case e.v.Kind == KindChoice:
+		return env.Choice(e.v)
+	case e.primed:
+		return env.Next(e.v)
+	default:
+		return env.Cur(e.v)
+	}
+}
+
+func (e varExpr) vars(f func(*Var, bool)) { f(e.v, e.primed) }
+
+func (e varExpr) compile(c *compiler) circuit.BV {
+	switch {
+	case e.v.Kind == KindChoice:
+		return c.choiceBV(e.v)
+	case e.primed:
+		return c.nextBV(e.v)
+	default:
+		return c.curBV(e.v)
+	}
+}
+
+func (e varExpr) String() string {
+	if e.primed {
+		return e.v.String() + "'"
+	}
+	return e.v.String()
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons
+
+type cmpOp int
+
+const (
+	cmpEq cmpOp = iota + 1
+	cmpNe
+	cmpLt
+	cmpLe
+)
+
+type cmpExpr struct {
+	op   cmpOp
+	a, b Expr
+}
+
+// Eq returns a == b. Operands may have different domains; comparison is by
+// numeric value.
+func Eq(a, b Expr) Expr { return cmpExpr{op: cmpEq, a: a, b: b} }
+
+// Ne returns a != b.
+func Ne(a, b Expr) Expr { return cmpExpr{op: cmpNe, a: a, b: b} }
+
+// Lt returns a < b.
+func Lt(a, b Expr) Expr { return cmpExpr{op: cmpLt, a: a, b: b} }
+
+// Le returns a <= b.
+func Le(a, b Expr) Expr { return cmpExpr{op: cmpLe, a: a, b: b} }
+
+// Gt returns a > b.
+func Gt(a, b Expr) Expr { return cmpExpr{op: cmpLt, a: b, b: a} }
+
+// Ge returns a >= b.
+func Ge(a, b Expr) Expr { return cmpExpr{op: cmpLe, a: b, b: a} }
+
+func (e cmpExpr) Type() *Type { return boolType }
+
+func (e cmpExpr) Eval(env Env) int {
+	a, b := e.a.Eval(env), e.b.Eval(env)
+	var r bool
+	switch e.op {
+	case cmpEq:
+		r = a == b
+	case cmpNe:
+		r = a != b
+	case cmpLt:
+		r = a < b
+	case cmpLe:
+		r = a <= b
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+func (e cmpExpr) vars(f func(*Var, bool)) {
+	e.a.vars(f)
+	e.b.vars(f)
+}
+
+func (e cmpExpr) compile(c *compiler) circuit.BV {
+	a, b := e.a.compile(c), e.b.compile(c)
+	a, b = padPair(a, b)
+	var l circuit.Lit
+	switch e.op {
+	case cmpEq:
+		l = c.b.EqBV(a, b)
+	case cmpNe:
+		l = c.b.EqBV(a, b).Not()
+	case cmpLt:
+		l = c.b.LtBV(a, b)
+	case cmpLe:
+		l = c.b.LeBV(a, b)
+	}
+	return circuit.BV{l}
+}
+
+func (e cmpExpr) String() string {
+	ops := map[cmpOp]string{cmpEq: "=", cmpNe: "/=", cmpLt: "<", cmpLe: "<="}
+	return "(" + e.a.String() + " " + ops[e.op] + " " + e.b.String() + ")"
+}
+
+// ---------------------------------------------------------------------------
+// Boolean connectives
+
+type naryOp int
+
+const (
+	opAnd naryOp = iota + 1
+	opOr
+)
+
+type naryExpr struct {
+	op   naryOp
+	args []Expr
+}
+
+// And returns the conjunction of the arguments (true when empty).
+func And(args ...Expr) Expr {
+	requireBool("And", args)
+	return naryExpr{op: opAnd, args: args}
+}
+
+// Or returns the disjunction of the arguments (false when empty).
+func Or(args ...Expr) Expr {
+	requireBool("Or", args)
+	return naryExpr{op: opOr, args: args}
+}
+
+func requireBool(op string, args []Expr) {
+	for _, a := range args {
+		if a.Type() != boolType {
+			panic("gcl: " + op + " requires boolean operands, got " + a.Type().Name)
+		}
+	}
+}
+
+func (e naryExpr) Type() *Type { return boolType }
+
+func (e naryExpr) Eval(env Env) int {
+	for _, a := range e.args {
+		v := a.Eval(env) != 0
+		if e.op == opAnd && !v {
+			return 0
+		}
+		if e.op == opOr && v {
+			return 1
+		}
+	}
+	if e.op == opAnd {
+		return 1
+	}
+	return 0
+}
+
+func (e naryExpr) vars(f func(*Var, bool)) {
+	for _, a := range e.args {
+		a.vars(f)
+	}
+}
+
+func (e naryExpr) compile(c *compiler) circuit.BV {
+	ls := make([]circuit.Lit, len(e.args))
+	for i, a := range e.args {
+		ls[i] = boolLit(a.compile(c))
+	}
+	if e.op == opAnd {
+		return circuit.BV{c.b.AndAll(ls)}
+	}
+	return circuit.BV{c.b.OrAll(ls)}
+}
+
+func (e naryExpr) String() string {
+	ops := map[naryOp]string{opAnd: " AND ", opOr: " OR "}
+	parts := make([]string, len(e.args))
+	for i, a := range e.args {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, ops[e.op]) + ")"
+}
+
+type notExpr struct{ a Expr }
+
+// Not returns the negation of a boolean expression.
+func Not(a Expr) Expr {
+	requireBool("Not", []Expr{a})
+	return notExpr{a: a}
+}
+
+// Implies returns a -> b.
+func Implies(a, b Expr) Expr { return Or(Not(a), b) }
+
+func (e notExpr) Type() *Type { return boolType }
+func (e notExpr) Eval(env Env) int {
+	if e.a.Eval(env) != 0 {
+		return 0
+	}
+	return 1
+}
+func (e notExpr) vars(f func(*Var, bool)) { e.a.vars(f) }
+func (e notExpr) compile(c *compiler) circuit.BV {
+	return circuit.BV{boolLit(e.a.compile(c)).Not()}
+}
+func (e notExpr) String() string { return "NOT " + e.a.String() }
+
+// ---------------------------------------------------------------------------
+// If-then-else
+
+type iteExpr struct {
+	c, t, e Expr
+	typ     *Type
+}
+
+// Ite returns if c then t else e. The result takes the type of the wider
+// branch.
+func Ite(c, t, e Expr) Expr {
+	requireBool("Ite condition", []Expr{c})
+	typ := t.Type()
+	if e.Type().Card > typ.Card {
+		typ = e.Type()
+	}
+	return iteExpr{c: c, t: t, e: e, typ: typ}
+}
+
+func (e iteExpr) Type() *Type { return e.typ }
+
+func (e iteExpr) Eval(env Env) int {
+	if e.c.Eval(env) != 0 {
+		return e.t.Eval(env)
+	}
+	return e.e.Eval(env)
+}
+
+func (e iteExpr) vars(f func(*Var, bool)) {
+	e.c.vars(f)
+	e.t.vars(f)
+	e.e.vars(f)
+}
+
+func (e iteExpr) compile(c *compiler) circuit.BV {
+	cond := boolLit(e.c.compile(c))
+	t, f := padPair(e.t.compile(c), e.e.compile(c))
+	return c.b.MuxBV(cond, t, f)
+}
+
+func (e iteExpr) String() string {
+	return "IF " + e.c.String() + " THEN " + e.t.String() + " ELSE " + e.e.String()
+}
+
+// ---------------------------------------------------------------------------
+// Bounded arithmetic
+
+type addMode int
+
+const (
+	addSat addMode = iota + 1
+	addMod
+)
+
+type addExpr struct {
+	a    Expr
+	k    int
+	mode addMode
+}
+
+// AddSat returns a + k, saturating at the top of a's domain.
+func AddSat(a Expr, k int) Expr {
+	if k < 0 {
+		panic("gcl: AddSat requires k >= 0")
+	}
+	return addExpr{a: a, k: k, mode: addSat}
+}
+
+// AddMod returns (a + k) mod card(a). Requires 0 <= k < card(a).
+func AddMod(a Expr, k int) Expr {
+	if k < 0 || k >= a.Type().Card {
+		panic("gcl: AddMod requires 0 <= k < card")
+	}
+	return addExpr{a: a, k: k, mode: addMod}
+}
+
+func (e addExpr) Type() *Type { return e.a.Type() }
+
+func (e addExpr) Eval(env Env) int {
+	card := e.a.Type().Card
+	v := e.a.Eval(env) + e.k
+	switch e.mode {
+	case addSat:
+		if v > card-1 {
+			return card - 1
+		}
+		return v
+	default: // addMod
+		if v >= card {
+			return v - card
+		}
+		return v
+	}
+}
+
+func (e addExpr) vars(f func(*Var, bool)) { e.a.vars(f) }
+
+func (e addExpr) compile(c *compiler) circuit.BV {
+	card := e.a.Type().Card
+	w := e.a.Type().Bits()
+	// Work in enough bits to avoid wraparound before the clamp/reduce step.
+	wext := bits.Len(uint(card - 1 + e.k))
+	if wext < w {
+		wext = w
+	}
+	a := pad(e.a.compile(c), wext)
+	sum := c.b.AddConstBV(a, e.k)
+	switch e.mode {
+	case addSat:
+		top := circuit.ConstBV(card-1, wext)
+		lt := c.b.LtBV(sum, top)
+		return c.b.MuxBV(lt, sum, top)[:w]
+	default: // addMod
+		limit := circuit.ConstBV(card, wext)
+		ge := c.b.LeBV(limit, sum)
+		// Subtract card via two's-complement addition.
+		reduced := c.b.AddConstBV(sum, (1<<wext)-card)
+		return c.b.MuxBV(ge, reduced, sum)[:w]
+	}
+}
+
+func (e addExpr) String() string {
+	mode := "+sat"
+	if e.mode == addMod {
+		mode = "+mod"
+	}
+	return fmt.Sprintf("(%s %s %d)", e.a.String(), mode, e.k)
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+// boolLit extracts the single literal of a boolean bit vector.
+func boolLit(bv circuit.BV) circuit.Lit {
+	if len(bv) != 1 {
+		panic("gcl: expected boolean bit vector")
+	}
+	return bv[0]
+}
+
+// pad zero-extends bv to width n.
+func pad(bv circuit.BV, n int) circuit.BV {
+	if len(bv) >= n {
+		return bv
+	}
+	out := make(circuit.BV, n)
+	copy(out, bv)
+	for i := len(bv); i < n; i++ {
+		out[i] = circuit.False
+	}
+	return out
+}
+
+func padPair(a, b circuit.BV) (circuit.BV, circuit.BV) {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	return pad(a, n), pad(b, n)
+}

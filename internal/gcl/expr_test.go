@@ -1,0 +1,197 @@
+package gcl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// exprEnv is a test Env over explicit maps.
+type exprEnv struct {
+	cur map[*Var]int
+}
+
+func (e exprEnv) Cur(v *Var) int    { return e.cur[v] }
+func (e exprEnv) Next(v *Var) int   { panic("no next in test env") }
+func (e exprEnv) Choice(v *Var) int { panic("no choice in test env") }
+
+func TestConstRange(t *testing.T) {
+	typ := IntType("t", 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("C out of range should panic")
+		}
+	}()
+	C(typ, 5)
+}
+
+func TestComparisonEval(t *testing.T) {
+	typ := IntType("t", 10)
+	sys := NewSystem("s")
+	m := sys.Module("m")
+	v := m.Var("v", typ, InitConst(0))
+	env := exprEnv{cur: map[*Var]int{v: 4}}
+
+	tests := []struct {
+		name string
+		e    Expr
+		want int
+	}{
+		{"eq-true", Eq(X(v), C(typ, 4)), 1},
+		{"eq-false", Eq(X(v), C(typ, 5)), 0},
+		{"ne", Ne(X(v), C(typ, 5)), 1},
+		{"lt-true", Lt(X(v), C(typ, 5)), 1},
+		{"lt-false", Lt(X(v), C(typ, 4)), 0},
+		{"le", Le(X(v), C(typ, 4)), 1},
+		{"gt", Gt(X(v), C(typ, 3)), 1},
+		{"ge", Ge(X(v), C(typ, 4)), 1},
+		{"and", And(B(true), Eq(X(v), C(typ, 4))), 1},
+		{"or", Or(B(false), B(false)), 0},
+		{"not", Not(B(false)), 1},
+		{"implies-vacuous", Implies(B(false), B(false)), 1},
+		{"implies-false", Implies(B(true), B(false)), 0},
+		{"ite-then", Ite(B(true), C(typ, 1), C(typ, 2)), 1},
+		{"ite-else", Ite(B(false), C(typ, 1), C(typ, 2)), 2},
+		{"empty-and", And(), 1},
+		{"empty-or", Or(), 0},
+	}
+	for _, tt := range tests {
+		if got := tt.e.Eval(env); got != tt.want {
+			t.Errorf("%s: got %d want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestAddSatEval(t *testing.T) {
+	typ := IntType("t", 10)
+	sys := NewSystem("s")
+	m := sys.Module("m")
+	v := m.Var("v", typ, InitConst(0))
+	for val := range 10 {
+		for k := range 12 {
+			env := exprEnv{cur: map[*Var]int{v: val}}
+			want := val + k
+			if want > 9 {
+				want = 9
+			}
+			if got := AddSat(X(v), k).Eval(env); got != want {
+				t.Errorf("AddSat(%d,%d) = %d, want %d", val, k, got, want)
+			}
+		}
+	}
+}
+
+func TestAddModEval(t *testing.T) {
+	typ := IntType("t", 7)
+	sys := NewSystem("s")
+	m := sys.Module("m")
+	v := m.Var("v", typ, InitConst(0))
+	for val := range 7 {
+		for k := range 7 {
+			env := exprEnv{cur: map[*Var]int{v: val}}
+			want := (val + k) % 7
+			if got := AddMod(X(v), k).Eval(env); got != want {
+				t.Errorf("AddMod(%d,%d) = %d, want %d", val, k, got, want)
+			}
+		}
+	}
+}
+
+func TestAddModRejectsBadK(t *testing.T) {
+	typ := IntType("t", 7)
+	sys := NewSystem("s")
+	m := sys.Module("m")
+	v := m.Var("v", typ, InitConst(0))
+	defer func() {
+		if recover() == nil {
+			t.Error("AddMod with k >= card should panic")
+		}
+	}()
+	AddMod(X(v), 7)
+}
+
+func TestBoolOpsRejectInts(t *testing.T) {
+	typ := IntType("t", 7)
+	defer func() {
+		if recover() == nil {
+			t.Error("And of int should panic")
+		}
+	}()
+	And(C(typ, 3))
+}
+
+func TestEnumType(t *testing.T) {
+	e := EnumType("color", "red", "green", "blue")
+	if e.Card != 3 {
+		t.Fatalf("Card = %d", e.Card)
+	}
+	if e.Bits() != 2 {
+		t.Fatalf("Bits = %d", e.Bits())
+	}
+	if e.ValueName(1) != "green" {
+		t.Errorf("ValueName(1) = %s", e.ValueName(1))
+	}
+	if v, ok := e.ValueOf("blue"); !ok || v != 2 {
+		t.Errorf("ValueOf(blue) = %d,%v", v, ok)
+	}
+	if _, ok := e.ValueOf("mauve"); ok {
+		t.Error("ValueOf(mauve) should fail")
+	}
+}
+
+func TestTypeBits(t *testing.T) {
+	cases := []struct{ card, bits int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {100, 7}, {128, 7}, {129, 8},
+	}
+	for _, c := range cases {
+		if got := IntType("t", c.card).Bits(); got != c.bits {
+			t.Errorf("Bits(card=%d) = %d, want %d", c.card, got, c.bits)
+		}
+	}
+}
+
+// Property: compiled expressions agree with concrete evaluation. Builds a
+// one-module system with two variables and checks a mix of operators over
+// random current-state values by evaluating the compiled circuit.
+func TestCompileAgreesWithEval(t *testing.T) {
+	typ := IntType("t", 11)
+	sys := NewSystem("s")
+	m := sys.Module("m")
+	a := m.Var("a", typ, InitAny())
+	bv := m.Var("b", typ, InitAny())
+	m.Cmd("tick", True(), Set(a, X(a)))
+	if err := sys.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	c := sys.Compile()
+
+	exprs := []Expr{
+		Eq(X(a), X(bv)),
+		Ne(X(a), X(bv)),
+		Lt(X(a), X(bv)),
+		Le(X(a), X(bv)),
+		Eq(AddSat(X(a), 3), X(bv)),
+		Eq(AddMod(X(a), 5), X(bv)),
+		Eq(Ite(Lt(X(a), C(typ, 5)), X(bv), C(typ, 0)), X(a)),
+		And(Lt(X(a), C(typ, 7)), Not(Eq(X(bv), C(typ, 2)))),
+		Or(Eq(X(a), C(typ, 10)), Implies(Lt(X(bv), X(a)), Eq(X(a), X(a)))),
+	}
+	f := func(va, vb uint8) bool {
+		st := make(State, len(sys.Vars()))
+		st.Set(a, int(va)%11)
+		st.Set(bv, int(vb)%11)
+		assign := make([]bool, c.NumInputs())
+		c.EncodeState(st, RoleCur, assign)
+		for _, e := range exprs {
+			want := Holds(e, st)
+			got := c.EvalLit(c.CompileExpr(e), assign)
+			if got != want {
+				t.Logf("mismatch on %s with a=%d b=%d: circuit=%v eval=%v", e, st.Get(a), st.Get(bv), got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package gcl
+
+import "fmt"
+
+// Update assigns a state variable its post-step value.
+type Update struct {
+	Var  *Var
+	Expr Expr
+}
+
+// Set builds an update assigning expression e to variable v.
+func Set(v *Var, e Expr) Update { return Update{Var: v, Expr: e} }
+
+// SetC builds an update assigning constant value val to variable v.
+func SetC(v *Var, val int) Update { return Update{Var: v, Expr: C(v.Type, val)} }
+
+// Keep builds an explicit frame update (v' = v). Unassigned variables keep
+// their value implicitly; Keep exists for readability at call sites.
+func Keep(v *Var) Update { return Update{Var: v, Expr: X(v)} }
+
+// Command is a guarded command of a module. When the module steps, one
+// enabled command fires; a fallback command is enabled exactly when no
+// normal command is.
+type Command struct {
+	Name     string
+	Guard    Expr
+	Updates  []Update
+	Fallback bool
+
+	module     *Module
+	choiceVars []*Var // choice variables in the command's support
+}
+
+// Module groups state variables and the guarded commands that update them.
+// All modules of a system step synchronously: at every step each module
+// fires exactly one of its enabled commands.
+type Module struct {
+	Name string
+
+	sys  *System
+	vars []*Var
+	cmds []*Command
+	deps map[*Module]bool // modules whose primed variables this module reads
+}
+
+// Var declares a state variable owned by this module.
+func (m *Module) Var(name string, t *Type, init Init) *Var {
+	return m.sys.addVar(m, name, t, KindState, init)
+}
+
+// Bool declares a boolean state variable owned by this module.
+func (m *Module) Bool(name string, init Init) *Var {
+	return m.Var(name, boolType, init)
+}
+
+// Choice declares a per-step nondeterministic input of this module. A choice
+// variable takes a fresh, arbitrary domain value every step and may be read
+// only by its owning module.
+func (m *Module) Choice(name string, t *Type) *Var {
+	return m.sys.addVar(m, name, t, KindChoice, InitAny())
+}
+
+// Cmd declares a guarded command.
+func (m *Module) Cmd(name string, guard Expr, updates ...Update) {
+	m.addCmd(name, guard, updates, false)
+}
+
+// Fallback declares the command that fires when no normal command is
+// enabled (SAL's ELSE). At most one per module; guards of normal commands in
+// a module with a fallback must not read choice variables.
+func (m *Module) Fallback(name string, updates ...Update) {
+	m.addCmd(name, True(), updates, true)
+}
+
+func (m *Module) addCmd(name string, guard Expr, updates []Update, fallback bool) {
+	if m.sys.finalized {
+		panic("gcl: cannot add commands after Finalize")
+	}
+	if guard.Type() != boolType {
+		panic("gcl: guard of " + name + " is not boolean")
+	}
+	m.cmds = append(m.cmds, &Command{
+		Name:     name,
+		Guard:    guard,
+		Updates:  updates,
+		Fallback: fallback,
+		module:   m,
+	})
+}
+
+// Vars returns the module's state and choice variables in declaration order.
+func (m *Module) Vars() []*Var {
+	out := make([]*Var, len(m.vars))
+	copy(out, m.vars)
+	return out
+}
+
+// Commands returns the module's commands in declaration order.
+func (m *Module) Commands() []*Command {
+	out := make([]*Command, len(m.cmds))
+	copy(out, m.cmds)
+	return out
+}
+
+func (m *Module) String() string { return fmt.Sprintf("module %s", m.Name) }

@@ -1,0 +1,104 @@
+package gcl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteModel renders the system in a SAL-like guarded-command syntax: the
+// human-readable form of the model the analyses operate on, mirroring the
+// notation of the paper's verification artifact. It is intended for
+// inspection and documentation, not for re-parsing.
+func (s *System) WriteModel(w io.Writer) error {
+	p := &printer{w: w}
+	p.printf("%s: CONTEXT =\nBEGIN\n", s.Name)
+
+	// Types, deduplicated by name in declaration-encounter order.
+	seen := map[string]bool{}
+	for _, v := range s.vars {
+		t := v.Type
+		if seen[t.Name] {
+			continue
+		}
+		seen[t.Name] = true
+		if names := enumNames(t); names != nil {
+			p.printf("  %s: TYPE = {%s};\n", t.Name, strings.Join(names, ", "))
+		} else {
+			p.printf("  %s: TYPE = [0..%d];\n", t.Name, t.Card-1)
+		}
+	}
+	p.printf("\n")
+
+	for _, m := range s.modules {
+		p.printf("  %s: MODULE =\n  BEGIN\n", m.Name)
+		for _, v := range m.vars {
+			kind := "LOCAL"
+			if v.Kind == KindChoice {
+				kind = "INPUT % fresh nondeterministic choice each step"
+			}
+			p.printf("    %s %s: %s", kind, v.Name, v.Type.Name)
+			if v.Kind == KindState {
+				switch vals := v.init; {
+				case vals == nil:
+					p.printf("  %s", "% INITIALIZATION: any")
+				case len(vals) == 1:
+					p.printf("  %s", "% INITIALIZATION: "+v.Type.ValueName(vals[0]))
+				default:
+					parts := make([]string, len(vals))
+					for i, val := range vals {
+						parts[i] = v.Type.ValueName(val)
+					}
+					p.printf("  %s", "% INITIALIZATION: {"+strings.Join(parts, ", ")+"}")
+				}
+			}
+			p.printf("\n")
+		}
+		p.printf("    TRANSITION [\n")
+		for i, c := range m.cmds {
+			sep := "      "
+			if i > 0 {
+				sep = "      [] "
+			}
+			if c.Fallback {
+				p.printf("%s%% %s\n      ELSE -->\n", sep, c.Name)
+			} else {
+				p.printf("%s%% %s\n      %s -->\n", sep, c.Name, c.Guard)
+			}
+			for _, u := range c.Updates {
+				p.printf("        %s' = %s;\n", u.Var.Name, u.Expr)
+			}
+		}
+		p.printf("    ]\n  END;\n\n")
+	}
+	p.printf("END\n")
+	return p.err
+}
+
+// ModelString renders WriteModel into a string.
+func (s *System) ModelString() string {
+	var b strings.Builder
+	_ = s.WriteModel(&b)
+	return b.String()
+}
+
+func enumNames(t *Type) []string {
+	if len(t.names) == 0 {
+		return nil
+	}
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}

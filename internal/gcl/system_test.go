@@ -1,0 +1,314 @@
+package gcl
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// collectSuccessors returns the deduplicated, sorted keys of all successors.
+func collectSuccessors(st *Stepper, cur State) ([]string, bool) {
+	seen := make(map[string]bool)
+	dead := st.Successors(cur, func(next State) bool {
+		seen[Key(next, st.System().StateVars())] = true
+		return true
+	})
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, dead
+}
+
+func TestCounterSystem(t *testing.T) {
+	sys := NewSystem("counter")
+	m := sys.Module("m")
+	typ := IntType("c", 4)
+	v := m.Var("v", typ, InitConst(0))
+	m.Cmd("inc", Lt(X(v), C(typ, 3)), Set(v, AddSat(X(v), 1)))
+	m.Cmd("wrap", Eq(X(v), C(typ, 3)), SetC(v, 0))
+	if err := sys.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepper(sys)
+
+	var inits []State
+	st.InitStates(func(s State) bool {
+		inits = append(inits, s.Clone())
+		return true
+	})
+	if len(inits) != 1 || inits[0].Get(v) != 0 {
+		t.Fatalf("inits = %v", inits)
+	}
+
+	cur := inits[0]
+	for want := 1; want <= 4; want++ {
+		var succs []State
+		dead := st.Successors(cur, func(n State) bool {
+			succs = append(succs, n.Clone())
+			return true
+		})
+		if dead {
+			t.Fatal("unexpected deadlock")
+		}
+		if len(succs) != 1 {
+			t.Fatalf("expected deterministic step, got %d successors", len(succs))
+		}
+		if got := succs[0].Get(v); got != want%4 {
+			t.Fatalf("step %d: v = %d, want %d", want, got, want%4)
+		}
+		cur = succs[0]
+	}
+}
+
+func TestNondeterminism(t *testing.T) {
+	sys := NewSystem("nd")
+	m := sys.Module("m")
+	typ := IntType("c", 10)
+	v := m.Var("v", typ, InitConst(5))
+	m.Cmd("up", True(), Set(v, AddSat(X(v), 1)))
+	m.Cmd("stay", True())
+	if err := sys.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepper(sys)
+	cur := make(State, len(sys.Vars()))
+	cur.Set(v, 5)
+	keys, dead := collectSuccessors(st, cur)
+	if dead || len(keys) != 2 {
+		t.Fatalf("want 2 successors, got %d (dead=%v)", len(keys), dead)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	sys := NewSystem("dead")
+	m := sys.Module("m")
+	typ := IntType("c", 4)
+	v := m.Var("v", typ, InitConst(0))
+	m.Cmd("inc", Lt(X(v), C(typ, 2)), Set(v, AddSat(X(v), 1)))
+	if err := sys.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepper(sys)
+	cur := make(State, len(sys.Vars()))
+	cur.Set(v, 2)
+	_, dead := collectSuccessors(st, cur)
+	if !dead {
+		t.Error("expected deadlock at v=2")
+	}
+	cur.Set(v, 1)
+	if _, dead := collectSuccessors(st, cur); dead {
+		t.Error("unexpected deadlock at v=1")
+	}
+}
+
+func TestFallbackFiresOnlyWhenNothingEnabled(t *testing.T) {
+	sys := NewSystem("fb")
+	m := sys.Module("m")
+	typ := IntType("c", 5)
+	v := m.Var("v", typ, InitConst(0))
+	flag := m.Bool("flag", InitConst(0))
+	m.Cmd("inc", Lt(X(v), C(typ, 2)), Set(v, AddSat(X(v), 1)))
+	m.Fallback("diag", SetC(flag, 1))
+	if err := sys.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepper(sys)
+
+	cur := make(State, len(sys.Vars()))
+	cur.Set(v, 1)
+	var succs []State
+	st.Successors(cur, func(n State) bool { succs = append(succs, n.Clone()); return true })
+	if len(succs) != 1 || succs[0].Get(flag) != 0 || succs[0].Get(v) != 2 {
+		t.Fatalf("normal command should fire: %v", succs)
+	}
+
+	cur.Set(v, 3)
+	succs = nil
+	st.Successors(cur, func(n State) bool { succs = append(succs, n.Clone()); return true })
+	if len(succs) != 1 || succs[0].Get(flag) != 1 || succs[0].Get(v) != 3 {
+		t.Fatalf("fallback should fire and frame v: %v", succs)
+	}
+}
+
+func TestChoiceVariables(t *testing.T) {
+	sys := NewSystem("choice")
+	m := sys.Module("m")
+	typ := IntType("c", 5)
+	v := m.Var("v", typ, InitConst(0))
+	ch := m.Choice("ch", IntType("pick", 3))
+	m.Cmd("set", True(), Set(v, Ite(Eq(X(ch), C(IntType("pick", 3), 0)), C(typ, 1), X(ch))))
+	if err := sys.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepper(sys)
+	cur := make(State, len(sys.Vars()))
+	keys, _ := collectSuccessors(st, cur)
+	// ch=0 -> v=1; ch=1 -> v=1; ch=2 -> v=2. Distinct next states: {1, 2}.
+	if len(keys) != 2 {
+		t.Fatalf("want 2 distinct successors, got %d", len(keys))
+	}
+}
+
+func TestPrimedCrossModuleRead(t *testing.T) {
+	sys := NewSystem("primed")
+	typ := IntType("c", 8)
+	prod := sys.Module("producer")
+	cons := sys.Module("consumer") // declared after, but reads producer primed
+	p := prod.Var("p", typ, InitConst(0))
+	q := cons.Var("q", typ, InitConst(0))
+	prod.Cmd("inc", True(), Set(p, AddMod(X(p), 1)))
+	cons.Cmd("copy", True(), Set(q, XN(p))) // q' = p'
+	if err := sys.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepper(sys)
+	cur := make(State, len(sys.Vars()))
+	var succ State
+	st.Successors(cur, func(n State) bool { succ = n.Clone(); return true })
+	if succ.Get(p) != 1 || succ.Get(q) != 1 {
+		t.Fatalf("p'=%d q'=%d, want 1,1", succ.Get(p), succ.Get(q))
+	}
+}
+
+func TestCyclicPrimedDependencyRejected(t *testing.T) {
+	sys := NewSystem("cycle")
+	typ := IntType("c", 4)
+	a := sys.Module("a")
+	b := sys.Module("b")
+	av := a.Var("x", typ, InitConst(0))
+	bv := b.Var("y", typ, InitConst(0))
+	a.Cmd("t", True(), Set(av, XN(bv)))
+	b.Cmd("t", True(), Set(bv, XN(av)))
+	err := sys.Finalize()
+	if err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Fatalf("want cyclic dependency error, got %v", err)
+	}
+}
+
+func TestOwnPrimedReadRejected(t *testing.T) {
+	sys := NewSystem("own")
+	typ := IntType("c", 4)
+	a := sys.Module("a")
+	x := a.Var("x", typ, InitConst(0))
+	y := a.Var("y", typ, InitConst(0))
+	a.Cmd("t", True(), Set(x, AddSat(X(x), 1)), Set(y, XN(x)))
+	err := sys.Finalize()
+	if err == nil || !strings.Contains(err.Error(), "own primed") {
+		t.Fatalf("want own-primed error, got %v", err)
+	}
+}
+
+func TestForeignAssignmentRejected(t *testing.T) {
+	sys := NewSystem("foreign")
+	typ := IntType("c", 4)
+	a := sys.Module("a")
+	b := sys.Module("b")
+	x := a.Var("x", typ, InitConst(0))
+	b.Cmd("t", True(), Set(x, C(typ, 1)))
+	err := sys.Finalize()
+	if err == nil || !strings.Contains(err.Error(), "foreign") {
+		t.Fatalf("want foreign-assignment error, got %v", err)
+	}
+}
+
+func TestForeignChoiceReadRejected(t *testing.T) {
+	sys := NewSystem("fch")
+	typ := IntType("c", 4)
+	a := sys.Module("a")
+	b := sys.Module("b")
+	ch := a.Choice("ch", typ)
+	y := b.Var("y", typ, InitConst(0))
+	b.Cmd("t", True(), Set(y, X(ch)))
+	err := sys.Finalize()
+	if err == nil || !strings.Contains(err.Error(), "choice variable") {
+		t.Fatalf("want foreign-choice error, got %v", err)
+	}
+}
+
+func TestFallbackWithChoiceGuardRejected(t *testing.T) {
+	sys := NewSystem("fbch")
+	typ := IntType("c", 4)
+	a := sys.Module("a")
+	v := a.Var("v", typ, InitConst(0))
+	ch := a.Choice("ch", typ)
+	a.Cmd("t", Eq(X(ch), C(typ, 0)), Set(v, C(typ, 1)))
+	a.Fallback("fb")
+	err := sys.Finalize()
+	if err == nil || !strings.Contains(err.Error(), "fallback") {
+		t.Fatalf("want fallback/choice error, got %v", err)
+	}
+}
+
+func TestInitEnumeration(t *testing.T) {
+	sys := NewSystem("inits")
+	m := sys.Module("m")
+	typ := IntType("c", 5)
+	a := m.Var("a", typ, InitSet(1, 3))
+	b := m.Var("b", IntType("d", 3), InitAny())
+	_ = a
+	_ = b
+	m.Cmd("t", True())
+	if err := sys.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepper(sys)
+	count := 0
+	st.InitStates(func(State) bool { count++; return true })
+	if count != 2*3 {
+		t.Fatalf("init count = %d, want 6", count)
+	}
+}
+
+func TestFormatState(t *testing.T) {
+	sys := NewSystem("fmt")
+	m := sys.Module("m")
+	e := EnumType("st", "idle", "busy")
+	v := m.Var("v", e, InitConst(0))
+	m.Cmd("t", True(), Set(v, C(e, 1)))
+	if err := sys.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	st := make(State, len(sys.Vars()))
+	st.Set(v, 1)
+	if got := sys.FormatState(st); got != "m.v=busy" {
+		t.Errorf("FormatState = %q", got)
+	}
+	prev := make(State, len(sys.Vars()))
+	if got := sys.FormatDelta(prev, st); got != "m.v=busy" {
+		t.Errorf("FormatDelta = %q", got)
+	}
+	if got := sys.FormatDelta(st, st); got != "(stutter)" {
+		t.Errorf("FormatDelta same = %q", got)
+	}
+}
+
+func TestWriteModel(t *testing.T) {
+	sys := NewSystem("demo")
+	m := sys.Module("m")
+	e := EnumType("st", "idle", "busy")
+	v := m.Var("v", e, InitConst(0))
+	c := m.Var("c", IntType("cnt", 4), InitAny())
+	ch := m.Choice("pick", IntType("p", 2))
+	m.Cmd("go", Eq(X(v), C(e, 0)), Set(v, C(e, 1)), Set(c, Ite(Eq(X(ch), C(IntType("p", 2), 0)), AddSat(X(c), 1), X(c))))
+	m.Fallback("stay")
+	sys.MustFinalize()
+	out := sys.ModelString()
+	for _, want := range []string{
+		"demo: CONTEXT",
+		"st: TYPE = {idle, busy}",
+		"cnt: TYPE = [0..3]",
+		"LOCAL v: st  % INITIALIZATION: idle",
+		"LOCAL c: cnt  % INITIALIZATION: any",
+		"INPUT",
+		"% go",
+		"(m.v = idle) -->",
+		"v' = busy;",
+		"ELSE -->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("model dump missing %q:\n%s", want, out)
+		}
+	}
+}

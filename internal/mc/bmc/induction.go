@@ -1,0 +1,119 @@
+package bmc
+
+import (
+	"fmt"
+	"time"
+
+	"ttastartup/internal/circuit"
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/mc"
+	"ttastartup/internal/sat"
+)
+
+// InductionOptions tunes k-induction.
+type InductionOptions struct {
+	// MaxK bounds the induction depth (required, > 0).
+	MaxK int
+	// SimplePath adds pairwise frame-distinctness constraints to the
+	// inductive step, making k-induction complete for finite systems (at
+	// quadratic clause cost). Without it the prover may return
+	// HoldsBounded even for true invariants.
+	SimplePath bool
+}
+
+// CheckInvariantInduction attempts an UNBOUNDED proof of G(pred) by
+// temporal induction: for increasing k it checks the base case (no
+// violation within k steps of an initial state) and the inductive step
+// (no path of k+1 pred-states followed by a ¬pred-state). If the step is
+// unsatisfiable the invariant holds for every depth — a SAT-based proof
+// with no BDDs involved. Returns Holds (proved), Violated (base case
+// failed, with trace), or HoldsBounded (MaxK exhausted; no verdict beyond
+// the bound).
+func CheckInvariantInduction(comp *gcl.Compiled, prop mc.Property, opts InductionOptions) (*mc.Result, error) {
+	if prop.Kind != mc.Invariant {
+		return nil, fmt.Errorf("bmc: CheckInvariantInduction on %v property", prop.Kind)
+	}
+	if opts.MaxK <= 0 {
+		return nil, fmt.Errorf("bmc: MaxK must be positive")
+	}
+	start := time.Now()
+
+	// Base-case checker: standard BMC, initial states constrained.
+	base := NewChecker(comp)
+	// Step checker: no initial-state constraint — any run of the system.
+	step := newCheckerNoInit(comp)
+
+	predLit := comp.CompileExpr(prop.Pred)
+	var curIDs []int
+	if opts.SimplePath {
+		for id, info := range comp.Bits {
+			if info.Role == gcl.RoleCur {
+				curIDs = append(curIDs, id)
+			}
+		}
+	}
+
+	res := &mc.Result{Property: prop, Verdict: mc.HoldsBounded}
+	for k := 0; k <= opts.MaxK; k++ {
+		// Base: violation at exactly depth k?
+		base.extendTo(k)
+		if base.solver.Solve(base.encode(predLit.Not(), k)) {
+			states := make([]gcl.State, k+1)
+			for t := 0; t <= k; t++ {
+				states[t] = base.stateAt(t)
+			}
+			res.Verdict = mc.Violated
+			res.Trace = mc.NewTrace(states)
+			res.Stats = base.stats(start, k)
+			res.Stats.Conflicts += step.solver.Conflicts()
+			return res, nil
+		}
+
+		// Step: pred at frames 0..k (asserted incrementally), ¬pred at
+		// frame k+1 (assumed). UNSAT proves the invariant outright.
+		step.extendTo(k + 1)
+		step.assertLit(step.encode(predLit, k))
+		if opts.SimplePath {
+			step.assertDistinct(curIDs, k+1)
+		}
+		if !step.solver.Solve(step.encode(predLit.Not(), k+1)) {
+			res.Verdict = mc.Holds
+			res.Stats = step.stats(start, k)
+			res.Stats.Conflicts += base.solver.Conflicts()
+			return res, nil
+		}
+	}
+	res.Stats = base.stats(start, opts.MaxK)
+	res.Stats.Conflicts += step.solver.Conflicts()
+	return res, nil
+}
+
+// newCheckerNoInit builds a checker whose frame 0 is unconstrained (used
+// by the inductive step).
+func newCheckerNoInit(comp *gcl.Compiled) *Checker {
+	c := &Checker{
+		comp:   comp,
+		solver: sat.New(),
+	}
+	c.frameVars = append(c.frameVars, c.newFrame())
+	c.tseitinMemo = append(c.tseitinMemo, make(map[circuit.Lit]sat.Lit))
+	return c
+}
+
+// assertDistinct adds simple-path constraints: frame `last` differs from
+// every earlier frame in at least one current-state bit.
+func (c *Checker) assertDistinct(curIDs []int, last int) {
+	for l := range last {
+		clause := make([]sat.Lit, 0, len(curIDs))
+		for _, id := range curIDs {
+			a := sat.Pos(c.varFor(id, l))
+			b := sat.Pos(c.varFor(id, last))
+			d := sat.Pos(c.solver.NewVar())
+			// d -> (a XOR b)
+			c.solver.AddClause(d.Not(), a, b)
+			c.solver.AddClause(d.Not(), a.Not(), b.Not())
+			clause = append(clause, d)
+		}
+		c.solver.AddClause(clause...)
+	}
+}

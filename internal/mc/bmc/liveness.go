@@ -1,0 +1,92 @@
+package bmc
+
+import (
+	"fmt"
+	"time"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/mc"
+	"ttastartup/internal/sat"
+)
+
+// CheckEventuallyRefute searches for a counterexample to F(pred) on all
+// paths: a lasso — a path x_0 … x_k with x_k equal to some earlier x_l —
+// every state of which violates pred. Like all bounded methods it can only
+// refute (Violated with a lasso trace) or report HoldsBounded: no
+// pred-avoiding lasso exists whose unrolled length is within MaxDepth.
+func CheckEventuallyRefute(comp *gcl.Compiled, prop mc.Property, opts Options) (*mc.Result, error) {
+	if prop.Kind != mc.Eventually {
+		return nil, fmt.Errorf("bmc: CheckEventuallyRefute on %v property", prop.Kind)
+	}
+	if opts.MaxDepth <= 0 {
+		return nil, fmt.Errorf("bmc: MaxDepth must be positive")
+	}
+	start := time.Now()
+	c := NewChecker(comp)
+	notP := comp.CompileExpr(prop.Pred).Not()
+
+	// Current-state input ids, used for frame-equality clauses.
+	var curIDs []int
+	for id, info := range comp.Bits {
+		if info.Role == gcl.RoleCur {
+			curIDs = append(curIDs, id)
+		}
+	}
+
+	res := &mc.Result{Property: prop, Verdict: mc.HoldsBounded}
+	// avoid[t] asserts ¬pred at frame t; asserted permanently as we
+	// deepen (monotone in k).
+	c.assertLit(c.encode(notP, 0))
+
+	for k := 1; k <= opts.MaxDepth; k++ {
+		c.extendTo(k)
+		c.assertLit(c.encode(notP, k))
+
+		// Loop selectors for this depth: sel_l -> (frame k == frame l),
+		// plus an activation literal requiring some selector.
+		sels := make([]sat.Lit, k)
+		clause := make([]sat.Lit, 0, k+1)
+		for l := range k {
+			sel := sat.Pos(c.solver.NewVar())
+			sels[l] = sel
+			for _, id := range curIDs {
+				a := sat.Pos(c.varFor(id, l))
+				bLit := sat.Pos(c.varFor(id, k))
+				c.solver.AddClause(sel.Not(), a.Not(), bLit)
+				c.solver.AddClause(sel.Not(), a, bLit.Not())
+			}
+			clause = append(clause, sel)
+		}
+		act := sat.Pos(c.solver.NewVar())
+		clause = append(clause, act.Not())
+		c.solver.AddClause(clause...)
+
+		if c.solver.Solve(act) {
+			// Decode the lasso; find the loop target.
+			states := make([]gcl.State, k)
+			for t := range k {
+				states[t] = c.stateAt(t)
+			}
+			loopTo := -1
+			final := c.stateAt(k)
+			vars := comp.Sys.StateVars()
+			finalKey := gcl.Key(final, vars)
+			for l := range k {
+				if gcl.Key(states[l], vars) == finalKey {
+					loopTo = l
+					break
+				}
+			}
+			res.Verdict = mc.Violated
+			res.Trace = &mc.Trace{States: states, LoopsTo: loopTo}
+			res.Stats = c.stats(start, k)
+			return res, nil
+		}
+		// Deactivate this depth's loop requirement for the next rounds
+		// (the disjunction is then satisfied by ¬act, leaving the
+		// selectors free).
+		c.solver.AddClause(act.Not())
+	}
+	res.Stats = c.stats(start, opts.MaxDepth)
+	return res, nil
+}

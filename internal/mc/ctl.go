@@ -1,0 +1,99 @@
+package mc
+
+import (
+	"fmt"
+
+	"ttastartup/internal/gcl"
+)
+
+// CTLOp is a CTL formula constructor.
+type CTLOp int
+
+// CTL operators.
+const (
+	CTLAtomOp CTLOp = iota + 1
+	CTLNotOp
+	CTLAndOp
+	CTLOrOp
+	CTLEXOp
+	CTLEFOp
+	CTLEGOp
+	CTLEUOp
+	CTLAXOp
+	CTLAFOp
+	CTLAGOp
+)
+
+// CTLFormula is a computation-tree-logic formula over a system's state
+// predicates. Build formulas with the constructor functions; the symbolic
+// and explicit engines evaluate them by fixpoint iteration (an extension
+// beyond the paper's LTL lemma set — notably AG(AF p), the recovery
+// property used for the restart problem).
+type CTLFormula struct {
+	Op   CTLOp
+	Pred gcl.Expr // CTLAtomOp only
+	L, R *CTLFormula
+}
+
+// CTLAtom lifts a state predicate.
+func CTLAtom(pred gcl.Expr) *CTLFormula { return &CTLFormula{Op: CTLAtomOp, Pred: pred} }
+
+// CTLNot negates a formula.
+func CTLNot(f *CTLFormula) *CTLFormula { return &CTLFormula{Op: CTLNotOp, L: f} }
+
+// CTLAnd conjoins two formulas.
+func CTLAnd(l, r *CTLFormula) *CTLFormula { return &CTLFormula{Op: CTLAndOp, L: l, R: r} }
+
+// CTLOr disjoins two formulas.
+func CTLOr(l, r *CTLFormula) *CTLFormula { return &CTLFormula{Op: CTLOrOp, L: l, R: r} }
+
+// CTLEX: some successor satisfies f.
+func CTLEX(f *CTLFormula) *CTLFormula { return &CTLFormula{Op: CTLEXOp, L: f} }
+
+// CTLEF: some path eventually reaches f.
+func CTLEF(f *CTLFormula) *CTLFormula { return &CTLFormula{Op: CTLEFOp, L: f} }
+
+// CTLEG: some path satisfies f forever.
+func CTLEG(f *CTLFormula) *CTLFormula { return &CTLFormula{Op: CTLEGOp, L: f} }
+
+// CTLEU: some path satisfies l until r holds.
+func CTLEU(l, r *CTLFormula) *CTLFormula { return &CTLFormula{Op: CTLEUOp, L: l, R: r} }
+
+// CTLAX: every successor satisfies f.
+func CTLAX(f *CTLFormula) *CTLFormula { return &CTLFormula{Op: CTLAXOp, L: f} }
+
+// CTLAF: every path eventually reaches f.
+func CTLAF(f *CTLFormula) *CTLFormula { return &CTLFormula{Op: CTLAFOp, L: f} }
+
+// CTLAG: every path satisfies f forever.
+func CTLAG(f *CTLFormula) *CTLFormula { return &CTLFormula{Op: CTLAGOp, L: f} }
+
+// String renders the formula.
+func (f *CTLFormula) String() string {
+	switch f.Op {
+	case CTLAtomOp:
+		return f.Pred.String()
+	case CTLNotOp:
+		return "!(" + f.L.String() + ")"
+	case CTLAndOp:
+		return "(" + f.L.String() + " & " + f.R.String() + ")"
+	case CTLOrOp:
+		return "(" + f.L.String() + " | " + f.R.String() + ")"
+	case CTLEXOp:
+		return "EX " + f.L.String()
+	case CTLEFOp:
+		return "EF " + f.L.String()
+	case CTLEGOp:
+		return "EG " + f.L.String()
+	case CTLEUOp:
+		return "E[" + f.L.String() + " U " + f.R.String() + "]"
+	case CTLAXOp:
+		return "AX " + f.L.String()
+	case CTLAFOp:
+		return "AF " + f.L.String()
+	case CTLAGOp:
+		return "AG " + f.L.String()
+	default:
+		return fmt.Sprintf("CTL(%d)", int(f.Op))
+	}
+}

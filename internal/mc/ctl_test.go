@@ -1,0 +1,149 @@
+package mc_test
+
+import (
+	"testing"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/mc"
+	"ttastartup/internal/mc/explicit"
+	"ttastartup/internal/mc/symbolic"
+)
+
+// ctlCheckBoth evaluates a CTL formula with both engines and requires
+// agreement; it returns the shared verdict.
+func ctlCheckBoth(t *testing.T, sys *gcl.System, name string, f *mc.CTLFormula) mc.Verdict {
+	t.Helper()
+	expRes, err := explicit.CheckCTL(sys, name, f, explicit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := symbolic.New(sys.Compile(), symbolic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	symRes, err := eng.CheckCTL(name, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expRes.Verdict != symRes.Verdict {
+		t.Fatalf("%s: engines disagree: explicit %v symbolic %v", name, expRes.Verdict, symRes.Verdict)
+	}
+	return symRes.Verdict
+}
+
+// ctlTestSystem: a branching system with an absorbing "done" region and a
+// recoverable "retry" loop.
+//
+//	phase: 0=start, 1=retry, 2=done(absorbing), 3=stuck(absorbing)
+func ctlTestSystem() (*gcl.System, *gcl.Var) {
+	sys := gcl.NewSystem("ctl")
+	m := sys.Module("m")
+	typ := gcl.IntType("ph", 4)
+	ph := m.Var("ph", typ, gcl.InitConst(0))
+	is := func(v int) gcl.Expr { return gcl.Eq(gcl.X(ph), gcl.C(typ, v)) }
+	m.Cmd("start-retry", is(0), gcl.SetC(ph, 1))
+	m.Cmd("start-done", is(0), gcl.SetC(ph, 2))
+	m.Cmd("retry-again", is(1), gcl.SetC(ph, 1))
+	m.Cmd("retry-done", is(1), gcl.SetC(ph, 2))
+	m.Cmd("done-loop", is(2), gcl.SetC(ph, 2))
+	m.Cmd("stuck-loop", is(3), gcl.SetC(ph, 3))
+	sys.MustFinalize()
+	return sys, ph
+}
+
+func TestCTLOperators(t *testing.T) {
+	sys, ph := ctlTestSystem()
+	typ := gcl.IntType("ph", 4)
+	at := func(v int) *mc.CTLFormula { return mc.CTLAtom(gcl.Eq(gcl.X(ph), gcl.C(typ, v))) }
+
+	cases := []struct {
+		name string
+		f    *mc.CTLFormula
+		want mc.Verdict
+	}{
+		{"EX-retry", mc.CTLEX(at(1)), mc.Holds},    // start can step to retry
+		{"EX-stuck", mc.CTLEX(at(3)), mc.Violated}, // stuck unreachable
+		{"EF-done", mc.CTLEF(at(2)), mc.Holds},     // done reachable
+		{"AF-done", mc.CTLAF(at(2)), mc.Violated},  // may retry forever
+		{"EG-not-done", mc.CTLEG(mc.CTLNot(at(2))), mc.Holds},
+		{"AG-not-stuck", mc.CTLAG(mc.CTLNot(at(3))), mc.Holds},
+		{"AG-EF-done", mc.CTLAG(mc.CTLEF(at(2))), mc.Violated}, // from done... done is fine; from retry fine; holds? done: EF done ✓ retry ✓ start ✓ — recomputed below
+		{"EU-start-retry", mc.CTLEU(at(0), at(1)), mc.Holds},
+		{"AX-from-start", mc.CTLAX(mc.CTLOr(at(1), at(2))), mc.Holds},
+		{"And-Or", mc.CTLAnd(mc.CTLEF(at(2)), mc.CTLOr(at(0), at(1))), mc.Holds},
+	}
+	for _, tc := range cases {
+		got := ctlCheckBoth(t, sys, tc.name, tc.f)
+		if tc.name == "AG-EF-done" {
+			// Every reachable state (start, retry, done) can still reach
+			// done, so the property in fact holds; assert agreement and
+			// the recomputed truth.
+			if got != mc.Holds {
+				t.Errorf("AG-EF-done: got %v, want holds", got)
+			}
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCTLMatchesInvariantChecker: AG(p) must agree with the dedicated
+// invariant checker, and AF(p) with the liveness checker.
+func TestCTLMatchesDedicatedCheckers(t *testing.T) {
+	sys, cases := twoCounters()
+	eng, err := symbolic.New(sys.Compile(), symbolic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range cases {
+		var f *mc.CTLFormula
+		switch pc.prop.Kind {
+		case mc.Invariant:
+			f = mc.CTLAG(mc.CTLAtom(pc.prop.Pred))
+		case mc.Eventually:
+			f = mc.CTLAF(mc.CTLAtom(pc.prop.Pred))
+		}
+		res, err := eng.CheckCTL(pc.prop.Name, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (res.Verdict == mc.Holds) != pc.holds {
+			t.Errorf("%s: CTL verdict %v, want holds=%v", pc.prop.Name, res.Verdict, pc.holds)
+		}
+	}
+}
+
+// TestCTLNestedRecoveryShape: AG(AF p) distinguishes a self-stabilising
+// system from one with an unrecoverable region.
+func TestCTLNestedRecoveryShape(t *testing.T) {
+	build := func(recoverable bool) (*gcl.System, *mc.CTLFormula) {
+		sys := gcl.NewSystem("rec")
+		m := sys.Module("m")
+		typ := gcl.IntType("ph", 3)
+		ph := m.Var("ph", typ, gcl.InitConst(0))
+		is := func(v int) gcl.Expr { return gcl.Eq(gcl.X(ph), gcl.C(typ, v)) }
+		// 0 = good; may dip to 1; 1 returns to 0 (recoverable) or decays
+		// to absorbing 2 (unrecoverable).
+		m.Cmd("stay-good", is(0), gcl.SetC(ph, 0))
+		m.Cmd("dip", is(0), gcl.SetC(ph, 1))
+		if recoverable {
+			m.Cmd("recover", is(1), gcl.SetC(ph, 0))
+		} else {
+			m.Cmd("decay", is(1), gcl.SetC(ph, 2))
+			m.Cmd("dead", is(2), gcl.SetC(ph, 2))
+		}
+		sys.MustFinalize()
+		return sys, mc.CTLAG(mc.CTLAF(mc.CTLAtom(is(0))))
+	}
+
+	sysGood, fGood := build(true)
+	if got := ctlCheckBoth(t, sysGood, "AGAF-good", fGood); got != mc.Holds {
+		t.Errorf("recoverable system: %v, want holds", got)
+	}
+	sysBad, fBad := build(false)
+	if got := ctlCheckBoth(t, sysBad, "AGAF-bad", fBad); got != mc.Violated {
+		t.Errorf("unrecoverable system: %v, want violated", got)
+	}
+}

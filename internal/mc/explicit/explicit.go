@@ -1,0 +1,306 @@
+// Package explicit implements an explicit-state model checker: hash-based
+// breadth-first reachability with counterexample reconstruction, and
+// liveness checking (AF p) via a greatest-fixpoint computation of EG(¬p)
+// over the explored graph. It corresponds to the explicit-state engine the
+// paper used in its preliminary experiments (Section 3).
+package explicit
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/mc"
+)
+
+// EngineName identifies this engine in Stats.
+const EngineName = "explicit"
+
+// ErrStateLimit is returned when exploration exceeds Options.MaxStates.
+var ErrStateLimit = errors.New("explicit: state limit exceeded")
+
+// Options tunes exploration.
+type Options struct {
+	// MaxStates caps the number of distinct states explored
+	// (0 = default 5,000,000).
+	MaxStates int
+	// StoreEdges retains the successor adjacency, needed by liveness
+	// checking; invariant checking leaves it off to save memory.
+	StoreEdges bool
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates == 0 {
+		return 5_000_000
+	}
+	return o.MaxStates
+}
+
+// Graph is the result of exhaustive exploration.
+type Graph struct {
+	Sys       *gcl.System
+	States    []gcl.State
+	Index     map[string]int32 // state key -> index
+	Parents   []int32          // BFS tree parent (or -1 for initial states)
+	Edges     [][]int32        // successor adjacency (nil unless StoreEdges)
+	InitCount int              // states[0:InitCount] are the initial states
+	Deadlocks []int32          // indices of deadlocked states
+}
+
+// NumStates returns the number of distinct reachable states.
+func (g *Graph) NumStates() int { return len(g.States) }
+
+// Explore performs exhaustive BFS reachability from all initial states.
+func Explore(sys *gcl.System, opts Options) (*Graph, error) {
+	stepper := gcl.NewStepper(sys)
+	vars := sys.StateVars()
+	g := &Graph{
+		Sys:   sys,
+		Index: make(map[string]int32, 1<<16),
+	}
+	limit := opts.maxStates()
+
+	add := func(st gcl.State, parent int32) (int32, bool, error) {
+		k := gcl.Key(st, vars)
+		if idx, ok := g.Index[k]; ok {
+			return idx, false, nil
+		}
+		if len(g.States) >= limit {
+			return 0, false, fmt.Errorf("%w (%d states)", ErrStateLimit, limit)
+		}
+		idx := int32(len(g.States))
+		g.States = append(g.States, st.Clone())
+		g.Parents = append(g.Parents, parent)
+		if opts.StoreEdges {
+			g.Edges = append(g.Edges, nil)
+		}
+		g.Index[k] = idx
+		return idx, true, nil
+	}
+
+	var exploreErr error
+	stepper.InitStates(func(st gcl.State) bool {
+		if _, _, err := add(st, -1); err != nil {
+			exploreErr = err
+			return false
+		}
+		return true
+	})
+	if exploreErr != nil {
+		return nil, exploreErr
+	}
+	g.InitCount = len(g.States)
+
+	for head := 0; head < len(g.States); head++ {
+		cur := g.States[head]
+		headIdx := int32(head)
+		sawSucc := false
+		dead := stepper.Successors(cur, func(next gcl.State) bool {
+			sawSucc = true
+			idx, _, err := add(next, headIdx)
+			if err != nil {
+				exploreErr = err
+				return false
+			}
+			if opts.StoreEdges {
+				g.Edges[head] = append(g.Edges[head], idx)
+			}
+			return true
+		})
+		if exploreErr != nil {
+			return nil, exploreErr
+		}
+		if dead || !sawSucc {
+			g.Deadlocks = append(g.Deadlocks, headIdx)
+		}
+	}
+	return g, nil
+}
+
+// tracePath reconstructs the BFS path from an initial state to target.
+func (g *Graph) tracePath(target int32) *mc.Trace {
+	var rev []gcl.State
+	for i := target; i != -1; i = g.Parents[i] {
+		rev = append(rev, g.States[i])
+	}
+	states := make([]gcl.State, len(rev))
+	for i := range rev {
+		states[i] = rev[len(rev)-1-i]
+	}
+	return mc.NewTrace(states)
+}
+
+// CheckInvariant checks G(pred) by exhaustive reachability, stopping at the
+// first violation.
+func CheckInvariant(sys *gcl.System, prop mc.Property, opts Options) (*mc.Result, error) {
+	if prop.Kind != mc.Invariant {
+		return nil, fmt.Errorf("explicit: CheckInvariant on %v property", prop.Kind)
+	}
+	start := time.Now()
+	stepper := gcl.NewStepper(sys)
+	vars := sys.StateVars()
+	limit := opts.maxStates()
+
+	index := make(map[string]int32, 1<<16)
+	var states []gcl.State
+	var parents []int32
+
+	var bad int32 = -1
+	var exploreErr error
+	add := func(st gcl.State, parent int32) bool {
+		k := gcl.Key(st, vars)
+		if _, ok := index[k]; ok {
+			return true
+		}
+		if len(states) >= limit {
+			exploreErr = fmt.Errorf("%w (%d states)", ErrStateLimit, limit)
+			return false
+		}
+		idx := int32(len(states))
+		states = append(states, st.Clone())
+		parents = append(parents, parent)
+		index[k] = idx
+		if !gcl.Holds(prop.Pred, st) {
+			bad = idx
+			return false
+		}
+		return true
+	}
+
+	stepper.InitStates(func(st gcl.State) bool { return add(st, -1) })
+	for head := 0; head < len(states) && bad == -1 && exploreErr == nil; head++ {
+		headIdx := int32(head)
+		stepper.Successors(states[head], func(next gcl.State) bool {
+			return add(next, headIdx)
+		})
+	}
+	if exploreErr != nil {
+		return nil, exploreErr
+	}
+
+	res := &mc.Result{
+		Property: prop,
+		Verdict:  mc.Holds,
+		Stats: mc.Stats{
+			Engine:    EngineName,
+			Duration:  time.Since(start),
+			Visited:   len(states),
+			Reachable: big.NewInt(int64(len(states))),
+			StateBits: stateBits(sys),
+		},
+	}
+	if bad >= 0 {
+		res.Verdict = mc.Violated
+		g := &Graph{Sys: sys, States: states, Parents: parents}
+		res.Trace = g.tracePath(bad)
+		res.Stats.Reachable = nil // exploration stopped early
+	}
+	return res, nil
+}
+
+// CheckEventually checks F(pred) on all paths (AF pred): it explores the
+// full graph, computes EG(¬pred) as a greatest fixpoint (the states with an
+// infinite path avoiding pred), and reports a lasso counterexample if an
+// initial state lies in that set. Deadlocked states have no infinite paths
+// and are therefore not liveness violations by themselves; they are
+// reported via the graph in Stats.Visited diagnostics and should be checked
+// separately with an invariant.
+func CheckEventually(sys *gcl.System, prop mc.Property, opts Options) (*mc.Result, error) {
+	if prop.Kind != mc.Eventually {
+		return nil, fmt.Errorf("explicit: CheckEventually on %v property", prop.Kind)
+	}
+	start := time.Now()
+	opts.StoreEdges = true
+	g, err := Explore(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// inSet[i]: state i might have an infinite ¬pred path. Start with all
+	// ¬pred states and repeatedly remove states with no successor in the
+	// set (greatest fixpoint of EG ¬pred).
+	n := len(g.States)
+	inSet := make([]bool, n)
+	for i, st := range g.States {
+		inSet[i] = !gcl.Holds(prop.Pred, st)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range n {
+			if !inSet[i] {
+				continue
+			}
+			ok := false
+			for _, s := range g.Edges[i] {
+				if inSet[s] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				inSet[i] = false
+				changed = true
+			}
+		}
+	}
+
+	res := &mc.Result{
+		Property: prop,
+		Verdict:  mc.Holds,
+		Stats: mc.Stats{
+			Engine:    EngineName,
+			Duration:  time.Since(start),
+			Visited:   n,
+			Reachable: big.NewInt(int64(n)),
+			StateBits: stateBits(sys),
+		},
+	}
+
+	for i := 0; i < g.InitCount; i++ {
+		if !inSet[i] {
+			continue
+		}
+		res.Verdict = mc.Violated
+		res.Trace = lassoTrace(g, inSet, int32(i))
+		break
+	}
+	return res, nil
+}
+
+// lassoTrace builds a lasso counterexample starting at an initial state
+// inside the EG set: a path within the set until a state repeats.
+func lassoTrace(g *Graph, inSet []bool, start int32) *mc.Trace {
+	var states []gcl.State
+	seenAt := make(map[int32]int)
+	cur := start
+	for {
+		if at, ok := seenAt[cur]; ok {
+			return &mc.Trace{States: states, LoopsTo: at}
+		}
+		seenAt[cur] = len(states)
+		states = append(states, g.States[cur])
+		next := int32(-1)
+		for _, s := range g.Edges[cur] {
+			if inSet[s] {
+				next = s
+				break
+			}
+		}
+		if next == -1 {
+			// Cannot happen for a true EG fixpoint; fail safe with a
+			// finite trace.
+			return mc.NewTrace(states)
+		}
+		cur = next
+	}
+}
+
+func stateBits(sys *gcl.System) int {
+	bits := 0
+	for _, v := range sys.StateVars() {
+		bits += v.Type.Bits()
+	}
+	return bits
+}

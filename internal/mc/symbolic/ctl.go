@@ -1,0 +1,121 @@
+package symbolic
+
+import (
+	"fmt"
+	"time"
+
+	"ttastartup/internal/bdd"
+	"ttastartup/internal/circuit"
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/mc"
+)
+
+// CheckCTL evaluates a CTL formula by BDD fixpoint iteration over the
+// reachable states (successor-closedness of the reachable set makes the
+// restriction sound for queries about initial states). The verdict is
+// Holds when every initial state satisfies the formula; on violation the
+// trace contains one offending initial state (CTL counterexamples are
+// trees in general, so no linear trace is attempted).
+func (e *Engine) CheckCTL(name string, f *mc.CTLFormula) (*mc.Result, error) {
+	start := time.Now()
+	reach, err := e.Reachable()
+	if err != nil {
+		return nil, err
+	}
+	prop := mc.Property{Name: name, Kind: mc.Invariant, Pred: gcl.True()}
+	res := &mc.Result{Property: prop, Verdict: mc.Holds}
+	err = e.guard(func() {
+		sat := e.evalCTL(f, reach)
+		bad := e.m.Diff(e.m.And(e.init, reach), sat)
+		if bad != bdd.False {
+			res.Verdict = mc.Violated
+			res.Trace = mc.NewTrace([]gcl.State{e.decode(e.m.PickCube(bad))})
+		}
+		res.Stats = e.stats(start)
+		res.Stats.Reachable = e.m.SatCount(reach, e.curVars)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// evalCTL returns the set of reachable states satisfying f.
+func (e *Engine) evalCTL(f *mc.CTLFormula, reach bdd.Ref) bdd.Ref {
+	m := e.m
+	within := func(s bdd.Ref) bdd.Ref { return m.And(reach, s) }
+	ex := func(s bdd.Ref) bdd.Ref { return within(e.Preimage(s)) }
+
+	switch f.Op {
+	case mc.CTLAtomOp:
+		pred := e.fromCircuit(e.comp.CompileExpr(f.Pred), make(map[circuit.Lit]bdd.Ref))
+		return within(pred)
+	case mc.CTLNotOp:
+		return m.Diff(reach, e.evalCTL(f.L, reach))
+	case mc.CTLAndOp:
+		return m.And(e.evalCTL(f.L, reach), e.evalCTL(f.R, reach))
+	case mc.CTLOrOp:
+		return m.Or(e.evalCTL(f.L, reach), e.evalCTL(f.R, reach))
+	case mc.CTLEXOp:
+		return ex(e.evalCTL(f.L, reach))
+	case mc.CTLEFOp:
+		// μZ. f ∨ EX Z
+		target := e.evalCTL(f.L, reach)
+		z := m.Protect(target)
+		for {
+			next := m.Or(target, ex(z))
+			if next == z {
+				break
+			}
+			m.Unprotect(z)
+			z = m.Protect(next)
+			e.maybeGC()
+		}
+		m.Unprotect(z)
+		return z
+	case mc.CTLEGOp:
+		// νZ. f ∧ EX Z
+		target := e.evalCTL(f.L, reach)
+		z := m.Protect(target)
+		for {
+			next := m.And(target, ex(z))
+			if next == z {
+				break
+			}
+			m.Unprotect(z)
+			z = m.Protect(next)
+			e.maybeGC()
+		}
+		m.Unprotect(z)
+		return z
+	case mc.CTLEUOp:
+		// μZ. r ∨ (l ∧ EX Z)
+		l := e.evalCTL(f.L, reach)
+		r := e.evalCTL(f.R, reach)
+		z := m.Protect(r)
+		for {
+			next := m.Or(r, m.And(l, ex(z)))
+			if next == z {
+				break
+			}
+			m.Unprotect(z)
+			z = m.Protect(next)
+			e.maybeGC()
+		}
+		m.Unprotect(z)
+		return z
+	case mc.CTLAXOp:
+		// AX f = ¬EX ¬f (on a deadlock-free system).
+		return m.Diff(reach, ex(m.Diff(reach, e.evalCTL(f.L, reach))))
+	case mc.CTLAFOp:
+		// AF f = ¬EG ¬f.
+		neg := mc.CTLEG(mc.CTLNot(f.L))
+		return m.Diff(reach, e.evalCTL(neg, reach))
+	case mc.CTLAGOp:
+		// AG f = ¬EF ¬f.
+		neg := mc.CTLEF(mc.CTLNot(f.L))
+		return m.Diff(reach, e.evalCTL(neg, reach))
+	default:
+		panic(fmt.Sprintf("symbolic: unknown CTL operator %d", int(f.Op)))
+	}
+}

@@ -1,0 +1,64 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkPigeonholeUnsat measures CDCL on the classic hard family.
+func BenchmarkPigeonholeUnsat(b *testing.B) {
+	for b.Loop() {
+		s := New()
+		pigeonhole(s, 8, 7)
+		if s.Solve() {
+			b.Fatal("PHP(8,7) must be unsat")
+		}
+	}
+}
+
+// BenchmarkRandom3SAT measures solving near the phase transition
+// (clause/variable ratio ~4.3).
+func BenchmarkRandom3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	for b.Loop() {
+		s := New()
+		const nvars = 120
+		vars := make([]int, nvars)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		for range 516 {
+			var cl [3]Lit
+			for k := range 3 {
+				v := vars[rng.Intn(nvars)]
+				if rng.Intn(2) == 0 {
+					cl[k] = Pos(v)
+				} else {
+					cl[k] = Neg(v)
+				}
+			}
+			s.AddClause(cl[:]...)
+		}
+		_ = s.Solve()
+	}
+}
+
+// BenchmarkIncrementalAssumptions measures repeated solving under varying
+// assumptions, the BMC usage pattern.
+func BenchmarkIncrementalAssumptions(b *testing.B) {
+	s := New()
+	const n = 60
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+2 < n; i++ {
+		s.AddClause(Neg(vars[i]), Pos(vars[i+1]), Pos(vars[i+2]))
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		for i := range 16 {
+			_ = s.Solve(Pos(vars[i]), Neg(vars[n-1-i]))
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	if !s.AddClause(Pos(v)) {
+		t.Fatal("unit clause made formula unsat")
+	}
+	if !s.Solve() {
+		t.Fatal("single unit clause should be sat")
+	}
+	if !s.Value(v) {
+		t.Error("v should be true")
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(Pos(v))
+	ok := s.AddClause(Neg(v))
+	if ok {
+		t.Error("adding contradictory unit should report unsat")
+	}
+	if s.Solve() {
+		t.Error("contradiction should be unsat")
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	s := New()
+	const n = 20
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(Neg(vs[i]), Pos(vs[i+1])) // v_i -> v_{i+1}
+	}
+	s.AddClause(Pos(vs[0]))
+	if !s.Solve() {
+		t.Fatal("chain should be sat")
+	}
+	for i := range vs {
+		if !s.Value(vs[i]) {
+			t.Errorf("v%d should be true by propagation", i)
+		}
+	}
+	// Forcing the last variable false must flip to unsat.
+	s.AddClause(Neg(vs[n-1]))
+	if s.Solve() {
+		t.Error("chain with contradicted head should be unsat")
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	w := s.NewVar()
+	if !s.AddClause(Pos(v), Neg(v), Pos(w)) {
+		t.Error("tautology should be accepted (and ignored)")
+	}
+	if !s.Solve() {
+		t.Error("empty problem after tautology should be sat")
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons in n holes — classically
+// unsat and a standard stress test for resolution-based solvers.
+func pigeonhole(s *Solver, pigeons, holes int) {
+	vars := make([][]int, pigeons)
+	for p := range vars {
+		vars[p] = make([]int, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := range pigeons {
+		lits := make([]Lit, holes)
+		for h := range holes {
+			lits[h] = Pos(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := range holes {
+		for p1 := range pigeons {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(Neg(vars[p1][h]), Neg(vars[p2][h]))
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := New()
+		pigeonhole(s, n+1, n)
+		if s.Solve() {
+			t.Errorf("PHP(%d,%d) should be unsat", n+1, n)
+		}
+	}
+}
+
+func TestPigeonholeSat(t *testing.T) {
+	s := New()
+	pigeonhole(s, 4, 4)
+	if !s.Solve() {
+		t.Error("PHP(4,4) should be sat")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(Pos(a), Pos(b))
+	if !s.Solve(Neg(a)) {
+		t.Fatal("sat under -a")
+	}
+	if s.Value(a) || !s.Value(b) {
+		t.Error("model should have a=false b=true")
+	}
+	if !s.Solve(Neg(b)) {
+		t.Fatal("sat under -b")
+	}
+	if s.Solve(Neg(a), Neg(b)) {
+		t.Error("unsat under -a,-b")
+	}
+	// Solver still usable without assumptions.
+	if !s.Solve() {
+		t.Error("still sat with no assumptions")
+	}
+}
+
+func TestIncrementalSolving(t *testing.T) {
+	s := New()
+	vs := make([]int, 8)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	s.AddClause(Pos(vs[0]), Pos(vs[1]))
+	if !s.Solve() {
+		t.Fatal("round 1 sat")
+	}
+	s.AddClause(Neg(vs[0]))
+	if !s.Solve() {
+		t.Fatal("round 2 sat")
+	}
+	if !s.Value(vs[1]) {
+		t.Error("v1 forced true")
+	}
+	s.AddClause(Neg(vs[1]))
+	if s.Solve() {
+		t.Error("round 3 unsat")
+	}
+}
+
+// brute checks satisfiability of a CNF by enumeration.
+func brute(nvars int, cnf [][]Lit) bool {
+	for mask := 0; mask < 1<<nvars; mask++ {
+		ok := true
+		for _, cl := range cnf {
+			clOK := false
+			for _, l := range cl {
+				val := mask&(1<<(l.Var()-1)) != 0
+				if val != l.Sign() {
+					clOK = true
+					break
+				}
+			}
+			if !clOK {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the solver on random small
+// 3-SAT instances, verifying models as well.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nvars := 4 + rng.Intn(7) // 4..10
+		nclauses := 2 + rng.Intn(4*nvars)
+		s := New()
+		vars := make([]int, nvars)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		var cnf [][]Lit
+		addOK := true
+		for range nclauses {
+			var cl []Lit
+			for range 3 {
+				v := vars[rng.Intn(nvars)]
+				if rng.Intn(2) == 0 {
+					cl = append(cl, Pos(v))
+				} else {
+					cl = append(cl, Neg(v))
+				}
+			}
+			cnf = append(cnf, cl)
+			if !s.AddClause(cl...) {
+				addOK = false
+			}
+		}
+		got := addOK && s.Solve()
+		want := brute(nvars, cnf)
+		if got != want {
+			t.Logf("seed %d: solver=%v brute=%v", seed, got, want)
+			return false
+		}
+		if got {
+			// Verify the model satisfies every clause.
+			for _, cl := range cnf {
+				ok := false
+				for _, l := range cl {
+					if s.Value(l.Var()) != l.Sign() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Logf("seed %d: model violates clause %v", seed, cl)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReduceDBStress forces clause-database reductions and checks that
+// correctness is preserved on a larger pigeonhole instance.
+func TestReduceDBStress(t *testing.T) {
+	s := New()
+	s.maxLearnt = 50 // force frequent reductions
+	pigeonhole(s, 8, 7)
+	if s.Solve() {
+		t.Error("PHP(8,7) should be unsat")
+	}
+	if s.Conflicts() == 0 {
+		t.Error("expected conflicts to be recorded")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(i + 1); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := Pos(5)
+	if l.Var() != 5 || l.Sign() {
+		t.Error("Pos broken")
+	}
+	n := l.Not()
+	if n.Var() != 5 || !n.Sign() {
+		t.Error("Not broken")
+	}
+	if n.String() != "-5" || l.String() != "5" {
+		t.Errorf("String: %s %s", n, l)
+	}
+}

@@ -1,0 +1,323 @@
+// Package original models the paper's baseline: the original "node only"
+// startup algorithm for the bus-topology TTA (Steiner & Paulitsch,
+// ICDCS'02, the paper's reference [12]). There are no central guardians:
+// nodes share a broadcast bus; simultaneous transmissions physically
+// collide and are seen as noise. This is the model the paper used for its
+// preliminary explicit-state experiments in Section 3 (41,322 reachable
+// states for a 4-node cluster; ~30 s explicit vs 0.38 s symbolic), so it
+// serves as the explicit-vs-symbolic comparison workload.
+package original
+
+import (
+	"fmt"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/mc"
+	"ttastartup/internal/tta"
+)
+
+// Message kinds on the bus.
+const (
+	MsgQuiet = iota
+	MsgNoise
+	MsgCS
+	MsgI
+)
+
+// Node protocol states.
+const (
+	NodeInit = iota
+	NodeListen
+	NodeColdstart
+	NodeActive
+)
+
+// Faulty-node output kinds for the reduced fault dial of the preliminary
+// experiments ("only a few kinds of faults were considered").
+const (
+	FaultQuiet = iota
+	FaultCS
+	FaultNoise
+)
+
+// Config selects the baseline model's parameters.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// FaultyNode designates a faulty node (-1: none).
+	FaultyNode int
+	// FaultDegree ∈ 1..3 bounds the faulty node's outputs: 1 = quiet,
+	// 2 = +cold-start frames (own identity), 3 = +noise.
+	FaultDegree int
+	// DeltaInit is the power-on window in slots (0: 2·round).
+	DeltaInit int
+}
+
+// DefaultConfig returns a fault-free baseline configuration.
+func DefaultConfig(n int) Config {
+	return Config{N: n, FaultyNode: -1, FaultDegree: 3}
+}
+
+func (c Config) deltaInit() int {
+	if c.DeltaInit == 0 {
+		return 2 * c.N
+	}
+	return c.DeltaInit
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := (tta.Params{N: c.N}).Validate(); err != nil {
+		return err
+	}
+	if c.FaultyNode >= c.N {
+		return fmt.Errorf("original: faulty node %d out of range", c.FaultyNode)
+	}
+	if c.FaultDegree < 1 || c.FaultDegree > 3 {
+		return fmt.Errorf("original: fault degree %d outside 1..3", c.FaultDegree)
+	}
+	return nil
+}
+
+// Node bundles one correct node's variables.
+type Node struct {
+	ID      int
+	State   *gcl.Var
+	Counter *gcl.Var
+	Pos     *gcl.Var
+	Msg     *gcl.Var
+	Time    *gcl.Var
+}
+
+// Model is the compiled-ready baseline system.
+type Model struct {
+	Cfg Config
+	Sys *gcl.System
+
+	MsgType  *gcl.Type
+	NodeType *gcl.Type
+	CntType  *gcl.Type
+	PosType  *gcl.Type
+
+	Nodes      []*Node // nil at the faulty id
+	FaultyMsg  *gcl.Var
+	FaultyTime *gcl.Var
+	BusMsg     *gcl.Var
+	BusTime    *gcl.Var
+}
+
+// Build constructs the baseline model; the returned system is finalized.
+func Build(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.N
+	p := tta.Params{N: n}
+	maxCount := p.MaxCount()
+
+	m := &Model{
+		Cfg:      cfg,
+		Sys:      gcl.NewSystem(fmt.Sprintf("tta-original-n%d", n)),
+		MsgType:  gcl.EnumType("msg", "quiet", "noise", "cs_frame", "i_frame"),
+		NodeType: gcl.EnumType("nstate", "init", "listen", "coldstart", "active"),
+		CntType:  gcl.IntType("count", maxCount+1),
+		PosType:  gcl.IntType("slot", n),
+	}
+
+	m.Nodes = make([]*Node, n)
+	for i := range n {
+		if i == cfg.FaultyNode {
+			continue
+		}
+		mod := m.Sys.Module(fmt.Sprintf("node%d", i))
+		m.Nodes[i] = &Node{
+			ID:      i,
+			State:   mod.Var("state", m.NodeType, gcl.InitConst(NodeInit)),
+			Counter: mod.Var("counter", m.CntType, gcl.InitConst(1)),
+			Pos:     mod.Var("pos", m.PosType, gcl.InitConst(0)),
+			Msg:     mod.Var("msg", m.MsgType, gcl.InitConst(MsgQuiet)),
+			Time:    mod.Var("time", m.PosType, gcl.InitConst(0)),
+		}
+	}
+	if cfg.FaultyNode >= 0 {
+		mod := m.Sys.Module(fmt.Sprintf("faulty%d", cfg.FaultyNode))
+		m.FaultyMsg = mod.Var("msg", m.MsgType, gcl.InitConst(MsgQuiet))
+		m.FaultyTime = mod.Var("time", m.PosType, gcl.InitConst(0))
+		mode := mod.Choice("mode", gcl.IntType("fkind", 3))
+		guard := gcl.True()
+		if cfg.FaultDegree < 3 {
+			guard = gcl.Le(gcl.X(mode), gcl.C(gcl.IntType("fkind", 3), cfg.FaultDegree-1))
+		}
+		mod.Cmd("emit", guard,
+			gcl.Set(m.FaultyMsg,
+				gcl.Ite(gcl.Eq(gcl.X(mode), gcl.C(gcl.IntType("fkind", 3), FaultCS)), gcl.C(m.MsgType, MsgCS),
+					gcl.Ite(gcl.Eq(gcl.X(mode), gcl.C(gcl.IntType("fkind", 3), FaultNoise)), gcl.C(m.MsgType, MsgNoise),
+						gcl.C(m.MsgType, MsgQuiet)))),
+			gcl.Set(m.FaultyTime, gcl.C(m.PosType, cfg.FaultyNode)))
+	}
+
+	m.busCommands()
+	for i := range n {
+		if m.Nodes[i] != nil {
+			m.nodeCommands(m.Nodes[i], p)
+		}
+	}
+
+	if err := m.Sys.Finalize(); err != nil {
+		return nil, fmt.Errorf("original: %w", err)
+	}
+	return m, nil
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(cfg Config) *Model {
+	mod, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return mod
+}
+
+func (m *Model) portMsgN(j int) gcl.Expr {
+	if j == m.Cfg.FaultyNode {
+		return gcl.XN(m.FaultyMsg)
+	}
+	return gcl.XN(m.Nodes[j].Msg)
+}
+
+func (m *Model) portTimeN(j int) gcl.Expr {
+	if j == m.Cfg.FaultyNode {
+		return gcl.XN(m.FaultyTime)
+	}
+	return gcl.XN(m.Nodes[j].Time)
+}
+
+// busCommands models the shared broadcast medium: exactly one transmitter
+// is heard; two or more physically collide into noise.
+func (m *Model) busCommands() {
+	mod := m.Sys.Module("bus")
+	m.BusMsg = mod.Var("msg", m.MsgType, gcl.InitConst(MsgQuiet))
+	m.BusTime = mod.Var("time", m.PosType, gcl.InitConst(0))
+	n := m.Cfg.N
+
+	sending := make([]gcl.Expr, n)
+	for j := range n {
+		sending[j] = gcl.Ne(m.portMsgN(j), gcl.C(m.MsgType, MsgQuiet))
+	}
+	// exactlyOne(j): j sends and nobody else does.
+	msg := gcl.C(m.MsgType, MsgQuiet)
+	tm := gcl.C(m.PosType, 0)
+	var anyPair []gcl.Expr
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			anyPair = append(anyPair, gcl.And(sending[a], sending[b]))
+		}
+	}
+	collision := gcl.Or(anyPair...)
+	for j := n - 1; j >= 0; j-- {
+		msg = gcl.Ite(sending[j], m.portMsgN(j), msg)
+		tm = gcl.Ite(sending[j], m.portTimeN(j), tm)
+	}
+	msg = gcl.Ite(collision, gcl.C(m.MsgType, MsgNoise), msg)
+	tm = gcl.Ite(collision, gcl.C(m.PosType, 0), tm)
+	mod.Cmd("arbitrate", gcl.True(),
+		gcl.Set(m.BusMsg, msg),
+		gcl.Set(m.BusTime, tm))
+}
+
+// nodeCommands models the original startup state machine: like Fig. 2(a)
+// but without the big-bang mechanism — a node in LISTEN synchronises
+// directly on the first cold-start frame it hears.
+func (m *Model) nodeCommands(nd *Node, p tta.Params) {
+	mod := nd.State.Module
+	cfg := m.Cfg
+	i := nd.ID
+	lt := p.ListenTimeout(i)
+	cs := p.ColdstartTimeout(i)
+	msgC := func(v int) gcl.Expr { return gcl.C(m.MsgType, v) }
+	cntC := func(v int) gcl.Expr { return gcl.C(m.CntType, v) }
+	inState := func(s int) gcl.Expr { return gcl.Eq(gcl.X(nd.State), gcl.C(m.NodeType, s)) }
+
+	busCS := gcl.Eq(gcl.X(m.BusMsg), msgC(MsgCS))
+	busI := gcl.Eq(gcl.X(m.BusMsg), msgC(MsgI))
+	noFrame := gcl.And(gcl.Not(busCS), gcl.Not(busI))
+	nextPos := gcl.AddMod(gcl.X(m.BusTime), 1)
+	sync := []gcl.Update{
+		gcl.Set(nd.State, gcl.C(m.NodeType, NodeActive)),
+		gcl.Set(nd.Pos, nextPos),
+		gcl.Set(nd.Msg, gcl.Ite(gcl.Eq(nextPos, gcl.C(m.PosType, i)), msgC(MsgI), msgC(MsgQuiet))),
+		gcl.Set(nd.Time, gcl.C(m.PosType, i)),
+		gcl.SetC(nd.Counter, 0),
+	}
+
+	mod.Cmd("init-stay",
+		gcl.And(inState(NodeInit), gcl.Lt(gcl.X(nd.Counter), cntC(cfg.deltaInit()))),
+		gcl.Set(nd.Counter, gcl.AddSat(gcl.X(nd.Counter), 1)))
+	mod.Cmd("init-go", inState(NodeInit),
+		gcl.Set(nd.State, gcl.C(m.NodeType, NodeListen)),
+		gcl.SetC(nd.Counter, 1))
+
+	// LISTEN: integrate on any frame (no big-bang in the original
+	// algorithm), or cold-start after the unique listen timeout.
+	mod.Cmd("listen-sync",
+		gcl.And(inState(NodeListen), gcl.Or(busCS, busI)),
+		sync...)
+	mod.Cmd("listen-timeout",
+		gcl.And(inState(NodeListen), noFrame, gcl.Ge(gcl.X(nd.Counter), cntC(lt))),
+		gcl.Set(nd.State, gcl.C(m.NodeType, NodeColdstart)),
+		gcl.SetC(nd.Counter, 1),
+		gcl.Set(nd.Msg, msgC(MsgCS)),
+		gcl.Set(nd.Time, gcl.C(m.PosType, i)))
+	mod.Cmd("listen-tick",
+		gcl.And(inState(NodeListen), noFrame, gcl.Lt(gcl.X(nd.Counter), cntC(lt))),
+		gcl.Set(nd.Counter, gcl.AddSat(gcl.X(nd.Counter), 1)))
+
+	// COLDSTART: synchronise on a frame (skipping the own-echo slot), or
+	// resend after the unique cold-start timeout.
+	recvOK := gcl.And(gcl.Or(busCS, busI), gcl.Ge(gcl.X(nd.Counter), cntC(2)))
+	mod.Cmd("start-sync", gcl.And(inState(NodeColdstart), recvOK), sync...)
+	mod.Cmd("start-resend",
+		gcl.And(inState(NodeColdstart), gcl.Not(recvOK), gcl.Ge(gcl.X(nd.Counter), cntC(cs))),
+		gcl.SetC(nd.Counter, 1),
+		gcl.Set(nd.Msg, msgC(MsgCS)),
+		gcl.Set(nd.Time, gcl.C(m.PosType, i)))
+	mod.Cmd("start-tick",
+		gcl.And(inState(NodeColdstart), gcl.Not(recvOK), gcl.Lt(gcl.X(nd.Counter), cntC(cs))),
+		gcl.Set(nd.Counter, gcl.AddSat(gcl.X(nd.Counter), 1)),
+		gcl.Set(nd.Msg, msgC(MsgQuiet)))
+
+	// ACTIVE: run the TDMA schedule.
+	nextOwn := gcl.AddMod(gcl.X(nd.Pos), 1)
+	mod.Cmd("active-run", inState(NodeActive),
+		gcl.Set(nd.Pos, nextOwn),
+		gcl.Set(nd.Msg, gcl.Ite(gcl.Eq(nextOwn, gcl.C(m.PosType, i)), msgC(MsgI), msgC(MsgQuiet))),
+		gcl.Set(nd.Time, gcl.C(m.PosType, i)))
+}
+
+// Safety is the agreement invariant over correct active nodes.
+func (m *Model) Safety() mc.Property {
+	var parts []gcl.Expr
+	for a := range m.Cfg.N {
+		for b := a + 1; b < m.Cfg.N; b++ {
+			if m.Nodes[a] == nil || m.Nodes[b] == nil {
+				continue
+			}
+			both := gcl.And(
+				gcl.Eq(gcl.X(m.Nodes[a].State), gcl.C(m.NodeType, NodeActive)),
+				gcl.Eq(gcl.X(m.Nodes[b].State), gcl.C(m.NodeType, NodeActive)))
+			parts = append(parts, gcl.Implies(both, gcl.Eq(gcl.X(m.Nodes[a].Pos), gcl.X(m.Nodes[b].Pos))))
+		}
+	}
+	return mc.Property{Name: "safety", Kind: mc.Invariant, Pred: gcl.And(parts...)}
+}
+
+// Liveness states every correct node eventually reaches ACTIVE.
+func (m *Model) Liveness() mc.Property {
+	var parts []gcl.Expr
+	for i := range m.Cfg.N {
+		if m.Nodes[i] != nil {
+			parts = append(parts, gcl.Eq(gcl.X(m.Nodes[i].State), gcl.C(m.NodeType, NodeActive)))
+		}
+	}
+	return mc.Property{Name: "liveness", Kind: mc.Eventually, Pred: gcl.And(parts...)}
+}

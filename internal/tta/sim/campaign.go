@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ttastartup/internal/tta"
+)
+
+// CampaignConfig parameterises a Monte-Carlo fault-injection campaign:
+// many randomized runs with random power-on patterns and random fault
+// behaviour, collecting startup statistics — the statistical counterpart
+// of the paper's exhaustive fault simulation.
+type CampaignConfig struct {
+	// N is the cluster size.
+	N int
+	// Runs is the number of randomized simulations.
+	Runs int
+	// Seed seeds the campaign's randomness (0 picks 1).
+	Seed int64
+	// FaultyNode injects a random faulty node with the given fault degree
+	// when >= 0.
+	FaultyNode int
+	// FaultDegree is δ_failure for the injected node (1..6).
+	FaultDegree int
+	// FaultyHub injects a random faulty hub when >= 0.
+	FaultyHub int
+	// DeltaInit is the power-on window for random wake times
+	// (0: the paper's 8·round).
+	DeltaInit int
+	// MaxSlots bounds each run (0: 20·round).
+	MaxSlots int
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	Runs          int
+	Synchronized  int         // runs where every correct node reached ACTIVE
+	AgreementOK   int         // runs that ended with all active nodes agreeing
+	WorstStartup  int         // maximum measured startup time (slots)
+	TotalStartup  int         // sum of measured startup times (for the mean)
+	StartupCounts map[int]int // histogram: startup time -> run count
+}
+
+// MeanStartup returns the average measured startup time.
+func (r *CampaignResult) MeanStartup() float64 {
+	if r.Synchronized == 0 {
+		return 0
+	}
+	return float64(r.TotalStartup) / float64(r.Synchronized)
+}
+
+// String renders a summary.
+func (r *CampaignResult) String() string {
+	return fmt.Sprintf("runs=%d synchronized=%d agreement=%d worst-startup=%d mean-startup=%.2f",
+		r.Runs, r.Synchronized, r.AgreementOK, r.WorstStartup, r.MeanStartup())
+}
+
+// RunCampaign executes the Monte-Carlo campaign.
+func RunCampaign(cc CampaignConfig) (*CampaignResult, error) {
+	p := tta.Params{N: cc.N}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	seed := cc.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	deltaInit := cc.DeltaInit
+	if deltaInit == 0 {
+		deltaInit = p.DefaultDeltaInit()
+	}
+	maxSlots := cc.MaxSlots
+	if maxSlots == 0 {
+		maxSlots = 20 * p.Round()
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	res := &CampaignResult{Runs: cc.Runs, StartupCounts: make(map[int]int)}
+	for range cc.Runs {
+		cfg := DefaultConfig(cc.N)
+		for i := range cfg.NodeDelay {
+			cfg.NodeDelay[i] = 1 + rng.Intn(deltaInit)
+		}
+		switch {
+		case cc.FaultyNode >= 0:
+			cfg.FaultyNode = cc.FaultyNode
+			cfg.HubDelay[1] = rng.Intn(deltaInit)
+			cfg.Injector = &RandomNodeInjector{
+				N: cc.N, ID: cc.FaultyNode, Degree: cc.FaultDegree,
+				Rng: rand.New(rand.NewSource(rng.Int63())),
+			}
+		case cc.FaultyHub >= 0:
+			// The paper's power-on assumption: the CORRECT guardian runs
+			// before the nodes (randomising its delay here reproducibly
+			// breaks agreement — the assumption is load-bearing). Only
+			// the faulty hub's behaviour, including its delay, is free.
+			cfg.FaultyHub = cc.FaultyHub
+			cfg.HubDelay[cc.FaultyHub] = rng.Intn(deltaInit)
+			cfg.Injector = &RandomHubInjector{
+				N: cc.N, Rng: rand.New(rand.NewSource(rng.Int63())),
+			}
+		default:
+			cfg.HubDelay[1] = rng.Intn(deltaInit)
+		}
+		c, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		synced := c.Run(maxSlots)
+		if synced {
+			res.Synchronized++
+			st := c.StartupTime()
+			res.StartupCounts[st]++
+			res.TotalStartup += st
+			if st > res.WorstStartup {
+				res.WorstStartup = st
+			}
+		}
+		if c.Agreement() {
+			res.AgreementOK++
+		}
+	}
+	return res, nil
+}

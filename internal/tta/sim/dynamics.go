@@ -1,0 +1,373 @@
+package sim
+
+// This file implements the per-slot dynamics: the node state machine
+// (Fig. 2a with the big-bang mechanism and the cold-start acceptance
+// window), the guardian relay with semantic filtering and arbitration, and
+// the guardian control state machine (Fig. 2b with interlink integration).
+// The rules mirror internal/tta/startup's verified gcl model one-to-one;
+// TestSimConformsToModel checks the correspondence mechanically.
+
+// frameish reports whether f is a cs- or i-frame.
+func frameish(f Frame) bool { return f.Kind == CS || f.Kind == I }
+
+// clean reports whether node inputs carry an unambiguous frame of the
+// given kind: present on one channel with no conflicting frame on the
+// other.
+func clean(in [2]Frame, kind MsgKind) bool {
+	for k := range 2 {
+		o := 1 - k
+		if in[k].Kind != kind {
+			continue
+		}
+		if !frameish(in[o]) || (in[o].Kind == kind && in[o].Time == in[k].Time) {
+			return true
+		}
+	}
+	return false
+}
+
+func recvTime(in [2]Frame) int {
+	if frameish(in[0]) {
+		return in[0].Time
+	}
+	return in[1].Time
+}
+
+// stepNode advances correct node i by one slot.
+func (c *Cluster) stepNode(i int, n *node) {
+	in := [2]Frame{c.in[0][i], c.in[1][i]}
+	lt := c.p.ListenTimeout(i)
+	cs := c.p.ColdstartTimeout(i)
+	nn := c.cfg.N
+
+	cleanI := clean(in, I)
+	cleanCS := clean(in, CS)
+	anyCS := in[0].Kind == CS || in[1].Kind == CS
+
+	sync := func() {
+		n.state = NodeActive
+		n.pos = (recvTime(in) + 1) % nn
+		n.counter = 0
+		n.out = Frame{Kind: Quiet, Time: i}
+		if n.pos == i {
+			n.out = Frame{Kind: I, Time: i}
+		}
+	}
+
+	switch n.state {
+	case NodeInit:
+		// The scheduler decided the wake slot up front (NodeDelay): wake
+		// when the counter passes the delay (>= 2 keeps the guardians one
+		// slot ahead, the paper's power-on assumption).
+		delay := c.cfg.NodeDelay[i]
+		if delay < 1 {
+			delay = 1
+		}
+		if n.counter >= delay+1 {
+			n.state = NodeListen
+			n.counter = 1
+			return
+		}
+		n.counter++
+
+	case NodeListen:
+		switch {
+		case cleanI:
+			sync()
+		case c.cfg.DisableBigBang && cleanCS:
+			// Section 5.2 design variant: trust the first cs-frame.
+			sync()
+		case anyCS && (n.bigBang || c.cfg.DisableBigBang):
+			// Big-bang: discard the first cs-frame, align the clock (in
+			// the no-big-bang variant this branch handles only logical
+			// collisions).
+			n.state = NodeColdstart
+			n.counter = 2
+			n.bigBang = false
+			n.out = Frame{Kind: Quiet}
+		case n.counter >= lt:
+			n.state = NodeColdstart
+			n.counter = 1
+			n.out = Frame{Kind: CS, Time: i}
+		default:
+			n.counter++
+		}
+
+	case NodeColdstart:
+		// cs-frames only within the cold-start window (counter == n+j+1
+		// for claimed slot j); i-frames integrate unconditionally.
+		window := cleanCS && n.counter == nn+recvTime(in)+1
+		switch {
+		case cleanI || window:
+			sync()
+		case n.counter >= cs:
+			n.counter = 1
+			n.out = Frame{Kind: CS, Time: i}
+		default:
+			n.counter++
+			n.out.Kind = Quiet // the claimed time latch is untouched
+		}
+
+	case NodeActive:
+		n.pos = (n.pos + 1) % nn
+		n.out = Frame{Kind: Quiet, Time: i}
+		if n.pos == i {
+			n.out = Frame{Kind: I, Time: i}
+		}
+	}
+}
+
+// portOut returns what port j transmits on channel ch this slot.
+func (c *Cluster) portOut(ch, j int) Frame {
+	if j == c.cfg.FaultyNode {
+		return c.favail[ch]
+	}
+	if c.nodes[j] == nil || c.nodes[j].state == NodeInit {
+		return Frame{Kind: Quiet}
+	}
+	return c.nodes[j].out
+}
+
+// relay computes channel ch's per-node deliveries and interlink output for
+// this slot.
+func (c *Cluster) relay(ch int) ([]Frame, Frame) {
+	n := c.cfg.N
+	out := make([]Frame, n)
+
+	if c.cfg.FaultyHub == ch {
+		// Faulty hub: arbitrate raw (lowest active port), then let the
+		// injector partition the delivery.
+		frame := Frame{Kind: Quiet}
+		for j := range n {
+			if f := c.portOut(ch, j); f.Kind != Quiet {
+				frame = f
+				break
+			}
+		}
+		deliver, il := c.cfg.Injector.FaultyHubRelay(c.slot, frame)
+		for j := range n {
+			switch deliver[j] {
+			case Noise:
+				out[j] = Frame{Kind: Noise}
+			case Quiet:
+				out[j] = Frame{Kind: Quiet}
+			default:
+				out[j] = frame
+			}
+		}
+		ilFrame := Frame{Kind: Quiet}
+		switch il {
+		case Noise:
+			ilFrame = Frame{Kind: Noise}
+		case Quiet:
+		default:
+			ilFrame = frame
+		}
+		ilFrame.Time = frame.Time
+		for j := range n {
+			out[j].Time = frame.Time
+		}
+		return out, ilFrame
+	}
+
+	h := c.hubs[ch]
+	broadcast := Frame{Kind: Quiet}
+	h.src = -1
+
+	switch h.state {
+	case HubStartup, HubProtected:
+		allowed := func(j int) bool {
+			f := c.portOut(ch, j)
+			if f.Kind == Quiet || h.lock[j] {
+				return false
+			}
+			if h.state == HubProtected {
+				// Protected windows: port j only in its timeout slot.
+				return h.counter == j+1
+			}
+			return true
+		}
+		validCS := func(j int) bool {
+			f := c.portOut(ch, j)
+			return f.Kind == CS && f.Time == j
+		}
+		// Prefer a semantically valid cs-frame; otherwise any active port
+		// (relayed as noise after the semantic check fails).
+		win := -1
+		for j := range n {
+			if allowed(j) && validCS(j) {
+				win = j
+				break
+			}
+		}
+		if win == -1 {
+			for j := range n {
+				if allowed(j) {
+					win = j
+					break
+				}
+			}
+		}
+		if win >= 0 {
+			h.src = win
+			f := c.portOut(ch, win)
+			if validCS(win) {
+				broadcast = Frame{Kind: CS, Time: f.Time}
+			} else {
+				broadcast = Frame{Kind: Noise, Time: f.Time}
+			}
+		}
+
+	case HubTentative, HubActive:
+		j := h.pos
+		f := c.portOut(ch, j)
+		if f.Kind != Quiet && !h.lock[j] {
+			h.src = j
+			if f.Kind == I && f.Time == j {
+				broadcast = Frame{Kind: I, Time: f.Time}
+			} else {
+				broadcast = Frame{Kind: Noise, Time: f.Time}
+			}
+		}
+
+	default: // HubInit, HubListen, HubSilence: channel blocked.
+	}
+
+	h.relayed = broadcast
+	for j := range n {
+		out[j] = broadcast
+	}
+	return out, broadcast
+}
+
+// stepHub advances correct guardian ch given this slot's interlink input.
+func (c *Cluster) stepHub(ch int, il Frame) {
+	h := c.hubs[ch]
+	n := c.cfg.N
+	own := h.relayed
+
+	// Port locking: provably faulty transmissions (noise on a dedicated
+	// link, or a cs-frame claiming a foreign identity).
+	if h.state != HubInit {
+		for j := range n {
+			f := c.portOut(ch, j)
+			if f.Kind == Noise || (f.Kind == CS && f.Time != j) {
+				h.lock[j] = true
+			}
+		}
+	}
+
+	switch h.state {
+	case HubInit:
+		delay := c.cfg.HubDelay[ch]
+		if h.counter >= delay+1 {
+			h.state = HubListen
+			h.counter = 1
+			return
+		}
+		h.counter++
+
+	case HubListen:
+		switch {
+		case il.Kind == I:
+			h.state = HubActive
+			h.pos = (il.Time + 1) % n
+			h.counter = 0
+		case il.Kind == CS:
+			h.state = HubTentative
+			h.pos = (il.Time + 1) % n
+			h.counter = 1
+		case h.counter >= 2*n:
+			h.state = HubStartup
+			h.counter = 1
+		default:
+			h.counter++
+		}
+
+	case HubStartup, HubProtected:
+		switch {
+		case il.Kind == I:
+			// Interlink integration: a running round on the other channel.
+			h.state = HubActive
+			h.pos = (il.Time + 1) % n
+			h.counter = 0
+		case own.Kind == CS && (il.Kind != CS || il.Time == own.Time):
+			h.state = HubTentative
+			h.pos = (own.Time + 1) % n
+			h.counter = 1
+		case own.Kind == CS && il.Kind == CS && il.Time != own.Time:
+			h.state = HubSilence
+			h.counter = 1
+		case own.Kind != CS && il.Kind == CS:
+			h.state = HubTentative
+			h.pos = (il.Time + 1) % n
+			h.counter = 1
+		case h.state == HubProtected && h.counter >= n:
+			h.state = HubStartup
+			h.counter = 1
+		case h.state == HubProtected:
+			h.counter++
+		}
+
+	case HubTentative:
+		switch {
+		case own.Kind == I:
+			h.state = HubActive
+			h.pos = (h.pos + 1) % n
+			h.counter = 0
+		case h.counter >= n-1:
+			h.state = HubProtected
+			h.counter = 1
+			h.pos = (h.pos + 1) % n
+		default:
+			h.counter++
+			h.pos = (h.pos + 1) % n
+		}
+
+	case HubSilence:
+		if h.counter >= n-1 {
+			h.state = HubProtected
+			h.counter = 1
+		} else {
+			h.counter++
+		}
+
+	case HubActive:
+		// Silence watchdog: a full round without a valid i-frame means
+		// the synchronous set is gone; reopen for startup.
+		switch {
+		case own.Kind == I:
+			h.pos = (h.pos + 1) % n
+			h.counter = 0
+		case h.counter >= n:
+			h.state = HubStartup
+			h.counter = 1
+		default:
+			h.pos = (h.pos + 1) % n
+			h.counter++
+		}
+	}
+}
+
+// observeClock maintains the startup-time measurement (Section 5.3).
+func (c *Cluster) observeClock() {
+	if c.frozen {
+		return
+	}
+	awake := 0
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		switch n.state {
+		case NodeListen, NodeColdstart:
+			awake++
+		case NodeActive:
+			c.frozen = true
+			return
+		}
+	}
+	if awake >= 2 {
+		c.startupTime++
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ttastartup/internal/tta"
+)
+
+// RandomNodeInjector drives a faulty node with independent, uniformly
+// random per-channel outputs drawn from the fault kinds permitted at the
+// configured fault degree — the Monte-Carlo counterpart of the model
+// checker's exhaustive enumeration.
+type RandomNodeInjector struct {
+	N      int
+	ID     int
+	Degree int
+	Rng    *rand.Rand
+}
+
+var _ Injector = (*RandomNodeInjector)(nil)
+
+// FaultyNodeOutput implements Injector.
+func (r *RandomNodeInjector) FaultyNodeOutput(int) [2]Frame {
+	var out [2]Frame
+	kinds := tta.KindsAtDegree(r.Degree)
+	for ch := range 2 {
+		kind := kinds[r.Rng.Intn(len(kinds))]
+		out[ch] = r.frameFor(kind)
+	}
+	return out
+}
+
+func (r *RandomNodeInjector) frameFor(kind tta.FaultKind) Frame {
+	switch kind {
+	case tta.FaultCSGood:
+		return Frame{Kind: CS, Time: r.ID}
+	case tta.FaultIGood:
+		return Frame{Kind: I, Time: r.ID}
+	case tta.FaultNoise:
+		return Frame{Kind: Noise}
+	case tta.FaultCSBad:
+		return Frame{Kind: CS, Time: r.Rng.Intn(r.N)}
+	case tta.FaultIBad:
+		return Frame{Kind: I, Time: r.Rng.Intn(r.N)}
+	default:
+		return Frame{Kind: Quiet}
+	}
+}
+
+// FaultyHubRelay implements Injector (unused for a faulty node).
+func (r *RandomNodeInjector) FaultyHubRelay(_ int, frame Frame) ([]MsgKind, MsgKind) {
+	deliver := make([]MsgKind, r.N)
+	for i := range deliver {
+		deliver[i] = frame.Kind
+	}
+	return deliver, frame.Kind
+}
+
+// RandomHubInjector drives a faulty hub with random per-slot partitioning:
+// each node independently receives the arbitrated frame, noise, or
+// silence, and the interlink independently does too.
+type RandomHubInjector struct {
+	N   int
+	Rng *rand.Rand
+}
+
+var _ Injector = (*RandomHubInjector)(nil)
+
+// FaultyNodeOutput implements Injector (unused for a faulty hub).
+func (r *RandomHubInjector) FaultyNodeOutput(int) [2]Frame { return [2]Frame{} }
+
+// FaultyHubRelay implements Injector.
+func (r *RandomHubInjector) FaultyHubRelay(_ int, frame Frame) ([]MsgKind, MsgKind) {
+	deliver := make([]MsgKind, r.N)
+	for i := range deliver {
+		deliver[i] = r.pick(frame)
+	}
+	return deliver, r.pick(frame)
+}
+
+func (r *RandomHubInjector) pick(frame Frame) MsgKind {
+	switch r.Rng.Intn(3) {
+	case 0:
+		if frame.Kind != Quiet {
+			return frame.Kind
+		}
+		return Quiet
+	case 1:
+		return Noise
+	default:
+		return Quiet
+	}
+}
+
+// SilentInjector keeps the faulty component quiet (fail-silent behaviour,
+// the weakest fault mode).
+type SilentInjector struct{ N int }
+
+var _ Injector = (*SilentInjector)(nil)
+
+// FaultyNodeOutput implements Injector.
+func (SilentInjector) FaultyNodeOutput(int) [2]Frame { return [2]Frame{} }
+
+// FaultyHubRelay implements Injector.
+func (s SilentInjector) FaultyHubRelay(int, Frame) ([]MsgKind, MsgKind) {
+	return make([]MsgKind, s.N), Quiet
+}
+
+// SpamCSInjector floods both channels with masquerading cold-start frames
+// every slot — the adversarial strategy that motivates the guardians' port
+// locking.
+type SpamCSInjector struct {
+	N   int
+	Rng *rand.Rand
+}
+
+var _ Injector = (*SpamCSInjector)(nil)
+
+// FaultyNodeOutput implements Injector.
+func (s *SpamCSInjector) FaultyNodeOutput(int) [2]Frame {
+	t := s.Rng.Intn(s.N)
+	return [2]Frame{{Kind: CS, Time: t}, {Kind: CS, Time: t}}
+}
+
+// FaultyHubRelay implements Injector.
+func (s *SpamCSInjector) FaultyHubRelay(_ int, frame Frame) ([]MsgKind, MsgKind) {
+	deliver := make([]MsgKind, s.N)
+	for i := range deliver {
+		deliver[i] = frame.Kind
+	}
+	return deliver, frame.Kind
+}

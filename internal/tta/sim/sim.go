@@ -1,0 +1,360 @@
+// Package sim is a concrete, executable discrete-time simulator of the TTA
+// startup algorithm — an independent re-implementation of the verified
+// model's semantics in plain Go. Where the model checker explores ALL
+// behaviours (exhaustive fault simulation), the simulator executes ONE
+// behaviour per run under a pluggable fault injector and scheduler, which
+// makes it the substrate for Monte-Carlo fault-injection campaigns (the
+// experimental technique of the paper's reference [1]) and for runnable
+// examples. A conformance test checks that every simulator step is a legal
+// transition of the verified gcl model.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"ttastartup/internal/tta"
+)
+
+// MsgKind is a channel symbol.
+type MsgKind int
+
+// Channel symbols.
+const (
+	Quiet MsgKind = iota
+	Noise
+	CS
+	I
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case Quiet:
+		return "quiet"
+	case Noise:
+		return "noise"
+	case CS:
+		return "cs"
+	case I:
+		return "i"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", int(k))
+	}
+}
+
+// Frame is a message with its claimed slot id.
+type Frame struct {
+	Kind MsgKind
+	Time int
+}
+
+// NodeState is a node's protocol state.
+type NodeState int
+
+// Node states.
+const (
+	NodeInit NodeState = iota
+	NodeListen
+	NodeColdstart
+	NodeActive
+)
+
+func (s NodeState) String() string {
+	return [...]string{"init", "listen", "coldstart", "active"}[s]
+}
+
+// HubState is a guardian's protocol state.
+type HubState int
+
+// Hub states.
+const (
+	HubInit HubState = iota
+	HubListen
+	HubStartup
+	HubTentative
+	HubSilence
+	HubProtected
+	HubActive
+)
+
+func (s HubState) String() string {
+	return [...]string{"init", "listen", "startup", "tentative", "silence", "protected", "active"}[s]
+}
+
+// Config parameterises a simulation.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// FaultyNode designates a faulty node (-1: none).
+	FaultyNode int
+	// FaultyHub designates a faulty hub (-1: none).
+	FaultyHub int
+	// NodeDelay[i] is node i's power-on delay in slots (>= 1; the hubs
+	// power on at slot 0, per the paper's power-on assumption).
+	NodeDelay []int
+	// HubDelay[ch] is hub ch's power-on delay (0 for an immediate start).
+	HubDelay [2]int
+	// Injector drives the faulty components (nil: everything correct).
+	Injector Injector
+	// DisableBigBang mirrors the verified model's Section 5.2 design
+	// variant: nodes synchronise directly on the first cs-frame.
+	DisableBigBang bool
+}
+
+// DefaultConfig returns a fault-free configuration with all nodes waking
+// at slot 1.
+func DefaultConfig(n int) Config {
+	delays := make([]int, n)
+	for i := range delays {
+		delays[i] = 1
+	}
+	return Config{N: n, FaultyNode: -1, FaultyHub: -1, NodeDelay: delays}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := (tta.Params{N: c.N}).Validate(); err != nil {
+		return err
+	}
+	if len(c.NodeDelay) != c.N {
+		return fmt.Errorf("sim: need %d node delays, got %d", c.N, len(c.NodeDelay))
+	}
+	for i, d := range c.NodeDelay {
+		if d < 1 {
+			return fmt.Errorf("sim: node %d delay %d must be >= 1 (guardians power on first)", i, d)
+		}
+	}
+	if c.FaultyNode >= 0 && c.FaultyHub >= 0 {
+		return fmt.Errorf("sim: single-failure hypothesis forbids two faulty components")
+	}
+	if c.FaultyNode >= c.N || c.FaultyHub > 1 {
+		return fmt.Errorf("sim: faulty component out of range")
+	}
+	if (c.FaultyNode >= 0 || c.FaultyHub >= 0) && c.Injector == nil {
+		return fmt.Errorf("sim: faulty component configured without an injector")
+	}
+	return nil
+}
+
+// Injector decides a faulty component's behaviour each slot.
+type Injector interface {
+	// FaultyNodeOutput returns the faulty node's transmission on each
+	// channel for the given slot.
+	FaultyNodeOutput(slot int) [2]Frame
+	// FaultyHubRelay decides the faulty hub's per-node delivery and
+	// interlink output given the frame it arbitrated this slot (Kind ==
+	// Quiet when no port was active). deliver[i] selects what node i
+	// receives; il selects the interlink output. Deliveries may only be
+	// the frame itself, Noise, or Quiet (the fault hypothesis: a hub
+	// cannot fabricate or delay valid frames).
+	FaultyHubRelay(slot int, frame Frame) (deliver []MsgKind, il MsgKind)
+}
+
+// node is one correct node's runtime state.
+type node struct {
+	state   NodeState
+	counter int
+	pos     int
+	bigBang bool
+	out     Frame // transmission this slot (both channels)
+}
+
+// hub is one correct guardian's runtime state.
+type hub struct {
+	state   HubState
+	counter int
+	pos     int
+	lock    []bool
+	// relayed is the hub's broadcast/interlink output this slot.
+	relayed Frame
+	src     int // winning port, -1 none
+}
+
+// Cluster is a running simulation.
+type Cluster struct {
+	cfg  Config
+	p    tta.Params
+	slot int
+
+	nodes  []*node
+	hubs   [2]*hub
+	favail [2]Frame // faulty node's per-channel output this slot
+
+	// in[ch][i] is what node i hears on channel ch next slot.
+	in [2][]Frame
+
+	startupTime int
+	frozen      bool
+
+	// Log receives one line per slot when non-nil.
+	Log func(string)
+}
+
+// New builds a cluster simulation.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, p: tta.Params{N: cfg.N}}
+	c.nodes = make([]*node, cfg.N)
+	for i := range cfg.N {
+		if i == cfg.FaultyNode {
+			continue
+		}
+		c.nodes[i] = &node{state: NodeInit, counter: 1, bigBang: true}
+	}
+	for ch := range 2 {
+		if ch == cfg.FaultyHub {
+			continue
+		}
+		c.hubs[ch] = &hub{state: HubInit, counter: 1, lock: make([]bool, cfg.N), src: -1}
+	}
+	for ch := range 2 {
+		c.in[ch] = make([]Frame, cfg.N)
+	}
+	return c, nil
+}
+
+// Slot returns the current slot number (starting at 1 after the first
+// Step).
+func (c *Cluster) Slot() int { return c.slot }
+
+// StartupTime returns the measured startup duration so far (slots between
+// two correct nodes awake and the first correct node active).
+func (c *Cluster) StartupTime() int { return c.startupTime }
+
+// NodeState returns node i's protocol state (faulty nodes report Active).
+func (c *Cluster) NodeState(i int) NodeState {
+	if c.nodes[i] == nil {
+		return NodeActive
+	}
+	return c.nodes[i].state
+}
+
+// NodePos returns node i's TDMA position estimate.
+func (c *Cluster) NodePos(i int) int {
+	if c.nodes[i] == nil {
+		return 0
+	}
+	return c.nodes[i].pos
+}
+
+// HubState returns hub ch's protocol state (a faulty hub reports Active).
+func (c *Cluster) HubState(ch int) HubState {
+	if c.hubs[ch] == nil {
+		return HubActive
+	}
+	return c.hubs[ch].state
+}
+
+// AllCorrectActive reports whether every correct node is synchronised.
+func (c *Cluster) AllCorrectActive() bool {
+	for _, n := range c.nodes {
+		if n != nil && n.state != NodeActive {
+			return false
+		}
+	}
+	return true
+}
+
+// Agreement reports whether all correct active nodes agree on the slot
+// position.
+func (c *Cluster) Agreement() bool {
+	pos := -1
+	for _, n := range c.nodes {
+		if n == nil || n.state != NodeActive {
+			continue
+		}
+		if pos == -1 {
+			pos = n.pos
+		} else if n.pos != pos {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the simulation by one slot, mirroring the verified model's
+// evaluation order: nodes (and the faulty node) transmit, hubs arbitrate
+// and relay, controllers step, and the latched channel inputs update.
+func (c *Cluster) Step() {
+	c.slot++
+
+	// 1. Node phase: react to last slot's channel inputs, produce outputs.
+	for i, n := range c.nodes {
+		if n != nil {
+			c.stepNode(i, n)
+		}
+	}
+	if c.cfg.FaultyNode >= 0 {
+		c.favail = c.cfg.Injector.FaultyNodeOutput(c.slot)
+		for ch := range 2 {
+			if h := c.hubs[ch]; h != nil && h.lock[c.cfg.FaultyNode] {
+				c.favail[ch] = Frame{} // feedback: locked port stays quiet
+			}
+		}
+	}
+
+	// 2. Hub relay + control phase.
+	var out [2][]Frame
+	var il [2]Frame
+	for ch := range 2 {
+		out[ch], il[ch] = c.relay(ch)
+	}
+	for ch := range 2 {
+		if c.hubs[ch] != nil {
+			c.stepHub(ch, il[1-ch])
+		}
+	}
+
+	// 3. Latch channel inputs for the next slot.
+	for ch := range 2 {
+		copy(c.in[ch], out[ch])
+	}
+
+	// 4. Startup-time observer.
+	c.observeClock()
+
+	if c.Log != nil {
+		c.Log(c.Describe())
+	}
+}
+
+// Run advances until all correct nodes are active or maxSlots elapse; it
+// reports whether synchronisation was reached.
+func (c *Cluster) Run(maxSlots int) bool {
+	for c.slot < maxSlots {
+		c.Step()
+		if c.AllCorrectActive() {
+			return true
+		}
+	}
+	return c.AllCorrectActive()
+}
+
+// Describe renders a one-line cluster summary.
+func (c *Cluster) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slot %3d |", c.slot)
+	for i, n := range c.nodes {
+		if n == nil {
+			fmt.Fprintf(&b, " n%d:FAULTY", i)
+			continue
+		}
+		fmt.Fprintf(&b, " n%d:%s", i, n.state)
+		if n.state == NodeActive {
+			fmt.Fprintf(&b, "@%d", n.pos)
+		} else {
+			fmt.Fprintf(&b, "(%d)", n.counter)
+		}
+	}
+	b.WriteString(" |")
+	for ch := range 2 {
+		if c.hubs[ch] == nil {
+			fmt.Fprintf(&b, " h%d:FAULTY", ch)
+			continue
+		}
+		fmt.Fprintf(&b, " h%d:%s", ch, c.hubs[ch].state)
+	}
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package startup
+
+import (
+	"testing"
+	"time"
+
+	"ttastartup/internal/mc/symbolic"
+)
+
+func TestClusterComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison harness, ~15 s")
+	}
+	for _, limit := range []int{-1, 2000, 5000, 20000} {
+		cfg := DefaultConfig(4).WithFaultyNode(2)
+		cfg.DeltaInit = 5
+		m := MustBuild(cfg)
+		eng, err := symbolic.New(m.Sys.Compile(), symbolic.Options{ClusterLimit: limit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		begin := time.Now()
+		res, err := eng.CheckEventually(m.Liveness())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("limit=%6d: %v in %v (peak %d nodes)", limit, res.Verdict, time.Since(begin).Round(time.Millisecond), res.Stats.PeakNodes)
+	}
+}

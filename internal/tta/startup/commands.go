@@ -1,0 +1,300 @@
+package startup
+
+import (
+	"fmt"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/tta"
+)
+
+// ---------------------------------------------------------------------------
+// Shared expression helpers
+
+// msgIn returns what node i hears on channel ch this slot (the hub relay's
+// latched output from the previous slot's arbitration).
+func (m *Model) msgIn(i, ch int) gcl.Expr {
+	r := m.Relays[ch]
+	if r.Faulty {
+		return gcl.X(r.MsgTo[i])
+	}
+	return gcl.X(r.Msg)
+}
+
+// timeIn returns the slot id carried by the frame node i hears on ch.
+func (m *Model) timeIn(ch int) gcl.Expr {
+	r := m.Relays[ch]
+	if r.Faulty {
+		return gcl.X(r.FTime)
+	}
+	return gcl.X(r.Time)
+}
+
+// portMsgN / portTimeN return the primed (same-slot) output of port j as
+// the hub on channel ch sees it.
+func (m *Model) portMsgN(ch, j int) gcl.Expr {
+	if m.Faulty != nil && j == m.Faulty.ID {
+		return gcl.XN(m.Faulty.Msg[ch])
+	}
+	return gcl.XN(m.Nodes[j].Msg)
+}
+
+func (m *Model) portTimeN(ch, j int) gcl.Expr {
+	if m.Faulty != nil && j == m.Faulty.ID {
+		return gcl.XN(m.Faulty.Time[ch])
+	}
+	return gcl.XN(m.Nodes[j].Time)
+}
+
+// ilMsgN / ilTimeN return the primed interlink outputs of channel ch (what
+// the OTHER hub receives from ch this slot).
+func (m *Model) ilMsgN(ch int) gcl.Expr {
+	r := m.Relays[ch]
+	if r.Faulty {
+		return gcl.XN(r.ILMsg)
+	}
+	return gcl.XN(r.Msg)
+}
+
+func (m *Model) ilTimeN(ch int) gcl.Expr {
+	r := m.Relays[ch]
+	if r.Faulty {
+		return gcl.XN(r.ILTime)
+	}
+	return gcl.XN(r.Time)
+}
+
+func (m *Model) msgC(v int) gcl.Expr  { return gcl.C(m.MsgType, v) }
+func (m *Model) posC(v int) gcl.Expr  { return gcl.C(m.PosType, v) }
+func (m *Model) cntC(v int) gcl.Expr  { return gcl.C(m.CntType, v) }
+func (m *Model) hubC(v int) gcl.Expr  { return gcl.C(m.HubType, v) }
+func (m *Model) nodeC(v int) gcl.Expr { return gcl.C(m.NodeType, v) }
+
+// ---------------------------------------------------------------------------
+// Correct node (Fig. 2a)
+
+// nodeCommands adds the startup state machine of correct node i. Frame
+// classification follows Section 2.3.1: a reception is "clean" when one
+// channel carries the frame and the other channel carries no conflicting
+// frame (logical collisions are resolved by the big-bang mechanism).
+func (m *Model) nodeCommands(n *Node) {
+	mod := n.State.Module
+	cfg := m.Cfg
+	i := n.ID
+	lt := m.P.ListenTimeout(i)
+	cs := m.P.ColdstartTimeout(i)
+
+	isF := func(ch, kind int) gcl.Expr { return gcl.Eq(m.msgIn(i, ch), m.msgC(kind)) }
+	frameish := func(ch int) gcl.Expr { return gcl.Or(isF(ch, MsgCS), isF(ch, MsgI)) }
+	clean := func(kind int) gcl.Expr {
+		agree := func(a, b int) gcl.Expr {
+			return gcl.Or(
+				gcl.Not(frameish(b)),
+				gcl.And(isF(b, kind), gcl.Eq(m.timeIn(b), m.timeIn(a))))
+		}
+		return gcl.Or(
+			gcl.And(isF(0, kind), agree(0, 1)),
+			gcl.And(isF(1, kind), agree(1, 0)))
+	}
+	cleanI := clean(MsgI)
+	cleanCS := clean(MsgCS)
+	anyCS := gcl.Or(isF(0, MsgCS), isF(1, MsgCS))
+	recvTime := gcl.Ite(frameish(0), m.timeIn(0), m.timeIn(1))
+	nextPos := gcl.AddMod(recvTime, 1)
+
+	inState := func(s int) gcl.Expr { return gcl.Eq(gcl.X(n.State), m.nodeC(s)) }
+
+	// syncUpdates moves the node to ACTIVE synchronised on the received
+	// frame: the next slot's position is the frame's slot id plus one, and
+	// the node transmits immediately if that slot is its own.
+	syncUpdates := []gcl.Update{
+		gcl.Set(n.State, m.nodeC(NodeActive)),
+		gcl.Set(n.Pos, nextPos),
+		gcl.Set(n.Msg, gcl.Ite(gcl.Eq(nextPos, m.posC(i)), m.msgC(MsgI), m.msgC(MsgQuiet))),
+		gcl.Set(n.Time, m.posC(i)),
+		gcl.SetC(n.Counter, 0),
+	}
+
+	// INIT: wake nondeterministically within the power-on window
+	// (transition 1.1 plus the paper's "let time advance" command). The
+	// counter >= 2 guard encodes the paper's power-on assumption that the
+	// guardians are running before the nodes: hubs enter their LISTEN
+	// phase one slot ahead of the earliest node, so the correct hub's
+	// 2-round LISTEN always completes before the earliest possible
+	// cs-frame (node 0's listen timeout is exactly 2 rounds).
+	mod.Cmd("init-stay",
+		gcl.And(inState(NodeInit), gcl.Le(gcl.X(n.Counter), m.cntC(cfg.deltaInit()))),
+		gcl.Set(n.Counter, gcl.AddSat(gcl.X(n.Counter), 1)))
+	mod.Cmd("init-go",
+		gcl.And(inState(NodeInit), gcl.Ge(gcl.X(n.Counter), m.cntC(2))),
+		gcl.Set(n.State, m.nodeC(NodeListen)),
+		gcl.SetC(n.Counter, 1))
+
+	// LISTEN: integrate on a clean i-frame (transition 2.2).
+	mod.Cmd("listen-integrate",
+		gcl.And(inState(NodeListen), cleanI),
+		syncUpdates...)
+
+	if !cfg.DisableBigBang {
+		// Big-bang (transition 2.1): the first cs-frame — clean or
+		// logically colliding — only resets the clock to δ_cs; its
+		// contents are deliberately discarded (Section 2.3.1).
+		mod.Cmd("listen-bigbang",
+			gcl.And(inState(NodeListen), gcl.Not(cleanI), anyCS, gcl.X(n.BigBang)),
+			gcl.Set(n.State, m.nodeC(NodeColdstart)),
+			gcl.SetC(n.Counter, 2),
+			gcl.Set(n.BigBang, gcl.B(false)),
+			gcl.Set(n.Msg, m.msgC(MsgQuiet)))
+	} else {
+		// Design-exploration variant (Section 5.2): synchronise directly
+		// on the first clean cs-frame; a logical collision still sends the
+		// node to COLDSTART with a reset clock.
+		mod.Cmd("listen-cs-direct",
+			gcl.And(inState(NodeListen), gcl.Not(cleanI), cleanCS),
+			syncUpdates...)
+		mod.Cmd("listen-cs-collision",
+			gcl.And(inState(NodeListen), gcl.Not(cleanI), gcl.Not(cleanCS), anyCS),
+			gcl.Set(n.State, m.nodeC(NodeColdstart)),
+			gcl.SetC(n.Counter, 2),
+			gcl.Set(n.Msg, m.msgC(MsgQuiet)))
+	}
+
+	// LISTEN timeout (transition 2.1, sender side): no traffic for
+	// τ_listen — enter COLDSTART, reset the clock, broadcast a cs-frame.
+	mod.Cmd("listen-timeout",
+		gcl.And(inState(NodeListen), gcl.Not(cleanI), gcl.Not(anyCS),
+			gcl.Ge(gcl.X(n.Counter), m.cntC(lt))),
+		gcl.Set(n.State, m.nodeC(NodeColdstart)),
+		gcl.SetC(n.Counter, 1),
+		gcl.Set(n.Msg, m.msgC(MsgCS)),
+		gcl.Set(n.Time, m.posC(i)))
+	mod.Cmd("listen-tick",
+		gcl.And(inState(NodeListen), gcl.Not(cleanI), gcl.Not(anyCS),
+			gcl.Lt(gcl.X(n.Counter), m.cntC(lt))),
+		gcl.Set(n.Counter, gcl.AddSat(gcl.X(n.Counter), 1)))
+
+	// COLDSTART: synchronise on a clean frame (transition 3.2). An i-frame
+	// carries the authoritative schedule of an already-synchronised
+	// cluster and is accepted unconditionally. A cs-frame is accepted only
+	// if it is consistent with the cold-start timeout pattern: after a
+	// big-bang (or a collision) every cold-starting node's clock is
+	// aligned, so node j's retry can only legitimately arrive when the
+	// receiver's counter reads n+j+1. This window rejects cs-frames from
+	// unsynchronised senders smuggled in on a single (possibly faulty)
+	// channel — accepting those builds cliques — and as a side effect
+	// rejects the hub's echo of the node's own cs-frame (which arrives at
+	// counter 1).
+	csWindow := make([]gcl.Expr, 0, cfg.N)
+	for j := range cfg.N {
+		csWindow = append(csWindow, gcl.And(
+			gcl.Eq(recvTime, m.posC(j)),
+			gcl.Eq(gcl.X(n.Counter), m.cntC(cfg.N+j+1))))
+	}
+	csAccept := gcl.Or(csWindow...)
+	if cfg.DisableCSWindow {
+		// Ablation: accept any clean cs-frame except the node's own echo
+		// (which arrives at counter 1).
+		csAccept = gcl.Ge(gcl.X(n.Counter), m.cntC(2))
+	}
+	recvOK := gcl.Or(cleanI, gcl.And(cleanCS, csAccept))
+	mod.Cmd("start-sync",
+		gcl.And(inState(NodeColdstart), recvOK),
+		syncUpdates...)
+
+	// COLDSTART timeout (transition 3.1): resend the cs-frame.
+	mod.Cmd("start-resend",
+		gcl.And(inState(NodeColdstart), gcl.Not(recvOK),
+			gcl.Ge(gcl.X(n.Counter), m.cntC(cs))),
+		gcl.SetC(n.Counter, 1),
+		gcl.Set(n.Msg, m.msgC(MsgCS)),
+		gcl.Set(n.Time, m.posC(i)))
+	mod.Cmd("start-tick",
+		gcl.And(inState(NodeColdstart), gcl.Not(recvOK),
+			gcl.Lt(gcl.X(n.Counter), m.cntC(cs))),
+		gcl.Set(n.Counter, gcl.AddSat(gcl.X(n.Counter), 1)),
+		gcl.Set(n.Msg, m.msgC(MsgQuiet)))
+
+	// ACTIVE: execute the TDMA schedule, transmitting an i-frame in the
+	// node's own slot.
+	nextOwn := gcl.AddMod(gcl.X(n.Pos), 1)
+	mod.Cmd("active-run",
+		inState(NodeActive),
+		gcl.Set(n.Pos, nextOwn),
+		gcl.Set(n.Msg, gcl.Ite(gcl.Eq(nextOwn, m.posC(i)), m.msgC(MsgI), m.msgC(MsgQuiet))),
+		gcl.Set(n.Time, m.posC(i)))
+
+	// Transient restart (the Section 2.1 restart problem): once per node,
+	// at an arbitrary instant after power-on, the protocol state is wiped
+	// back to INIT and the node must re-integrate from scratch.
+	if cfg.RestartableNodes {
+		mod.Cmd("transient-restart",
+			gcl.And(gcl.Not(inState(NodeInit)), gcl.X(n.Restart)),
+			gcl.Set(n.State, m.nodeC(NodeInit)),
+			gcl.SetC(n.Counter, 1),
+			gcl.Set(n.Msg, m.msgC(MsgQuiet)),
+			gcl.Set(n.Time, m.posC(0)),
+			gcl.Set(n.Pos, m.posC(0)),
+			gcl.Set(n.BigBang, gcl.B(true)),
+			gcl.Set(n.Restart, gcl.B(false)))
+	}
+
+	// Diagnostic catch-all: any uncovered situation raises the errorflag
+	// (the model-sanity invariant NoError proves this never fires).
+	mod.Fallback("diag", gcl.Set(n.ErrFlag, gcl.B(true)))
+}
+
+// ---------------------------------------------------------------------------
+// Faulty node (Section 3.2.1)
+
+// faultyCommands models the designated faulty node: every slot it chooses,
+// per channel, any output kind whose combined fault degree is within
+// δ_failure (Fig. 3); bad frames masquerade with an arbitrary slot id.
+// With feedback enabled, a channel whose hub has locked the node's port
+// collapses to quiet (the paper's state-space reduction).
+func (m *Model) faultyCommands(f *FaultyNode) {
+	mod := f.Msg[0].Module
+	cfg := m.Cfg
+
+	mode := [2]*gcl.Var{}
+	bad := [2]*gcl.Var{}
+	for ch := range 2 {
+		mode[ch] = mod.Choice(fmt.Sprintf("mode%d", ch), m.FaultType)
+		bad[ch] = mod.Choice(fmt.Sprintf("bad_time%d", ch), m.PosType)
+	}
+
+	// Fault-degree dial: per-channel severity (enum index + 1) must stay
+	// within δ_failure; DegreeOf(a,b) = max severity. Degree 6 permits
+	// everything.
+	guard := gcl.True()
+	if cfg.FaultDegree < tta.NumFaultKinds {
+		guard = gcl.And(
+			gcl.Le(gcl.X(mode[0]), gcl.C(m.FaultType, cfg.FaultDegree-1)),
+			gcl.Le(gcl.X(mode[1]), gcl.C(m.FaultType, cfg.FaultDegree-1)))
+	}
+
+	updates := make([]gcl.Update, 0, 4)
+	for ch := range 2 {
+		isKind := func(k int) gcl.Expr { return gcl.Eq(gcl.X(mode[ch]), gcl.C(m.FaultType, k)) }
+		const (
+			fQuiet  = 0
+			fCSGood = 1
+			fIGood  = 2
+			fNoise  = 3
+			fCSBad  = 4
+			fIBad   = 5
+		)
+		msgOut := gcl.Ite(isKind(fQuiet), m.msgC(MsgQuiet),
+			gcl.Ite(isKind(fNoise), m.msgC(MsgNoise),
+				gcl.Ite(gcl.Or(isKind(fCSGood), isKind(fCSBad)), m.msgC(MsgCS), m.msgC(MsgI))))
+		timeOut := gcl.Ite(gcl.Or(isKind(fCSGood), isKind(fIGood)), m.posC(f.ID),
+			gcl.Ite(gcl.Or(isKind(fCSBad), isKind(fIBad)), gcl.X(bad[ch]), m.posC(0)))
+		if cfg.Feedback && m.Ctrls[ch] != nil {
+			locked := gcl.X(m.Ctrls[ch].Lock[f.ID])
+			msgOut = gcl.Ite(locked, m.msgC(MsgQuiet), msgOut)
+			timeOut = gcl.Ite(locked, m.posC(0), timeOut)
+		}
+		updates = append(updates,
+			gcl.Set(f.Msg[ch], msgOut),
+			gcl.Set(f.Time[ch], timeOut))
+	}
+	mod.Cmd("emit", guard, updates...)
+}

@@ -1,0 +1,172 @@
+// Package startup models the fault-tolerant TTA startup algorithm of the
+// paper — n nodes and two central guardians ("hubs") connected by
+// interlinks — as a gcl system amenable to all three model-checking
+// engines. The model follows the paper's discrete-time abstraction: one
+// step is one TDMA slot, frames occupy one slot, and the node→hub→node
+// relay latency is one step (hubs observe node outputs combinationally
+// within a slot; nodes read the relayed result at the next slot).
+//
+// Fault injection follows the paper's exhaustive-fault-simulation scheme: a
+// designated faulty node emits, every slot and independently per channel,
+// any output permitted by the configured fault degree (Fig. 3); a
+// designated faulty hub may relay each slot's traffic to an arbitrary
+// subset of nodes and the interlink while sending noise or silence to the
+// rest (implicit failure modelling), but can neither fabricate nor delay
+// valid frames.
+package startup
+
+import (
+	"fmt"
+
+	"ttastartup/internal/tta"
+)
+
+// Config selects the cluster size, the injected fault, and the modelling
+// "dials" of the paper.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// FaultyNode designates the faulty node (-1: none). Mutually
+	// exclusive with FaultyHub.
+	FaultyNode int
+	// FaultyHub designates the faulty hub/channel, 0 or 1 (-1: none).
+	FaultyHub int
+	// FaultDegree is δ_failure ∈ 1..6, the paper's fault-degree dial. It
+	// bounds the per-channel output kinds of the faulty node (Fig. 3).
+	FaultDegree int
+	// Feedback enables the paper's state-space reduction: once a hub has
+	// locked the faulty node's port, the faulty node's output on that
+	// channel collapses to quiet (Section 3.2.1).
+	Feedback bool
+	// DisableBigBang removes the big-bang mechanism (nodes synchronise
+	// directly on the first cs-frame they receive), reproducing the flawed
+	// design variant of Section 5.2.
+	DisableBigBang bool
+	// DisableInterlinks severs the guardian-to-guardian links, the
+	// variant the paper's conclusion names as ongoing design work
+	// ("a shift of complexity ... to make the interlink connections
+	// unnecessary"). With the unmodified node/guardian algorithms this
+	// variant is UNSAFE — the model checker exhibits the per-channel
+	// clique scenarios the interlinks exist to prevent (see the tests).
+	DisableInterlinks bool
+	// DisableCSPriority removes the guardians' preference for
+	// semantically valid cs-frames during startup arbitration (ablation:
+	// a babbling faulty node then starves the cold start — liveness
+	// fails).
+	DisableCSPriority bool
+	// DisableCSWindow removes the cold-start acceptance window in the
+	// nodes (ablation: a partitioning faulty hub then builds cliques from
+	// single-channel deliveries — safety fails).
+	DisableCSWindow bool
+	// DisableWatchdog removes the guardians' ACTIVE-state silence
+	// watchdog (ablation: with RestartableNodes, a guardian whose
+	// synchronous set evaporated blocks every cold-start frame forever —
+	// liveness fails).
+	DisableWatchdog bool
+	// RestartableNodes models the paper's restart problem (Section 2.1):
+	// each correct node may suffer one transient fault at an arbitrary
+	// instant, wiping its protocol state back to INIT, after which it must
+	// re-integrate. (One restart per node keeps the disruption budget
+	// finite so the liveness lemma remains meaningful.)
+	RestartableNodes bool
+	// DeltaInit is the power-on window in slots for nodes and the delayed
+	// hub (0: the paper's δ_init = 8·round). Smaller values shrink the
+	// state space for explicit-state cross-validation.
+	DeltaInit int
+	// MaxCount overrides the counter ceiling (0: the paper's 20·n).
+	MaxCount int
+}
+
+// DefaultConfig returns the paper's baseline configuration for n nodes:
+// fault degree 6, feedback on, big-bang enabled, no fault injected.
+func DefaultConfig(n int) Config {
+	return Config{
+		N:           n,
+		FaultyNode:  -1,
+		FaultyHub:   -1,
+		FaultDegree: 6,
+		Feedback:    true,
+	}
+}
+
+// WithFaultyNode returns a copy of c with node id faulty.
+func (c Config) WithFaultyNode(id int) Config {
+	c.FaultyNode = id
+	c.FaultyHub = -1
+	return c
+}
+
+// WithFaultyHub returns a copy of c with hub ch faulty.
+func (c Config) WithFaultyHub(ch int) Config {
+	c.FaultyHub = ch
+	c.FaultyNode = -1
+	return c
+}
+
+// Params returns the TTA timing parameters for this configuration.
+func (c Config) Params() tta.Params { return tta.Params{N: c.N} }
+
+func (c Config) deltaInit() int {
+	if c.DeltaInit == 0 {
+		return c.Params().DefaultDeltaInit()
+	}
+	return c.DeltaInit
+}
+
+func (c Config) maxCount() int {
+	if c.MaxCount == 0 {
+		return c.Params().MaxCount()
+	}
+	return c.MaxCount
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if err := c.Params().Validate(); err != nil {
+		return err
+	}
+	if c.FaultyNode >= 0 && c.FaultyHub >= 0 {
+		return fmt.Errorf("startup: single-failure hypothesis forbids both a faulty node and a faulty hub")
+	}
+	if c.FaultyNode >= c.N {
+		return fmt.Errorf("startup: faulty node %d out of range (n=%d)", c.FaultyNode, c.N)
+	}
+	if c.FaultyHub > 1 {
+		return fmt.Errorf("startup: faulty hub %d out of range", c.FaultyHub)
+	}
+	if c.FaultDegree < 1 || c.FaultDegree > tta.NumFaultKinds {
+		return fmt.Errorf("startup: fault degree %d outside 1..6", c.FaultDegree)
+	}
+	if c.deltaInit() < 1 {
+		return fmt.Errorf("startup: DeltaInit must be positive")
+	}
+	if c.maxCount() < 2*c.Params().Round()+c.N+1 {
+		return fmt.Errorf("startup: MaxCount %d too small for the listen timeouts", c.maxCount())
+	}
+	if c.deltaInit() >= c.maxCount() {
+		return fmt.Errorf("startup: DeltaInit %d must be below MaxCount %d", c.deltaInit(), c.maxCount())
+	}
+	return nil
+}
+
+// correctNodes returns the ids of the non-faulty nodes.
+func (c Config) correctNodes() []int {
+	out := make([]int, 0, c.N)
+	for i := range c.N {
+		if i != c.FaultyNode {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// correctHubs returns the channels whose hub is non-faulty.
+func (c Config) correctHubs() []int {
+	out := make([]int, 0, 2)
+	for ch := range 2 {
+		if ch != c.FaultyHub {
+			out = append(out, ch)
+		}
+	}
+	return out
+}

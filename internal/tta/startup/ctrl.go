@@ -1,0 +1,220 @@
+package startup
+
+import (
+	"ttastartup/internal/gcl"
+)
+
+// ctrlCommands models the control state machine of a CORRECT central
+// guardian on channel ch (Fig. 2b). The controller reads its own relay's
+// filtered output and the other channel's interlink output in the same
+// slot (primed), matching the paper's synchronous hub model. Port locking
+// (the guardian's "full knowledge of the attached nodes") fires on
+// provably-faulty transmissions only: noise on a dedicated port link, or a
+// cs-frame claiming a foreign identity.
+func (m *Model) ctrlCommands(c *Ctrl) {
+	ch := c.Ch
+	mod := c.State.Module
+	cfg := m.Cfg
+	n := cfg.N
+	round := m.P.Round()
+
+	own := gcl.XN(m.Relays[ch].Msg)
+	ownTime := gcl.XN(m.Relays[ch].Time)
+	il := m.ilMsgN(1 - ch)
+	ilTime := m.ilTimeN(1 - ch)
+	if cfg.DisableInterlinks {
+		// The design-exploration variant: the guardian hears nothing from
+		// the other channel.
+		il = m.msgC(MsgQuiet)
+		ilTime = m.posC(0)
+	}
+
+	// Lock bookkeeping, appended to every post-init command.
+	lockUpdates := make([]gcl.Update, 0, n)
+	for j := range n {
+		bad := gcl.Or(
+			gcl.Eq(m.portMsgN(ch, j), m.msgC(MsgNoise)),
+			gcl.And(gcl.Eq(m.portMsgN(ch, j), m.msgC(MsgCS)), gcl.Ne(m.portTimeN(ch, j), m.posC(j))))
+		lockUpdates = append(lockUpdates, gcl.Set(c.Lock[j], gcl.Or(gcl.X(c.Lock[j]), bad)))
+	}
+	withLocks := func(us ...gcl.Update) []gcl.Update { return append(us, lockUpdates...) }
+
+	inState := func(s int) gcl.Expr { return gcl.Eq(gcl.X(c.State), m.hubC(s)) }
+	counter := gcl.X(c.Counter)
+	tick := gcl.Set(c.Counter, gcl.AddSat(counter, 1))
+
+	// INIT: power-on window (the non-delayed hub starts with its counter
+	// at δ_init, forcing an immediate transition).
+	mod.Cmd("h-init-stay",
+		gcl.And(inState(HubInit), gcl.Lt(counter, m.cntC(cfg.deltaInit()))),
+		tick)
+	mod.Cmd("h-init-go",
+		inState(HubInit),
+		gcl.Set(c.State, m.hubC(HubListen)),
+		gcl.SetC(c.Counter, 1))
+
+	// LISTEN: integrate via the interlink for 2 rounds (transitions 2.2,
+	// 2.3), else open up for startup (2.1).
+	mod.Cmd("h-listen-integrate-i",
+		gcl.And(inState(HubListen), gcl.Eq(il, m.msgC(MsgI))),
+		withLocks(
+			gcl.Set(c.State, m.hubC(HubActive)),
+			gcl.Set(c.Pos, gcl.AddMod(ilTime, 1)),
+			gcl.SetC(c.Counter, 0))...)
+	mod.Cmd("h-listen-integrate-cs",
+		gcl.And(inState(HubListen), gcl.Eq(il, m.msgC(MsgCS))),
+		withLocks(
+			gcl.Set(c.State, m.hubC(HubTentative)),
+			gcl.Set(c.Pos, gcl.AddMod(ilTime, 1)),
+			gcl.SetC(c.Counter, 1))...)
+	noILFrame := gcl.And(gcl.Ne(il, m.msgC(MsgI)), gcl.Ne(il, m.msgC(MsgCS)))
+	mod.Cmd("h-listen-timeout",
+		gcl.And(inState(HubListen), noILFrame, gcl.Ge(counter, m.cntC(2*round))),
+		withLocks(
+			gcl.Set(c.State, m.hubC(HubStartup)),
+			gcl.SetC(c.Counter, 1))...)
+	mod.Cmd("h-listen-tick",
+		gcl.And(inState(HubListen), noILFrame, gcl.Lt(counter, m.cntC(2*round))),
+		withLocks(tick)...)
+
+	// STARTUP and Protected STARTUP share their frame-driven transitions
+	// (3.1/3.2 and 6.1/6.2): compare the own channel's arbitrated cs-frame
+	// against the interlink to detect cross-channel collisions.
+	ownCS := gcl.Eq(own, m.msgC(MsgCS))
+	ilCS := gcl.Eq(il, m.msgC(MsgCS))
+	agree := gcl.Eq(ilTime, ownTime)
+	ilI := gcl.Eq(il, m.msgC(MsgI))
+	for _, s := range []struct {
+		state int
+		tag   string
+	}{
+		{HubStartup, "startup"},
+		{HubProtected, "prot"},
+	} {
+		// A valid i-frame on the interlink is authoritative evidence of a
+		// running synchronised round on the other channel (the interlinks
+		// exist precisely to prevent per-channel cliques): integrate.
+		mod.Cmd("h-"+s.tag+"-integrate-il",
+			gcl.And(inState(s.state), ilI),
+			withLocks(
+				gcl.Set(c.State, m.hubC(HubActive)),
+				gcl.Set(c.Pos, gcl.AddMod(ilTime, 1)),
+				gcl.SetC(c.Counter, 0))...)
+		mod.Cmd("h-"+s.tag+"-tentative-own",
+			gcl.And(inState(s.state), gcl.Not(ilI), ownCS, gcl.Or(gcl.Not(ilCS), agree)),
+			withLocks(
+				gcl.Set(c.State, m.hubC(HubTentative)),
+				gcl.Set(c.Pos, gcl.AddMod(ownTime, 1)),
+				gcl.SetC(c.Counter, 1))...)
+		mod.Cmd("h-"+s.tag+"-silence",
+			gcl.And(inState(s.state), ownCS, ilCS, gcl.Not(agree)),
+			withLocks(
+				gcl.Set(c.State, m.hubC(HubSilence)),
+				gcl.SetC(c.Counter, 1))...)
+		mod.Cmd("h-"+s.tag+"-tentative-il",
+			gcl.And(inState(s.state), gcl.Not(ilI), gcl.Not(ownCS), ilCS),
+			withLocks(
+				gcl.Set(c.State, m.hubC(HubTentative)),
+				gcl.Set(c.Pos, gcl.AddMod(ilTime, 1)),
+				gcl.SetC(c.Counter, 1))...)
+	}
+	noCS := gcl.And(gcl.Not(ownCS), gcl.Not(ilCS), gcl.Not(ilI))
+	mod.Cmd("h-startup-stay",
+		gcl.And(inState(HubStartup), noCS),
+		withLocks()...)
+	// Protected STARTUP times out back to STARTUP after one round (6.3).
+	mod.Cmd("h-prot-timeout",
+		gcl.And(inState(HubProtected), noCS, gcl.Ge(counter, m.cntC(round))),
+		withLocks(
+			gcl.Set(c.State, m.hubC(HubStartup)),
+			gcl.SetC(c.Counter, 1))...)
+	mod.Cmd("h-prot-tick",
+		gcl.And(inState(HubProtected), noCS, gcl.Lt(counter, m.cntC(round))),
+		withLocks(tick)...)
+
+	// Tentative ROUND: a valid i-frame confirms the startup (5.2); an
+	// empty remaining round falls back to Protected STARTUP (5.1).
+	ownI := gcl.Eq(own, m.msgC(MsgI))
+	advance := gcl.Set(c.Pos, gcl.AddMod(gcl.X(c.Pos), 1))
+	mod.Cmd("h-tent-confirm",
+		gcl.And(inState(HubTentative), ownI),
+		withLocks(
+			gcl.Set(c.State, m.hubC(HubActive)),
+			advance,
+			gcl.SetC(c.Counter, 0))...)
+	mod.Cmd("h-tent-fail",
+		gcl.And(inState(HubTentative), gcl.Not(ownI), gcl.Ge(counter, m.cntC(round-1))),
+		withLocks(
+			gcl.Set(c.State, m.hubC(HubProtected)),
+			gcl.SetC(c.Counter, 1),
+			advance)...)
+	mod.Cmd("h-tent-tick",
+		gcl.And(inState(HubTentative), gcl.Not(ownI), gcl.Lt(counter, m.cntC(round-1))),
+		withLocks(tick, advance)...)
+
+	// SILENCE: block the remaining round, then Protected STARTUP (4.1).
+	mod.Cmd("h-sil-end",
+		gcl.And(inState(HubSilence), gcl.Ge(counter, m.cntC(round-1))),
+		withLocks(
+			gcl.Set(c.State, m.hubC(HubProtected)),
+			gcl.SetC(c.Counter, 1))...)
+	mod.Cmd("h-sil-tick",
+		gcl.And(inState(HubSilence), gcl.Lt(counter, m.cntC(round-1))),
+		withLocks(tick)...)
+
+	// ACTIVE: enforce the TDMA schedule. A silence watchdog guards the
+	// restart problem (Section 2.1): if a full round passes without a
+	// single valid i-frame, the synchronous set has evaporated (e.g., the
+	// only active node suffered a transient restart) and the guardian
+	// reopens for startup; otherwise a guardian stuck in ACTIVE would
+	// block every cold-start frame forever.
+	if cfg.DisableWatchdog {
+		mod.Cmd("h-active-run",
+			inState(HubActive),
+			withLocks(advance)...)
+	} else {
+		mod.Cmd("h-active-confirm",
+			gcl.And(inState(HubActive), ownI),
+			withLocks(advance, gcl.SetC(c.Counter, 0))...)
+		mod.Cmd("h-active-quiet",
+			gcl.And(inState(HubActive), gcl.Not(ownI), gcl.Lt(counter, m.cntC(round))),
+			withLocks(advance, tick)...)
+		mod.Cmd("h-active-watchdog",
+			gcl.And(inState(HubActive), gcl.Not(ownI), gcl.Ge(counter, m.cntC(round))),
+			withLocks(
+				gcl.Set(c.State, m.hubC(HubStartup)),
+				gcl.SetC(c.Counter, 1))...)
+	}
+}
+
+// clockCommands adds the global observer measuring the paper's startup
+// time: the counter runs from the moment two or more correct nodes are
+// awake (LISTEN or COLDSTART) until the first correct node reaches ACTIVE,
+// then freezes (Section 5.3's w_sup definition).
+func (m *Model) clockCommands() {
+	mod := m.Clock.StartupTime.Module
+	st := gcl.X(m.Clock.StartupTime)
+
+	awake := make([]gcl.Expr, 0, m.Cfg.N)
+	active := make([]gcl.Expr, 0, m.Cfg.N)
+	for _, i := range m.Cfg.correctNodes() {
+		n := m.Nodes[i]
+		awake = append(awake, gcl.Or(
+			gcl.Eq(gcl.X(n.State), m.nodeC(NodeListen)),
+			gcl.Eq(gcl.X(n.State), m.nodeC(NodeColdstart))))
+		active = append(active, gcl.Eq(gcl.X(n.State), m.nodeC(NodeActive)))
+	}
+	pairs := make([]gcl.Expr, 0, len(awake)*len(awake)/2)
+	for i := range awake {
+		for j := i + 1; j < len(awake); j++ {
+			pairs = append(pairs, gcl.And(awake[i], awake[j]))
+		}
+	}
+	anyActive := gcl.Or(active...)
+	twoAwake := gcl.Or(pairs...)
+
+	mod.Cmd("measure", gcl.True(),
+		gcl.Set(m.Clock.StartupTime,
+			gcl.Ite(anyActive, st,
+				gcl.Ite(twoAwake, gcl.AddSat(st, 1), st))))
+}

@@ -1,0 +1,273 @@
+package startup
+
+import (
+	"fmt"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/tta"
+)
+
+// Message kinds on a channel (the paper's msgs type).
+const (
+	MsgQuiet = iota
+	MsgNoise
+	MsgCS
+	MsgI
+)
+
+// Node protocol states (Fig. 2a). A faulty node is modelled as a separate
+// module rather than a state, so correct nodes need only these four.
+const (
+	NodeInit = iota
+	NodeListen
+	NodeColdstart
+	NodeActive
+)
+
+// Hub protocol states (Fig. 2b).
+const (
+	HubInit = iota
+	HubListen
+	HubStartup
+	HubTentative
+	HubSilence
+	HubProtected
+	HubActive
+)
+
+// Node bundles the state variables of one correct node.
+type Node struct {
+	ID      int
+	State   *gcl.Var
+	Counter *gcl.Var
+	Pos     *gcl.Var // TDMA position estimate; valid in NodeActive
+	Msg     *gcl.Var // output this slot, broadcast on both channels
+	Time    *gcl.Var // slot id claimed in the output frame
+	BigBang *gcl.Var // true until the first cs-frame has been discarded
+	ErrFlag *gcl.Var // diagnostic; set by the fallback command only
+	Restart *gcl.Var // restart budget; nil unless Config.RestartableNodes
+}
+
+// FaultyNode bundles the per-channel latched outputs of the faulty node.
+type FaultyNode struct {
+	ID   int
+	Msg  [2]*gcl.Var
+	Time [2]*gcl.Var
+}
+
+// Relay bundles one channel's hub relay stage (the combinational part of a
+// guardian, latched for the one-slot node→hub→node latency). A faulty
+// relay has per-node outputs and separate interlink outputs.
+type Relay struct {
+	Ch     int
+	Faulty bool
+
+	// Correct relay: one broadcast output; Src is the winning port (n =
+	// none), exposed so the controller can account for arbitration.
+	Msg, Time, Src *gcl.Var
+
+	// Faulty relay: per-node outputs plus independent interlink outputs
+	// (implicit failure modelling via per-step partitioning).
+	MsgTo  []*gcl.Var
+	FTime  *gcl.Var
+	ILMsg  *gcl.Var
+	ILTime *gcl.Var
+}
+
+// Ctrl bundles one correct guardian's control state.
+type Ctrl struct {
+	Ch      int
+	State   *gcl.Var
+	Counter *gcl.Var
+	Pos     *gcl.Var
+	Lock    []*gcl.Var
+}
+
+// Clock bundles the global observer that measures startup time (the
+// paper's @par startuptime counter).
+type Clock struct {
+	StartupTime *gcl.Var
+}
+
+// Model is the compiled-ready gcl system of the startup algorithm together
+// with handles to every variable needed by properties and tests.
+type Model struct {
+	Cfg Config
+	P   tta.Params
+	Sys *gcl.System
+
+	MsgType   *gcl.Type
+	NodeType  *gcl.Type
+	HubType   *gcl.Type
+	CntType   *gcl.Type
+	PosType   *gcl.Type
+	FaultType *gcl.Type
+
+	Nodes  []*Node // indexed by node id; nil at the faulty node's id
+	Faulty *FaultyNode
+	Relays [2]*Relay
+	Ctrls  [2]*Ctrl // nil for a faulty hub
+	Clock  *Clock
+}
+
+// Build constructs the model for the given configuration. The returned
+// system is finalized.
+func Build(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Params()
+	m := &Model{
+		Cfg: cfg,
+		P:   p,
+		Sys: gcl.NewSystem(fmt.Sprintf("tta-startup-n%d", cfg.N)),
+
+		MsgType:   gcl.EnumType("msg", "quiet", "noise", "cs_frame", "i_frame"),
+		NodeType:  gcl.EnumType("nstate", "init", "listen", "coldstart", "active"),
+		HubType:   gcl.EnumType("hstate", "hub_init", "hub_listen", "hub_startup", "hub_tentative", "hub_silence", "hub_protected", "hub_active"),
+		CntType:   gcl.IntType("count", cfg.maxCount()+1),
+		PosType:   gcl.IntType("slot", cfg.N),
+		FaultType: gcl.EnumType("fkind", "quiet", "cs_good", "i_good", "noise", "cs_bad", "i_bad"),
+	}
+
+	m.Nodes = make([]*Node, cfg.N)
+	for i := range cfg.N {
+		if i == cfg.FaultyNode {
+			continue
+		}
+		m.Nodes[i] = m.declareNode(i)
+	}
+	if cfg.FaultyNode >= 0 {
+		m.Faulty = m.declareFaulty(cfg.FaultyNode)
+	}
+	for ch := range 2 {
+		m.Relays[ch] = m.declareRelay(ch, ch == cfg.FaultyHub)
+	}
+	for ch := range 2 {
+		if ch != cfg.FaultyHub {
+			m.Ctrls[ch] = m.declareCtrl(ch)
+		}
+	}
+	m.Clock = m.declareClock()
+
+	// Commands are added after all variables exist, since modules read
+	// each other's variables freely.
+	for i := range cfg.N {
+		if m.Nodes[i] != nil {
+			m.nodeCommands(m.Nodes[i])
+		}
+	}
+	if m.Faulty != nil {
+		m.faultyCommands(m.Faulty)
+	}
+	for ch := range 2 {
+		if m.Relays[ch].Faulty {
+			m.faultyRelayCommands(m.Relays[ch])
+		} else {
+			m.relayCommands(m.Relays[ch])
+		}
+	}
+	for ch := range 2 {
+		if m.Ctrls[ch] != nil {
+			m.ctrlCommands(m.Ctrls[ch])
+		}
+	}
+	m.clockCommands()
+
+	if err := m.Sys.Finalize(); err != nil {
+		return nil, fmt.Errorf("startup: model construction: %w", err)
+	}
+	return m, nil
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(cfg Config) *Model {
+	m, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Variable declaration
+
+// modules carries the gcl module of each component; stored on the vars'
+// Module field, so declare* functions only need to remember the bundles.
+
+func (m *Model) declareNode(i int) *Node {
+	mod := m.Sys.Module(fmt.Sprintf("node%d", i))
+	n := &Node{
+		ID:      i,
+		State:   mod.Var("state", m.NodeType, gcl.InitConst(NodeInit)),
+		Counter: mod.Var("counter", m.CntType, gcl.InitConst(1)),
+		Pos:     mod.Var("pos", m.PosType, gcl.InitConst(0)),
+		Msg:     mod.Var("msg", m.MsgType, gcl.InitConst(MsgQuiet)),
+		Time:    mod.Var("time", m.PosType, gcl.InitConst(0)),
+		BigBang: mod.Bool("big_bang", gcl.InitConst(1)),
+		ErrFlag: mod.Bool("errorflag", gcl.InitConst(0)),
+	}
+	if m.Cfg.RestartableNodes {
+		n.Restart = mod.Bool("restart_left", gcl.InitConst(1))
+	}
+	return n
+}
+
+func (m *Model) declareFaulty(id int) *FaultyNode {
+	mod := m.Sys.Module(fmt.Sprintf("faulty%d", id))
+	f := &FaultyNode{ID: id}
+	for ch := range 2 {
+		f.Msg[ch] = mod.Var(fmt.Sprintf("msg%d", ch), m.MsgType, gcl.InitConst(MsgQuiet))
+		f.Time[ch] = mod.Var(fmt.Sprintf("time%d", ch), m.PosType, gcl.InitConst(0))
+	}
+	return f
+}
+
+func (m *Model) declareRelay(ch int, faulty bool) *Relay {
+	mod := m.Sys.Module(fmt.Sprintf("relay%d", ch))
+	r := &Relay{Ch: ch, Faulty: faulty}
+	if !faulty {
+		r.Msg = mod.Var("msg", m.MsgType, gcl.InitConst(MsgQuiet))
+		r.Time = mod.Var("time", m.PosType, gcl.InitConst(0))
+		r.Src = mod.Var("src", gcl.IntType("port", m.Cfg.N+1), gcl.InitConst(m.Cfg.N))
+		return r
+	}
+	r.MsgTo = make([]*gcl.Var, m.Cfg.N)
+	for j := range m.Cfg.N {
+		r.MsgTo[j] = mod.Var(fmt.Sprintf("msg_to%d", j), m.MsgType, gcl.InitConst(MsgQuiet))
+	}
+	r.FTime = mod.Var("time", m.PosType, gcl.InitConst(0))
+	r.ILMsg = mod.Var("il_msg", m.MsgType, gcl.InitConst(MsgQuiet))
+	r.ILTime = mod.Var("il_time", m.PosType, gcl.InitConst(0))
+	return r
+}
+
+func (m *Model) declareCtrl(ch int) *Ctrl {
+	mod := m.Sys.Module(fmt.Sprintf("hub%d", ch))
+	c := &Ctrl{
+		Ch:    ch,
+		State: mod.Var("state", m.HubType, gcl.InitConst(HubInit)),
+		Pos:   mod.Var("pos", m.PosType, gcl.InitConst(0)),
+		Lock:  make([]*gcl.Var, m.Cfg.N),
+	}
+	// The first correct hub powers on immediately (the paper's power-on
+	// assumption: guardians run before nodes); a second correct hub may be
+	// delayed anywhere in the δ_init window.
+	delayed := ch != m.Cfg.correctHubs()[0]
+	initCounter := m.Cfg.deltaInit() // at the window's end, -go is forced
+	if delayed {
+		initCounter = 1
+	}
+	c.Counter = mod.Var("counter", m.CntType, gcl.InitConst(initCounter))
+	for j := range m.Cfg.N {
+		c.Lock[j] = mod.Bool(fmt.Sprintf("lock%d", j), gcl.InitConst(0))
+	}
+	return c
+}
+
+func (m *Model) declareClock() *Clock {
+	mod := m.Sys.Module("clock")
+	return &Clock{
+		StartupTime: mod.Var("startup_time", m.CntType, gcl.InitConst(0)),
+	}
+}

@@ -1,0 +1,155 @@
+package startup
+
+import (
+	"fmt"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/mc"
+)
+
+// AgreementPred returns the predicate of Lemma 1: any two correct nodes in
+// ACTIVE state agree on the slot time.
+func (m *Model) AgreementPred() gcl.Expr {
+	correct := m.Cfg.correctNodes()
+	parts := make([]gcl.Expr, 0, len(correct)*len(correct)/2)
+	for a := 0; a < len(correct); a++ {
+		for b := a + 1; b < len(correct); b++ {
+			ni, nj := m.Nodes[correct[a]], m.Nodes[correct[b]]
+			bothActive := gcl.And(
+				gcl.Eq(gcl.X(ni.State), m.nodeC(NodeActive)),
+				gcl.Eq(gcl.X(nj.State), m.nodeC(NodeActive)))
+			parts = append(parts, gcl.Implies(bothActive, gcl.Eq(gcl.X(ni.Pos), gcl.X(nj.Pos))))
+		}
+	}
+	return gcl.And(parts...)
+}
+
+// AllActivePred returns the predicate of Lemma 2: every correct node is in
+// ACTIVE state.
+func (m *Model) AllActivePred() gcl.Expr {
+	parts := make([]gcl.Expr, 0, m.Cfg.N)
+	for _, i := range m.Cfg.correctNodes() {
+		parts = append(parts, gcl.Eq(gcl.X(m.Nodes[i].State), m.nodeC(NodeActive)))
+	}
+	return gcl.And(parts...)
+}
+
+// HubSyncedPred returns the predicate that the designated correct hub has
+// joined the synchronised set (ACTIVE or Tentative ROUND), as in the
+// paper's Lemma 4.
+func (m *Model) HubSyncedPred() gcl.Expr {
+	hubs := m.Cfg.correctHubs()
+	ch := hubs[len(hubs)-1]
+	c := m.Ctrls[ch]
+	return gcl.Or(
+		gcl.Eq(gcl.X(c.State), m.hubC(HubActive)),
+		gcl.Eq(gcl.X(c.State), m.hubC(HubTentative)))
+}
+
+// Safety is Lemma 1: G(agreement).
+func (m *Model) Safety() mc.Property {
+	return mc.Property{Name: "safety", Kind: mc.Invariant, Pred: m.AgreementPred()}
+}
+
+// Liveness is Lemma 2: F(all correct nodes active).
+func (m *Model) Liveness() mc.Property {
+	return mc.Property{Name: "liveness", Kind: mc.Eventually, Pred: m.AllActivePred()}
+}
+
+// Timeliness is Lemma 3: G(startup_time <= bound) — once two correct nodes
+// are awake, some correct node reaches ACTIVE within bound slots.
+func (m *Model) Timeliness(bound int) mc.Property {
+	return mc.Property{
+		Name: fmt.Sprintf("timeliness(%d)", bound),
+		Kind: mc.Invariant,
+		Pred: gcl.Le(gcl.X(m.Clock.StartupTime), m.cntC(bound)),
+	}
+}
+
+// Safety2 is Lemma 4, checked against a faulty hub: node agreement holds,
+// and within bound slots of startup the correct hub is synchronised
+// (ACTIVE or Tentative ROUND).
+func (m *Model) Safety2(bound int) mc.Property {
+	hubTimely := gcl.Or(
+		gcl.Lt(gcl.X(m.Clock.StartupTime), m.cntC(bound)),
+		m.HubSyncedPred())
+	return mc.Property{
+		Name: fmt.Sprintf("safety_2(%d)", bound),
+		Kind: mc.Invariant,
+		Pred: gcl.And(m.AgreementPred(), hubTimely),
+	}
+}
+
+// NoError is the model-sanity invariant: no node's diagnostic fallback
+// command ever fires (the guard set of the algorithm is total).
+func (m *Model) NoError() mc.Property {
+	parts := make([]gcl.Expr, 0, m.Cfg.N)
+	for _, i := range m.Cfg.correctNodes() {
+		parts = append(parts, gcl.Not(gcl.X(m.Nodes[i].ErrFlag)))
+	}
+	return mc.Property{Name: "no-error", Kind: mc.Invariant, Pred: gcl.And(parts...)}
+}
+
+// LocksOnlyFaulty is the guardian-fairness invariant: a correct hub never
+// locks a correct node's port.
+func (m *Model) LocksOnlyFaulty() mc.Property {
+	var parts []gcl.Expr
+	for _, ch := range m.Cfg.correctHubs() {
+		for _, j := range m.Cfg.correctNodes() {
+			parts = append(parts, gcl.Not(gcl.X(m.Ctrls[ch].Lock[j])))
+		}
+	}
+	return mc.Property{Name: "locks-only-faulty", Kind: mc.Invariant, Pred: gcl.And(parts...)}
+}
+
+// HubsAgreePred states that two correct ACTIVE hubs agree on the slot
+// position (used as an additional confidence lemma).
+func (m *Model) HubsAgreePred() gcl.Expr {
+	hubs := m.Cfg.correctHubs()
+	if len(hubs) < 2 {
+		return gcl.True()
+	}
+	c0, c1 := m.Ctrls[hubs[0]], m.Ctrls[hubs[1]]
+	bothActive := gcl.And(
+		gcl.Eq(gcl.X(c0.State), m.hubC(HubActive)),
+		gcl.Eq(gcl.X(c1.State), m.hubC(HubActive)))
+	return gcl.Implies(bothActive, gcl.Eq(gcl.X(c0.Pos), gcl.X(c1.Pos)))
+}
+
+// HubsAgree is the cross-channel guardian agreement invariant.
+func (m *Model) HubsAgree() mc.Property {
+	return mc.Property{Name: "hubs-agree", Kind: mc.Invariant, Pred: m.HubsAgreePred()}
+}
+
+// NodeHubAgreePred states that an ACTIVE correct node and an ACTIVE
+// correct hub agree on the schedule position, modulo the one-slot
+// phase difference between the node and hub position conventions (the hub
+// position leads the node position by one slot).
+func (m *Model) NodeHubAgreePred() gcl.Expr {
+	var parts []gcl.Expr
+	for _, ch := range m.Cfg.correctHubs() {
+		c := m.Ctrls[ch]
+		for _, i := range m.Cfg.correctNodes() {
+			n := m.Nodes[i]
+			both := gcl.And(
+				gcl.Eq(gcl.X(n.State), m.nodeC(NodeActive)),
+				gcl.Eq(gcl.X(c.State), m.hubC(HubActive)))
+			parts = append(parts, gcl.Implies(both,
+				gcl.Eq(gcl.AddMod(gcl.X(n.Pos), 1), gcl.X(c.Pos))))
+		}
+	}
+	return gcl.And(parts...)
+}
+
+// NodeHubAgree is the node/guardian schedule agreement invariant.
+func (m *Model) NodeHubAgree() mc.Property {
+	return mc.Property{Name: "node-hub-agree", Kind: mc.Invariant, Pred: m.NodeHubAgreePred()}
+}
+
+// Recovery is the CTL stabilisation property AG(AF all-correct-active):
+// from every reachable state — mid-collision, mid-fault, mid-restart —
+// every execution re-establishes full synchronisation. Strictly stronger
+// than Lemma 2; meaningful mainly with Config.RestartableNodes.
+func (m *Model) Recovery() *mc.CTLFormula {
+	return mc.CTLAG(mc.CTLAF(mc.CTLAtom(m.AllActivePred())))
+}

@@ -1,0 +1,181 @@
+package startup
+
+import (
+	"fmt"
+
+	"ttastartup/internal/gcl"
+)
+
+// arbitrate returns, for each port j, the condition under which j wins the
+// arbitration among the candidate ports: the nondeterministic pick wins
+// when it is a candidate, otherwise the lowest candidate does, so the
+// outcome set is exactly the candidate set.
+func arbitrate(pick *gcl.Var, pickT *gcl.Type, candidates []gcl.Expr) []gcl.Expr {
+	n := len(candidates)
+	pickCand := make([]gcl.Expr, n)
+	for j := range n {
+		pickCand[j] = gcl.And(gcl.Eq(gcl.X(pick), gcl.C(pickT, j)), candidates[j])
+	}
+	pickOK := gcl.Or(pickCand...)
+	isWin := make([]gcl.Expr, n)
+	for j := range n {
+		lower := make([]gcl.Expr, 0, j+1)
+		for k := range j {
+			lower = append(lower, gcl.Not(candidates[k]))
+		}
+		first := gcl.And(append(lower, candidates[j])...)
+		isWin[j] = gcl.Ite(pickOK, pickCand[j], first)
+	}
+	return isWin
+}
+
+// relayCommands models the combinational relay stage of a CORRECT central
+// guardian on channel ch (Section 3.1.2). Behaviour by controller state:
+//
+//   - hub_init / hub_listen / hub_silence: all ports blocked, channel quiet;
+//   - hub_startup: every unlocked port is open; the relay arbitrates one
+//     active port nondeterministically, semantically checks the frame (a
+//     cs-frame must carry the sender's own slot id), and relays the frame
+//     or noise;
+//   - hub_protected: as hub_startup, but port j is only open in the slot
+//     consistent with its cold-start timeout (the paper's "timeout
+//     pattern" enforcement);
+//   - hub_tentative / hub_active: TDMA enforcement — only the scheduled
+//     port is open, and only a correctly-timed i-frame passes.
+func (m *Model) relayCommands(r *Relay) {
+	ch := r.Ch
+	ctrl := m.Ctrls[ch]
+	mod := r.Msg.Module
+	n := m.Cfg.N
+
+	pickT := gcl.IntType("pick", n)
+	pick := mod.Choice("pick", pickT)
+
+	pm := func(j int) gcl.Expr { return m.portMsgN(ch, j) }
+	pt := func(j int) gcl.Expr { return m.portTimeN(ch, j) }
+	activeP := func(j int) gcl.Expr {
+		return gcl.And(gcl.Ne(pm(j), m.msgC(MsgQuiet)), gcl.Not(gcl.X(ctrl.Lock[j])))
+	}
+
+	hst := gcl.X(ctrl.State)
+	inS := gcl.Eq(hst, m.hubC(HubStartup))
+	inP := gcl.Eq(hst, m.hubC(HubProtected))
+	inSched := gcl.Or(gcl.Eq(hst, m.hubC(HubTentative)), gcl.Eq(hst, m.hubC(HubActive)))
+
+	// Protected-mode port window: a cold-start collision at slot t puts
+	// every cold-starting node at counter 2 during slot t+2, so node j's
+	// retry (at counter CS_TO(j) = n+j) is transmitted during slot t+n+j;
+	// the protected phase starts at slot t+n with its counter at 1, which
+	// places j's retry at protected-counter j+1.
+	window := func(j int) gcl.Expr { return gcl.Eq(gcl.X(ctrl.Counter), m.cntC(j+1)) }
+
+	// Arbitration: the guardian knows its nodes' parameters, so among the
+	// open ports it prefers one carrying a semantically valid cs-frame (a
+	// cs-frame claiming the sender's own slot); only if none exists does
+	// it arbitrate among the remaining active ports (and relays noise for
+	// the invalid traffic). Within each class the choice is
+	// nondeterministic — the outcome set is exactly the preferred class.
+	allowed := make([]gcl.Expr, n)
+	good := make([]gcl.Expr, n)
+	for j := range n {
+		allowed[j] = gcl.And(activeP(j), gcl.Or(inS, window(j)))
+		validCS := gcl.And(gcl.Eq(pm(j), m.msgC(MsgCS)), gcl.Eq(pt(j), m.posC(j)))
+		good[j] = gcl.And(allowed[j], validCS)
+	}
+	plainWin := arbitrate(pick, pickT, allowed)
+	isWin := plainWin
+	if !m.Cfg.DisableCSPriority {
+		anyGood := gcl.Or(good...)
+		goodWin := arbitrate(pick, pickT, good)
+		isWin = make([]gcl.Expr, n)
+		for j := range n {
+			isWin[j] = gcl.Ite(anyGood, goodWin[j], plainWin[j])
+		}
+	}
+
+	// Startup/protected relay output with semantic filtering.
+	spMsg := m.msgC(MsgQuiet)
+	spTime := m.posC(0)
+	spSrc := gcl.C(r.Src.Type, n) // none
+	for j := n - 1; j >= 0; j-- {
+		validCS := gcl.And(gcl.Eq(pm(j), m.msgC(MsgCS)), gcl.Eq(pt(j), m.posC(j)))
+		spMsg = gcl.Ite(isWin[j], gcl.Ite(validCS, m.msgC(MsgCS), m.msgC(MsgNoise)), spMsg)
+		spTime = gcl.Ite(isWin[j], pt(j), spTime)
+		spSrc = gcl.Ite(isWin[j], gcl.C(r.Src.Type, j), spSrc)
+	}
+
+	// Schedule-enforcing relay output (tentative and active).
+	pos := gcl.X(ctrl.Pos)
+	schedMsg := m.msgC(MsgQuiet)
+	schedTime := m.posC(0)
+	schedSrc := gcl.C(r.Src.Type, n)
+	for j := n - 1; j >= 0; j-- {
+		here := gcl.And(gcl.Eq(pos, m.posC(j)), activeP(j))
+		validI := gcl.And(gcl.Eq(pm(j), m.msgC(MsgI)), gcl.Eq(pt(j), m.posC(j)))
+		schedMsg = gcl.Ite(here, gcl.Ite(validI, m.msgC(MsgI), m.msgC(MsgNoise)), schedMsg)
+		schedTime = gcl.Ite(here, pt(j), schedTime)
+		schedSrc = gcl.Ite(here, gcl.C(r.Src.Type, j), schedSrc)
+	}
+
+	inSP := gcl.Or(inS, inP)
+	mod.Cmd("relay", gcl.True(),
+		gcl.Set(r.Msg, gcl.Ite(inSP, spMsg, gcl.Ite(inSched, schedMsg, m.msgC(MsgQuiet)))),
+		gcl.Set(r.Time, gcl.Ite(inSP, spTime, gcl.Ite(inSched, schedTime, m.posC(0)))),
+		gcl.Set(r.Src, gcl.Ite(inSP, spSrc, gcl.Ite(inSched, schedSrc, gcl.C(r.Src.Type, n)))))
+}
+
+// faultyRelayCommands models a FAULTY central guardian's channel (Section
+// 3.2.2, "implicit failure modelling"). Every slot the hub may pick any
+// active port's frame and deliver it to an arbitrary subset of nodes
+// (partitioning); every other node receives noise or silence, also chosen
+// arbitrarily. The interlink output is independently the frame, noise, or
+// silence. The fault hypothesis is preserved structurally: the relay can
+// neither fabricate a valid frame (outputs are the picked port's frame,
+// noise, or quiet) nor delay one (outputs depend only on this slot's
+// traffic).
+func (m *Model) faultyRelayCommands(r *Relay) {
+	mod := r.FTime.Module
+	ch := r.Ch
+	n := m.Cfg.N
+
+	pickT := gcl.IntType("pick", n)
+	ilT := gcl.IntType("ilsel", 3)
+	pick := mod.Choice("pick", pickT)
+	ilSel := mod.Choice("il_sel", ilT)
+	part := make([]*gcl.Var, n)
+	noise := make([]*gcl.Var, n)
+	for j := range n {
+		part[j] = mod.Choice(fmt.Sprintf("part%d", j), gcl.BoolType())
+		noise[j] = mod.Choice(fmt.Sprintf("send_noise%d", j), gcl.BoolType())
+	}
+
+	pm := func(j int) gcl.Expr { return m.portMsgN(ch, j) }
+	pt := func(j int) gcl.Expr { return m.portTimeN(ch, j) }
+	activeP := func(j int) gcl.Expr { return gcl.Ne(pm(j), m.msgC(MsgQuiet)) }
+
+	candidates := make([]gcl.Expr, n)
+	for j := range n {
+		candidates[j] = activeP(j)
+	}
+	isWin := arbitrate(pick, pickT, candidates)
+
+	frameMsg := m.msgC(MsgQuiet)
+	frameTime := m.posC(0)
+	for j := n - 1; j >= 0; j-- {
+		frameMsg = gcl.Ite(isWin[j], pm(j), frameMsg)
+		frameTime = gcl.Ite(isWin[j], pt(j), frameTime)
+	}
+
+	updates := make([]gcl.Update, 0, n+3)
+	for j := range n {
+		out := gcl.Ite(gcl.X(part[j]), frameMsg,
+			gcl.Ite(gcl.X(noise[j]), m.msgC(MsgNoise), m.msgC(MsgQuiet)))
+		updates = append(updates, gcl.Set(r.MsgTo[j], out))
+	}
+	updates = append(updates,
+		gcl.Set(r.FTime, frameTime),
+		gcl.Set(r.ILMsg, gcl.Ite(gcl.Eq(gcl.X(ilSel), gcl.C(ilT, 0)), frameMsg,
+			gcl.Ite(gcl.Eq(gcl.X(ilSel), gcl.C(ilT, 1)), m.msgC(MsgNoise), m.msgC(MsgQuiet)))),
+		gcl.Set(r.ILTime, frameTime))
+	mod.Cmd("relay", gcl.True(), updates...)
+}

@@ -1,0 +1,77 @@
+package startup
+
+import (
+	"fmt"
+	"strings"
+
+	"ttastartup/internal/mc"
+)
+
+// FormatTimeline renders a counterexample trace as a per-slot cluster
+// timeline (one line per slot, like the simulator's log), far easier to
+// read than raw variable deltas when analysing long scenarios.
+func (m *Model) FormatTimeline(tr *mc.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	var b strings.Builder
+	nodeShort := [...]string{"init", "listen", "cold", "ACTIVE"}
+	hubShort := [...]string{"init", "listen", "startup", "tent", "silence", "prot", "ACTIVE"}
+	msgShort := [...]string{"-", "~", "cs", "i"}
+
+	for slot, st := range tr.States {
+		fmt.Fprintf(&b, "slot %3d |", slot)
+		for i := range m.Cfg.N {
+			nd := m.Nodes[i]
+			if nd == nil {
+				fmt.Fprintf(&b, " n%d:FAULTY", i)
+				continue
+			}
+			state := st.Get(nd.State)
+			fmt.Fprintf(&b, " n%d:%s", i, nodeShort[state])
+			if state == NodeActive {
+				fmt.Fprintf(&b, "@%d", st.Get(nd.Pos))
+			} else {
+				fmt.Fprintf(&b, "(%d)", st.Get(nd.Counter))
+			}
+			if msg := st.Get(nd.Msg); msg != MsgQuiet {
+				fmt.Fprintf(&b, "!%s", msgShort[msg])
+			}
+		}
+		b.WriteString(" |")
+		for ch := range 2 {
+			if m.Ctrls[ch] == nil {
+				fmt.Fprintf(&b, " h%d:FAULTY", ch)
+				continue
+			}
+			c := m.Ctrls[ch]
+			fmt.Fprintf(&b, " h%d:%s", ch, hubShort[st.Get(c.State)])
+			if st.Get(c.State) == HubActive || st.Get(c.State) == HubTentative {
+				fmt.Fprintf(&b, "@%d", st.Get(c.Pos))
+			}
+		}
+		b.WriteString(" |")
+		for ch := range 2 {
+			r := m.Relays[ch]
+			if r.Faulty {
+				parts := make([]string, m.Cfg.N)
+				for j := range m.Cfg.N {
+					parts[j] = msgShort[st.Get(r.MsgTo[j])]
+				}
+				fmt.Fprintf(&b, " ch%d:[%s]", ch, strings.Join(parts, ","))
+				continue
+			}
+			msg := st.Get(r.Msg)
+			if msg == MsgQuiet {
+				fmt.Fprintf(&b, " ch%d:-", ch)
+			} else {
+				fmt.Fprintf(&b, " ch%d:%s(%d)", ch, msgShort[msg], st.Get(r.Time))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if tr.LoopsTo >= 0 {
+		fmt.Fprintf(&b, "  (loops back to slot %d)\n", tr.LoopsTo)
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package tta
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestTimeouts(t *testing.T) {
+	p := Params{N: 4}
+	// Paper: LT_TO[j] = 2n+j, CS_TO[j] = n+j.
+	for j := range 4 {
+		if got := p.ListenTimeout(j); got != 8+j {
+			t.Errorf("ListenTimeout(%d) = %d, want %d", j, got, 8+j)
+		}
+		if got := p.ColdstartTimeout(j); got != 4+j {
+			t.Errorf("ColdstartTimeout(%d) = %d, want %d", j, got, 4+j)
+		}
+	}
+	if p.MaxCount() != 80 {
+		t.Errorf("MaxCount = %d, want 80", p.MaxCount())
+	}
+	if p.DefaultDeltaInit() != 32 {
+		t.Errorf("DeltaInit = %d, want 32", p.DefaultDeltaInit())
+	}
+}
+
+// TestTimeoutOrdering verifies the two algorithmic ordering requirements of
+// Section 2.3.1: cold-start timeouts are strictly ordered, and every listen
+// timeout exceeds every cold-start timeout.
+func TestTimeoutOrdering(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 6} {
+		p := Params{N: n}
+		for i := range n {
+			for j := range n {
+				if i != j && p.ColdstartTimeout(i) == p.ColdstartTimeout(j) {
+					t.Errorf("n=%d: CS timeouts of %d and %d collide", n, i, j)
+				}
+				if p.ListenTimeout(i) <= p.ColdstartTimeout(j) {
+					t.Errorf("n=%d: listen(%d)=%d <= coldstart(%d)=%d", n,
+						i, p.ListenTimeout(i), j, p.ColdstartTimeout(j))
+				}
+			}
+		}
+	}
+}
+
+// TestWorstCaseStartupMatchesPaper checks w_sup against the paper's Fig. 5
+// column (16, 23, 30 slots for n = 3, 4, 5).
+func TestWorstCaseStartupMatchesPaper(t *testing.T) {
+	want := map[int]int{3: 16, 4: 23, 5: 30}
+	for n, w := range want {
+		if got := (Params{N: n}).WorstCaseStartup(); got != w {
+			t.Errorf("WorstCaseStartup(n=%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+// TestDegreeMatrixMatchesPaper reproduces Fig. 3 exactly.
+func TestDegreeMatrixMatchesPaper(t *testing.T) {
+	want := [6][6]int{
+		{1, 2, 3, 4, 5, 6},
+		{2, 2, 3, 4, 5, 6},
+		{3, 3, 3, 4, 5, 6},
+		{4, 4, 4, 4, 5, 6},
+		{5, 5, 5, 5, 5, 6},
+		{6, 6, 6, 6, 6, 6},
+	}
+	got := DegreeMatrix()
+	for a := range 6 {
+		for b := range 6 {
+			if got[a][b] != want[a][b] {
+				t.Errorf("matrix[%d][%d] = %d, want %d", a, b, got[a][b], want[a][b])
+			}
+		}
+	}
+}
+
+func TestKindsAtDegree(t *testing.T) {
+	if got := KindsAtDegree(1); len(got) != 1 || got[0] != FaultQuiet {
+		t.Errorf("KindsAtDegree(1) = %v", got)
+	}
+	if got := KindsAtDegree(6); len(got) != 6 {
+		t.Errorf("KindsAtDegree(6) has %d kinds", len(got))
+	}
+	if got := KindsAtDegree(99); len(got) != 6 {
+		t.Errorf("KindsAtDegree clamps high: %v", got)
+	}
+	if got := KindsAtDegree(0); len(got) != 1 {
+		t.Errorf("KindsAtDegree clamps low: %v", got)
+	}
+}
+
+// TestScenarioCountsMatchPaper reproduces Fig. 5's |S_sup| and |S_f.n.|
+// columns (within the paper's one-significant-digit rounding).
+func TestScenarioCountsMatchPaper(t *testing.T) {
+	cases := []struct {
+		n, deltaInit int
+		wantSup      string
+	}{
+		{3, 24, "331776"},     // ≈ 3.3e5
+		{4, 32, "33554432"},   // ≈ 3.3e7
+		{5, 40, "4096000000"}, // ≈ 4.1e9
+	}
+	for _, c := range cases {
+		got := ScenarioCountStartup(c.n, c.deltaInit)
+		want, _ := new(big.Int).SetString(c.wantSup, 10)
+		if got.Cmp(want) != 0 {
+			t.Errorf("S_sup(n=%d) = %v, want %v", c.n, got, want)
+		}
+	}
+
+	// |S_f.n.| = 36^w_sup: 36^16 ≈ 8e24, 36^23 ≈ 6e35, 36^30 ≈ 4.9e46.
+	digits := map[int]int{16: 25, 23: 36, 30: 47} // decimal digit counts
+	for wsup, nd := range digits {
+		got := ScenarioCountFaultyNode(6, wsup)
+		if len(got.String()) != nd {
+			t.Errorf("S_f.n.(w=%d) = %v has %d digits, want %d", wsup, got, len(got.String()), nd)
+		}
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	if FaultQuiet.String() != "quiet" || FaultIBad.String() != "i_frame(bad)" {
+		t.Error("FaultKind strings broken")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{N: 1}).Validate(); err == nil {
+		t.Error("N=1 should fail")
+	}
+	if err := (Params{N: 4}).Validate(); err != nil {
+		t.Errorf("N=4 should validate: %v", err)
+	}
+	if err := (Params{N: 17}).Validate(); err == nil {
+		t.Error("N=17 should fail")
+	}
+}
