@@ -1,0 +1,38 @@
+GO ?= go
+
+# `make check` is the tier-1 gate: formatting, vet, build, the full test
+# suite under the race detector, and the static analyzer over every shipped
+# model configuration.
+.PHONY: check
+check: fmt vet build race lint-models
+
+.PHONY: fmt
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+# The race detector slows the fixpoint-heavy proof packages well past go
+# test's default 10-minute per-package budget, hence the explicit timeout.
+.PHONY: race
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# Lint the built-in TTA models: both topologies, big-bang on and off, all
+# fault degrees. Fails on any error-level diagnostic.
+.PHONY: lint-models
+lint-models:
+	$(GO) run ./cmd/ttalint -all

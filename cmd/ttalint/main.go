@@ -1,0 +1,191 @@
+// Command ttalint runs the gcl static analyzer over the built-in TTA
+// startup models and reports diagnostics (stable GCLnnn codes with model
+// locations and, for the BDD-backed checks, concrete witnesses).
+//
+// Examples:
+//
+//	ttalint -n 3 -faulty-node 1 -degree 6
+//	ttalint -topology bus -n 4 -faulty-node 0 -degree 3
+//	ttalint -all            (sweep every shipped configuration)
+//	ttalint -all -json      (machine-readable reports)
+//
+// The exit status is 1 when any model has an error-level diagnostic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ttastartup/internal/bdd"
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/gcl/lint"
+	"ttastartup/internal/tta/original"
+	"ttastartup/internal/tta/startup"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ttalint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n          = flag.Int("n", 3, "cluster size (number of nodes)")
+		topology   = flag.String("topology", "hub", "model topology: hub (star, the paper's main model) or bus (Section 3 baseline)")
+		faultyNode = flag.Int("faulty-node", -1, "inject a faulty node with this id (-1: none)")
+		faultyHub  = flag.Int("faulty-hub", -1, "inject a faulty hub on this channel (-1: none, hub topology only)")
+		degree     = flag.Int("degree", 6, "fault degree (hub topology: 1..6, bus: 1..3)")
+		deltaInit  = flag.Int("delta-init", 0, "power-on window in slots (0: the paper's default)")
+		noFeedback = flag.Bool("no-feedback", false, "disable the feedback state-space reduction")
+		noBigBang  = flag.Bool("no-big-bang", false, "disable the big-bang mechanism")
+		noILinks   = flag.Bool("no-interlinks", false, "sever the guardian interlinks")
+		restart    = flag.Bool("restartable", false, "allow one transient restart per correct node")
+		all        = flag.Bool("all", false, "lint every shipped configuration (both topologies, big-bang on/off, all fault degrees)")
+		jsonOut    = flag.Bool("json", false, "emit JSON reports")
+		nodeLimit  = flag.Int("bdd-nodes", 0, "BDD node limit (0: default)")
+	)
+	flag.Parse()
+
+	opts := lint.Options{BDD: bdd.Config{NodeLimit: *nodeLimit}}
+
+	var systems []*gcl.System
+	if *all {
+		var err error
+		systems, err = allSystems(*n)
+		if err != nil {
+			return err
+		}
+	} else {
+		sys, err := oneSystem(*topology, startupConfig(*n, *faultyNode, *faultyHub, *degree, *deltaInit,
+			*noFeedback, *noBigBang, *noILinks, *restart), *faultyNode, *degree, *deltaInit)
+		if err != nil {
+			return err
+		}
+		systems = []*gcl.System{sys}
+	}
+
+	var reports []*lint.Report
+	for _, sys := range systems {
+		rep, err := lint.Run(sys, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sys.Name, err)
+		}
+		reports = append(reports, rep)
+	}
+
+	errors := 0
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+		for _, rep := range reports {
+			errors += rep.Count(lint.Error)
+		}
+	} else {
+		for _, rep := range reports {
+			rep.Format(os.Stdout)
+			errors += rep.Count(lint.Error)
+		}
+		fmt.Printf("linted %d model(s): %d error-level diagnostic(s)\n", len(reports), errors)
+	}
+	if errors > 0 {
+		return fmt.Errorf("%d error-level diagnostic(s)", errors)
+	}
+	return nil
+}
+
+func startupConfig(n, faultyNode, faultyHub, degree, deltaInit int, noFeedback, noBigBang, noILinks, restart bool) startup.Config {
+	cfg := startup.DefaultConfig(n)
+	cfg.FaultyNode = faultyNode
+	cfg.FaultyHub = faultyHub
+	cfg.FaultDegree = degree
+	cfg.DeltaInit = deltaInit
+	cfg.Feedback = !noFeedback
+	cfg.DisableBigBang = noBigBang
+	cfg.DisableInterlinks = noILinks
+	cfg.RestartableNodes = restart
+	return cfg
+}
+
+func oneSystem(topology string, cfg startup.Config, faultyNode, degree, deltaInit int) (*gcl.System, error) {
+	switch topology {
+	case "hub":
+		m, err := startup.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.Sys, nil
+	case "bus":
+		ocfg := original.DefaultConfig(cfg.N)
+		ocfg.FaultyNode = faultyNode
+		if faultyNode >= 0 {
+			ocfg.FaultDegree = degree
+		}
+		ocfg.DeltaInit = deltaInit
+		m, err := original.Build(ocfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.Sys, nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want hub or bus)", topology)
+	}
+}
+
+// allSystems builds the sweep the regression gate runs: the hub-topology
+// model with big-bang on and off, fault-free, with a faulty hub, and with a
+// faulty node at every degree 1..6; plus the bus-topology baseline
+// fault-free and at every degree 1..3.
+func allSystems(n int) ([]*gcl.System, error) {
+	var systems []*gcl.System
+	for _, bigBang := range []bool{true, false} {
+		add := func(cfg startup.Config) error {
+			cfg.DisableBigBang = !bigBang
+			m, err := startup.Build(cfg)
+			if err != nil {
+				return err
+			}
+			systems = append(systems, m.Sys)
+			return nil
+		}
+		if err := add(startup.DefaultConfig(n)); err != nil {
+			return nil, err
+		}
+		if err := add(startup.DefaultConfig(n).WithFaultyHub(0)); err != nil {
+			return nil, err
+		}
+		for deg := 1; deg <= 6; deg++ {
+			cfg := startup.DefaultConfig(n).WithFaultyNode(1)
+			cfg.FaultDegree = deg
+			if err := add(cfg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	addBus := func(cfg original.Config) error {
+		m, err := original.Build(cfg)
+		if err != nil {
+			return err
+		}
+		systems = append(systems, m.Sys)
+		return nil
+	}
+	if err := addBus(original.DefaultConfig(n)); err != nil {
+		return nil, err
+	}
+	for deg := 1; deg <= 3; deg++ {
+		cfg := original.DefaultConfig(n)
+		cfg.FaultyNode = 1
+		cfg.FaultDegree = deg
+		if err := addBus(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return systems, nil
+}

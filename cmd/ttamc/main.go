@@ -21,6 +21,8 @@ import (
 
 	"ttastartup/internal/bdd"
 	"ttastartup/internal/core"
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/gcl/lint"
 	"ttastartup/internal/mc"
 	"ttastartup/internal/mc/explicit"
 	"ttastartup/internal/mc/symbolic"
@@ -58,6 +60,7 @@ func run() error {
 		restart    = flag.Bool("restartable", false, "allow one transient restart per correct node (the Section 2.1 restart problem)")
 		count      = flag.Bool("count", false, "report the exact reachable-state count")
 		nodeLimit  = flag.Int("bdd-nodes", 0, "BDD node limit (0: default)")
+		lintMode   = flag.String("lint", "on", "static analysis gate: on (refuse error-level diagnostics), warn (also print warnings), off")
 	)
 	flag.Parse()
 
@@ -87,6 +90,10 @@ func run() error {
 	fmt.Printf("model: %s  (faulty-node=%d faulty-hub=%d degree=%d δ_init=%d big-bang=%v feedback=%v)\n",
 		suite.Model.Sys.Name, cfg.FaultyNode, cfg.FaultyHub, cfg.FaultDegree,
 		cfg.DeltaInit, !cfg.DisableBigBang, cfg.Feedback)
+
+	if err := lintGate(suite.Model.Sys, *lintMode, *nodeLimit); err != nil {
+		return err
+	}
 
 	if *dumpModel {
 		return suite.Model.Sys.WriteModel(os.Stdout)
@@ -171,6 +178,43 @@ func run() error {
 		return fmt.Errorf("%d lemma(s) violated", failed)
 	}
 	return nil
+}
+
+// lintGate refuses to model check a system that the static analyzer flags
+// with error-level diagnostics: verifying lemmas against a model with
+// unreachable commands or out-of-domain updates proves nothing about the
+// algorithm. -lint=warn additionally prints warning-level findings;
+// -lint=off bypasses the gate.
+func lintGate(sys *gcl.System, mode string, nodeLimit int) error {
+	switch mode {
+	case "off":
+		return nil
+	case "on", "warn":
+	default:
+		return fmt.Errorf("unknown -lint mode %q (want on, warn, or off)", mode)
+	}
+	rep, err := lint.Run(sys, lint.Options{BDD: bdd.Config{NodeLimit: nodeLimit}})
+	if err != nil {
+		return err
+	}
+	if mode == "warn" {
+		for _, d := range rep.Diagnostics {
+			if d.Severity >= lint.Warning {
+				fmt.Println("lint:", d)
+			}
+		}
+	}
+	errs := rep.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	for _, d := range errs {
+		fmt.Fprintln(os.Stderr, "lint:", d)
+		if d.Witness != "" {
+			fmt.Fprintln(os.Stderr, "    witness:", d.Witness)
+		}
+	}
+	return fmt.Errorf("model has %d error-level lint diagnostic(s); rerun with -lint=off to bypass", len(errs))
 }
 
 func printResult(res *mc.Result) {

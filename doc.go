@@ -11,6 +11,7 @@
 // Layout:
 //
 //	internal/gcl          the modelling language ("mini-SAL")
+//	internal/gcl/lint     semantic static analyzer for gcl models
 //	internal/circuit      and-inverter-graph boolean circuits
 //	internal/bdd          ROBDD engine
 //	internal/sat          CDCL SAT solver
@@ -25,8 +26,18 @@
 //	internal/core         top-level verification API
 //	internal/exp          the paper's evaluation experiments
 //	cmd/ttamc             model-checking CLI
+//	cmd/ttalint           static-analysis CLI over the built-in models
 //	cmd/ttasim            simulation CLI
 //	cmd/ttabench          regenerate the paper's tables and figures
+//
+// Static analysis: internal/gcl/lint checks finalized models beyond the
+// shape checks Finalize performs — BDD-exact unreachable-command, stuck-
+// module, conflicting-write, out-of-range-update, and dead-fallback
+// detection (satisfiability over the domain-constrained boolean
+// compilation, with concrete witnesses), plus dead-variable and interval
+// analyses. Diagnostics carry stable GCL001..GCL010 codes; cmd/ttamc
+// refuses models with error-level findings unless run with -lint=off. See
+// the "Static analysis" section of README.md for the code table.
 //
 // The benchmarks in bench_test.go exercise one experiment per paper table
 // or figure; EXPERIMENTS.md records paper-versus-measured outcomes.

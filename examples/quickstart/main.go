@@ -9,6 +9,7 @@ import (
 	"log"
 
 	"ttastartup/internal/core"
+	"ttastartup/internal/gcl/lint"
 	"ttastartup/internal/tta/startup"
 )
 
@@ -24,6 +25,21 @@ func main() {
 	suite, err := core.NewSuite(cfg, core.Options{})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Static analysis before model checking: verifying lemmas against a
+	// model with error-level defects (unreachable commands, out-of-domain
+	// updates) proves nothing about the algorithm.
+	lintRep, err := lint.Run(suite.Model.Sys, lint.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static analysis: %s\n", lintRep.Summary())
+	if errs := lintRep.Errors(); len(errs) > 0 {
+		for _, d := range errs {
+			log.Println("lint:", d)
+		}
+		log.Fatal("model has error-level lint diagnostics")
 	}
 
 	count, err := suite.CountStates()

@@ -186,6 +186,13 @@ func (c *Compiled) CompileExpr(e Expr) circuit.Lit {
 	return boolLit(e.compile(&compiler{b: c.B, c: c}))
 }
 
+// CompileValue lowers an arbitrary expression to its bit-vector form over
+// the compilation's inputs (LSB first). Static analysis uses it to compare
+// update right-hand sides symbolically.
+func (c *Compiled) CompileValue(e Expr) circuit.BV {
+	return e.compile(&compiler{b: c.B, c: c})
+}
+
 // CurBV returns the current-state bit vector of v (LSB first).
 func (c *Compiled) CurBV(v *Var) circuit.BV { return c.cur[v] }
 

@@ -1,0 +1,88 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+)
+
+// The tests in this file cover the Finalize/checkCommand error paths that
+// system_test.go leaves untested: double finalization, duplicate fallbacks,
+// non-state and double assignment, cross-system references, and the
+// add-after-Finalize panics.
+
+func TestFinalizeTwiceRejected(t *testing.T) {
+	sys := NewSystem("twice")
+	m := sys.Module("m")
+	v := m.Bool("v", InitConst(0))
+	m.Cmd("tick", True(), Keep(v))
+	sys.MustFinalize()
+	if err := sys.Finalize(); err == nil || !strings.Contains(err.Error(), "already finalized") {
+		t.Fatalf("second Finalize = %v, want already-finalized error", err)
+	}
+}
+
+func TestDuplicateFallbackRejected(t *testing.T) {
+	sys := NewSystem("dupfb")
+	m := sys.Module("m")
+	v := m.Bool("v", InitConst(0))
+	m.Cmd("tick", Eq(X(v), B(false)), Set(v, B(true)))
+	m.Fallback("first", Keep(v))
+	m.Fallback("second", Keep(v))
+	if err := sys.Finalize(); err == nil || !strings.Contains(err.Error(), "fallback commands") {
+		t.Fatalf("Finalize = %v, want duplicate-fallback error", err)
+	}
+}
+
+func TestNonStateAssignmentRejected(t *testing.T) {
+	sys := NewSystem("nonstate")
+	m := sys.Module("m")
+	ch := m.Choice("pick", IntType("p", 2))
+	m.Cmd("bad", True(), Set(ch, C(IntType("p", 2), 0)))
+	if err := sys.Finalize(); err == nil || !strings.Contains(err.Error(), "non-state") {
+		t.Fatalf("Finalize = %v, want non-state assignment error", err)
+	}
+}
+
+func TestDoubleAssignmentRejected(t *testing.T) {
+	sys := NewSystem("double")
+	m := sys.Module("m")
+	v := m.Bool("v", InitConst(0))
+	m.Cmd("bad", True(), Set(v, B(true)), Set(v, B(false)))
+	if err := sys.Finalize(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("Finalize = %v, want double-assignment error", err)
+	}
+}
+
+func TestCrossSystemReferenceRejected(t *testing.T) {
+	other := NewSystem("other")
+	foreign := other.Module("fm").Bool("fv", InitConst(0))
+
+	sys := NewSystem("this")
+	m := sys.Module("m")
+	v := m.Bool("v", InitConst(0))
+	m.Cmd("bad", Eq(X(foreign), B(true)), Keep(v))
+	if err := sys.Finalize(); err == nil || !strings.Contains(err.Error(), "another system") {
+		t.Fatalf("Finalize = %v, want cross-system reference error", err)
+	}
+}
+
+func TestMutationAfterFinalizePanics(t *testing.T) {
+	sys := NewSystem("frozen")
+	m := sys.Module("m")
+	v := m.Bool("v", InitConst(0))
+	m.Cmd("tick", True(), Keep(v))
+	sys.MustFinalize()
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s after Finalize did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Module", func() { sys.Module("late") })
+	mustPanic("Var", func() { m.Bool("late", InitConst(0)) })
+	mustPanic("Cmd", func() { m.Cmd("late", True(), Keep(v)) })
+}

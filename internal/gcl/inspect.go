@@ -1,0 +1,152 @@
+package gcl
+
+// This file is the read-only structural introspection surface consumed by
+// static analysis (package gcl/lint). It deliberately exposes no mutation:
+// analysis tools decompose expressions and commands without reaching into
+// the package's unexported representation.
+
+// ExprOp identifies the top-level operator of an expression.
+type ExprOp int
+
+// Expression operators, as returned by Op.
+const (
+	// OpConst is a typed constant; ConstValue returns its value.
+	OpConst ExprOp = iota + 1
+	// OpVar is a variable reference; VarRef returns the variable.
+	OpVar
+	// OpCmp is a comparison; CmpOf returns its kind, Operands both sides.
+	OpCmp
+	// OpNot is boolean negation.
+	OpNot
+	// OpAnd is an n-ary conjunction.
+	OpAnd
+	// OpOr is an n-ary disjunction.
+	OpOr
+	// OpIte is if-then-else; Operands returns [cond, then, else].
+	OpIte
+	// OpAdd is bounded addition; AddOf returns the constant and mode.
+	OpAdd
+)
+
+// CmpKind identifies a comparison operator. Gt and Ge are constructed as
+// Lt/Le with swapped operands, so only four kinds exist.
+type CmpKind int
+
+// Comparison kinds, as returned by CmpOf.
+const (
+	CmpEq CmpKind = iota + 1
+	CmpNe
+	CmpLt
+	CmpLe
+)
+
+// Op returns the top-level operator of e.
+func Op(e Expr) ExprOp {
+	switch x := e.(type) {
+	case constExpr:
+		return OpConst
+	case varExpr:
+		return OpVar
+	case cmpExpr:
+		return OpCmp
+	case notExpr:
+		return OpNot
+	case naryExpr:
+		if x.op == opAnd {
+			return OpAnd
+		}
+		return OpOr
+	case iteExpr:
+		return OpIte
+	case addExpr:
+		return OpAdd
+	}
+	panic("gcl: Op on unknown expression kind")
+}
+
+// Operands returns the direct subexpressions of e in syntactic order: both
+// sides of a comparison, the arguments of And/Or, the operand of Not and of
+// bounded addition, and [cond, then, else] for Ite. Constants and variable
+// references have no operands.
+func Operands(e Expr) []Expr {
+	switch x := e.(type) {
+	case constExpr, varExpr:
+		return nil
+	case cmpExpr:
+		return []Expr{x.a, x.b}
+	case notExpr:
+		return []Expr{x.a}
+	case naryExpr:
+		out := make([]Expr, len(x.args))
+		copy(out, x.args)
+		return out
+	case iteExpr:
+		return []Expr{x.c, x.t, x.e}
+	case addExpr:
+		return []Expr{x.a}
+	}
+	panic("gcl: Operands on unknown expression kind")
+}
+
+// ConstValue returns the value of a constant expression.
+func ConstValue(e Expr) (int, bool) {
+	if x, ok := e.(constExpr); ok {
+		return x.v, true
+	}
+	return 0, false
+}
+
+// VarRef returns the variable read by a variable-reference expression and
+// whether the reference is primed (XN).
+func VarRef(e Expr) (v *Var, primed bool, ok bool) {
+	if x, ok := e.(varExpr); ok {
+		return x.v, x.primed, true
+	}
+	return nil, false, false
+}
+
+// CmpOf returns the kind of a comparison expression.
+func CmpOf(e Expr) (CmpKind, bool) {
+	x, ok := e.(cmpExpr)
+	if !ok {
+		return 0, false
+	}
+	switch x.op {
+	case cmpEq:
+		return CmpEq, true
+	case cmpNe:
+		return CmpNe, true
+	case cmpLt:
+		return CmpLt, true
+	default:
+		return CmpLe, true
+	}
+}
+
+// AddOf returns the constant increment of a bounded-addition expression and
+// whether it is modular (AddMod) rather than saturating (AddSat).
+func AddOf(e Expr) (k int, modular bool, ok bool) {
+	x, ok := e.(addExpr)
+	if !ok {
+		return 0, false, false
+	}
+	return x.k, x.mode == addMod, true
+}
+
+// VisitVars calls f for every variable reference in e (with multiplicity),
+// reporting whether each read is primed.
+func VisitVars(e Expr, f func(v *Var, primed bool)) {
+	e.vars(f)
+}
+
+// Module returns the module that owns the command.
+func (c *Command) Module() *Module { return c.module }
+
+// ChoiceVars returns the choice variables in the command's support, in
+// first-mention order. Only valid after the owning system has been
+// finalized.
+func (c *Command) ChoiceVars() []*Var {
+	out := make([]*Var, len(c.choiceVars))
+	copy(out, c.choiceVars)
+	return out
+}

@@ -1,0 +1,106 @@
+package gcl
+
+import "testing"
+
+func TestInspectOperators(t *testing.T) {
+	typ := IntType("c", 10)
+	sys := NewSystem("inspect")
+	m := sys.Module("m")
+	v := m.Var("v", typ, InitConst(0))
+	ch := m.Choice("pick", IntType("p", 3))
+
+	cases := []struct {
+		e    Expr
+		op   ExprOp
+		args int
+	}{
+		{C(typ, 3), OpConst, 0},
+		{X(v), OpVar, 0},
+		{XN(v), OpVar, 0},
+		{Eq(X(v), C(typ, 1)), OpCmp, 2},
+		{Not(True()), OpNot, 1},
+		{And(True(), False()), OpAnd, 2},
+		{Or(True(), False(), True()), OpOr, 3},
+		{Ite(True(), X(v), C(typ, 0)), OpIte, 3},
+		{AddSat(X(v), 2), OpAdd, 1},
+		{AddMod(X(v), 2), OpAdd, 1},
+	}
+	for _, c := range cases {
+		if got := Op(c.e); got != c.op {
+			t.Errorf("Op(%s) = %v, want %v", c.e, got, c.op)
+		}
+		if got := len(Operands(c.e)); got != c.args {
+			t.Errorf("len(Operands(%s)) = %d, want %d", c.e, got, c.args)
+		}
+	}
+
+	if v, ok := ConstValue(C(typ, 7)); !ok || v != 7 {
+		t.Errorf("ConstValue = %d, %v", v, ok)
+	}
+	if _, ok := ConstValue(X(v)); ok {
+		t.Error("ConstValue on var should fail")
+	}
+	if vr, primed, ok := VarRef(XN(v)); !ok || vr != v || !primed {
+		t.Errorf("VarRef(XN) = %v, %v, %v", vr, primed, ok)
+	}
+	if vr, primed, ok := VarRef(X(ch)); !ok || vr != ch || primed {
+		t.Errorf("VarRef(X choice) = %v, %v, %v", vr, primed, ok)
+	}
+	if _, _, ok := VarRef(True()); ok {
+		t.Error("VarRef on const should fail")
+	}
+
+	cmps := []struct {
+		e Expr
+		k CmpKind
+	}{
+		{Eq(X(v), C(typ, 1)), CmpEq},
+		{Ne(X(v), C(typ, 1)), CmpNe},
+		{Lt(X(v), C(typ, 1)), CmpLt},
+		{Le(X(v), C(typ, 1)), CmpLe},
+		{Gt(X(v), C(typ, 1)), CmpLt}, // swapped-operand construction
+		{Ge(X(v), C(typ, 1)), CmpLe},
+	}
+	for _, c := range cmps {
+		if k, ok := CmpOf(c.e); !ok || k != c.k {
+			t.Errorf("CmpOf(%s) = %v, %v, want %v", c.e, k, ok, c.k)
+		}
+	}
+	if _, ok := CmpOf(True()); ok {
+		t.Error("CmpOf on const should fail")
+	}
+
+	if k, mod, ok := AddOf(AddSat(X(v), 2)); !ok || k != 2 || mod {
+		t.Errorf("AddOf(AddSat) = %d, %v, %v", k, mod, ok)
+	}
+	if k, mod, ok := AddOf(AddMod(X(v), 3)); !ok || k != 3 || !mod {
+		t.Errorf("AddOf(AddMod) = %d, %v, %v", k, mod, ok)
+	}
+
+	reads := map[string]bool{}
+	VisitVars(And(Eq(X(v), C(typ, 0)), Eq(X(ch), C(IntType("p", 3), 1))), func(vr *Var, primed bool) {
+		reads[vr.Name] = primed
+	})
+	if len(reads) != 2 {
+		t.Errorf("VisitVars saw %v", reads)
+	}
+}
+
+func TestCommandAccessors(t *testing.T) {
+	sys := NewSystem("acc")
+	typ := IntType("c", 4)
+	m := sys.Module("m")
+	v := m.Var("v", typ, InitConst(0))
+	ch := m.Choice("pick", IntType("p", 2))
+	m.Cmd("t", Eq(X(ch), C(IntType("p", 2), 0)), Set(v, C(typ, 1)))
+	sys.MustFinalize()
+
+	cmd := m.Commands()[0]
+	if cmd.Module() != m {
+		t.Errorf("Module() = %v", cmd.Module())
+	}
+	cvs := cmd.ChoiceVars()
+	if len(cvs) != 1 || cvs[0] != ch {
+		t.Errorf("ChoiceVars() = %v", cvs)
+	}
+}

@@ -1,0 +1,172 @@
+package lint
+
+import "ttastartup/internal/gcl"
+
+// interval is an inclusive value range [lo, hi] used by the abstract
+// interpretation of expressions. Soundness invariant: every value an
+// expression can take under in-domain inputs lies inside its interval.
+type interval struct{ lo, hi int }
+
+func boolIv(v bool) interval {
+	if v {
+		return interval{1, 1}
+	}
+	return interval{0, 0}
+}
+
+func union(a, b interval) interval {
+	if b.lo < a.lo {
+		a.lo = b.lo
+	}
+	if b.hi > a.hi {
+		a.hi = b.hi
+	}
+	return a
+}
+
+// bounds computes the interval of an expression.
+func bounds(e gcl.Expr) interval {
+	switch gcl.Op(e) {
+	case gcl.OpConst:
+		v, _ := gcl.ConstValue(e)
+		return interval{v, v}
+	case gcl.OpVar:
+		v, _, _ := gcl.VarRef(e)
+		return interval{0, v.Type.Card - 1}
+	case gcl.OpCmp:
+		if v, ok := foldCmp(e); ok {
+			return boolIv(v)
+		}
+		return interval{0, 1}
+	case gcl.OpNot, gcl.OpAnd, gcl.OpOr:
+		if v, ok := foldBool(e); ok {
+			return boolIv(v)
+		}
+		return interval{0, 1}
+	case gcl.OpIte:
+		ops := gcl.Operands(e)
+		if v, ok := foldBool(ops[0]); ok {
+			if v {
+				return bounds(ops[1])
+			}
+			return bounds(ops[2])
+		}
+		return union(bounds(ops[1]), bounds(ops[2]))
+	case gcl.OpAdd:
+		k, modular, _ := gcl.AddOf(e)
+		a := bounds(gcl.Operands(e)[0])
+		card := e.Type().Card
+		lo, hi := a.lo+k, a.hi+k
+		if modular {
+			switch {
+			case hi < card: // never wraps
+				return interval{lo, hi}
+			case lo >= card: // always wraps
+				return interval{lo - card, hi - card}
+			default: // may or may not wrap
+				return interval{0, card - 1}
+			}
+		}
+		// Saturating: clamp both ends at the top of the domain.
+		if lo > card-1 {
+			lo = card - 1
+		}
+		if hi > card-1 {
+			hi = card - 1
+		}
+		return interval{lo, hi}
+	}
+	return interval{0, e.Type().Card - 1}
+}
+
+// foldCmp decides a comparison when the operand intervals force one outcome.
+func foldCmp(e gcl.Expr) (bool, bool) {
+	kind, ok := gcl.CmpOf(e)
+	if !ok {
+		return false, false
+	}
+	ops := gcl.Operands(e)
+	a, b := bounds(ops[0]), bounds(ops[1])
+	disjoint := a.hi < b.lo || b.hi < a.lo
+	sameSingleton := a.lo == a.hi && b.lo == b.hi && a.lo == b.lo
+	switch kind {
+	case gcl.CmpEq:
+		if disjoint {
+			return false, true
+		}
+		if sameSingleton {
+			return true, true
+		}
+	case gcl.CmpNe:
+		if disjoint {
+			return true, true
+		}
+		if sameSingleton {
+			return false, true
+		}
+	case gcl.CmpLt:
+		if a.hi < b.lo {
+			return true, true
+		}
+		if b.hi <= a.lo {
+			return false, true
+		}
+	case gcl.CmpLe:
+		if a.hi <= b.lo {
+			return true, true
+		}
+		if b.hi < a.lo {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// foldBool decides a boolean expression by constant propagation through the
+// connectives, folding comparisons at the leaves.
+func foldBool(e gcl.Expr) (bool, bool) {
+	switch gcl.Op(e) {
+	case gcl.OpConst:
+		v, _ := gcl.ConstValue(e)
+		return v != 0, true
+	case gcl.OpCmp:
+		return foldCmp(e)
+	case gcl.OpNot:
+		if v, ok := foldBool(gcl.Operands(e)[0]); ok {
+			return !v, true
+		}
+	case gcl.OpAnd:
+		all := true
+		for _, a := range gcl.Operands(e) {
+			v, ok := foldBool(a)
+			if ok && !v {
+				return false, true
+			}
+			if !ok {
+				all = false
+			}
+		}
+		if all {
+			return true, true
+		}
+	case gcl.OpOr:
+		any := false
+		undecided := false
+		for _, a := range gcl.Operands(e) {
+			v, ok := foldBool(a)
+			if ok && v {
+				any = true
+			}
+			if !ok {
+				undecided = true
+			}
+		}
+		if any {
+			return true, true
+		}
+		if !undecided {
+			return false, true
+		}
+	}
+	return false, false
+}

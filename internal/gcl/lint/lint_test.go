@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ttastartup/internal/gcl"
+)
+
+func mustRun(t *testing.T, sys *gcl.System) *Report {
+	t.Helper()
+	sys.MustFinalize()
+	rep, err := Run(sys, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+func find(rep *Report, code Code) []Diag {
+	var out []Diag
+	for _, d := range rep.Diagnostics {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestUnreachableCommand(t *testing.T) {
+	sys := gcl.NewSystem("unreachable")
+	typ := gcl.IntType("t", 4)
+	m := sys.Module("m")
+	v := m.Var("v", typ, gcl.InitConst(0))
+	m.Cmd("impossible",
+		gcl.And(gcl.Eq(gcl.X(v), gcl.C(typ, 0)), gcl.Eq(gcl.X(v), gcl.C(typ, 1))),
+		gcl.Set(v, gcl.C(typ, 1)))
+	m.Cmd("fine", gcl.Eq(gcl.X(v), gcl.C(typ, 0)), gcl.Set(v, gcl.C(typ, 2)))
+
+	rep := mustRun(t, sys)
+	ds := find(rep, CodeUnreachableCommand)
+	if len(ds) != 1 {
+		t.Fatalf("GCL001 diags = %v, want exactly 1", ds)
+	}
+	d := ds[0]
+	if d.Module != "m" || d.Command != "impossible" || d.Severity != Error {
+		t.Errorf("wrong location/severity: %+v", d)
+	}
+}
+
+func TestStuckModule(t *testing.T) {
+	sys := gcl.NewSystem("stuck")
+	typ := gcl.IntType("t", 3)
+	m := sys.Module("m")
+	v := m.Var("v", typ, gcl.InitConst(0))
+	m.Cmd("only-at-zero", gcl.Eq(gcl.X(v), gcl.C(typ, 0)), gcl.Set(v, gcl.C(typ, 1)))
+
+	rep := mustRun(t, sys)
+	ds := find(rep, CodeStuckModule)
+	if len(ds) != 1 {
+		t.Fatalf("GCL002 diags = %v, want exactly 1", ds)
+	}
+	d := ds[0]
+	if d.Module != "m" || d.Severity != Warning {
+		t.Errorf("wrong location/severity: %+v", d)
+	}
+	// The witness must exhibit a concrete blocking valuation: v != 0.
+	if !strings.Contains(d.Witness, "m.v=") || strings.Contains(d.Witness, "m.v=0") {
+		t.Errorf("witness %q does not pin v to a nonzero value", d.Witness)
+	}
+}
+
+func TestStuckModuleEmpty(t *testing.T) {
+	sys := gcl.NewSystem("empty")
+	m := sys.Module("m")
+	v := m.Var("v", gcl.BoolType(), gcl.InitConst(0))
+	m.Cmd("tick", gcl.True(), gcl.Keep(v))
+	sys.Module("hollow") // no commands, no fallback: blocks every step
+
+	rep := mustRun(t, sys)
+	ds := find(rep, CodeStuckModule)
+	if len(ds) != 1 || ds[0].Module != "hollow" || ds[0].Severity != Error {
+		t.Fatalf("GCL002 diags = %v, want one error on hollow", ds)
+	}
+}
+
+func TestStuckQuantifiesChoices(t *testing.T) {
+	// Some choice value always enables the command, so the module is NOT
+	// stuck even though no single choice value works everywhere.
+	sys := gcl.NewSystem("choicey")
+	typ := gcl.IntType("t", 2)
+	m := sys.Module("m")
+	v := m.Var("v", typ, gcl.InitConst(0))
+	pick := m.Choice("pick", typ)
+	m.Cmd("match", gcl.Eq(gcl.X(pick), gcl.X(v)), gcl.Keep(v))
+
+	rep := mustRun(t, sys)
+	if ds := find(rep, CodeStuckModule); len(ds) != 0 {
+		t.Fatalf("GCL002 diags = %v, want none (choice existentially quantified)", ds)
+	}
+}
+
+func TestFallbackSuppressesStuck(t *testing.T) {
+	sys := gcl.NewSystem("fb")
+	typ := gcl.IntType("t", 3)
+	m := sys.Module("m")
+	v := m.Var("v", typ, gcl.InitConst(0))
+	m.Cmd("only-at-zero", gcl.Eq(gcl.X(v), gcl.C(typ, 0)), gcl.Set(v, gcl.C(typ, 1)))
+	m.Fallback("idle", gcl.Keep(v))
+
+	rep := mustRun(t, sys)
+	if ds := find(rep, CodeStuckModule); len(ds) != 0 {
+		t.Fatalf("GCL002 diags = %v, want none (module has fallback)", ds)
+	}
+}
+
+func TestConflictingWrites(t *testing.T) {
+	sys := gcl.NewSystem("conflict")
+	typ := gcl.IntType("t", 4)
+	m := sys.Module("m")
+	v := m.Var("v", typ, gcl.InitConst(0))
+	w := m.Var("w", typ, gcl.InitConst(0))
+	m.Cmd("a", gcl.True(), gcl.Set(v, gcl.C(typ, 1)), gcl.Set(w, gcl.C(typ, 3)))
+	m.Cmd("b", gcl.Eq(gcl.X(v), gcl.C(typ, 0)), gcl.Set(v, gcl.C(typ, 2)), gcl.Set(w, gcl.C(typ, 3)))
+
+	rep := mustRun(t, sys)
+	ds := find(rep, CodeConflictingWrites)
+	if len(ds) != 1 {
+		t.Fatalf("GCL003 diags = %v, want exactly 1 (w's writes agree)", ds)
+	}
+	d := ds[0]
+	if d.Module != "m" || d.Command != "a" || d.Var != "v" || d.Severity != Warning {
+		t.Errorf("wrong location: %+v", d)
+	}
+	if !strings.Contains(d.Message, `"b"`) {
+		t.Errorf("message %q does not name the other command", d.Message)
+	}
+	if !strings.Contains(d.Witness, "m.v=0") {
+		t.Errorf("witness %q does not pin the overlap state v=0", d.Witness)
+	}
+}
+
+func TestConflictDisjointGuardsClean(t *testing.T) {
+	sys := gcl.NewSystem("nc")
+	typ := gcl.IntType("t", 4)
+	m := sys.Module("m")
+	v := m.Var("v", typ, gcl.InitConst(0))
+	m.Cmd("a", gcl.Eq(gcl.X(v), gcl.C(typ, 0)), gcl.Set(v, gcl.C(typ, 1)))
+	m.Cmd("b", gcl.Eq(gcl.X(v), gcl.C(typ, 1)), gcl.Set(v, gcl.C(typ, 2)))
+
+	rep := mustRun(t, sys)
+	if ds := find(rep, CodeConflictingWrites); len(ds) != 0 {
+		t.Fatalf("GCL003 diags = %v, want none (guards are disjoint)", ds)
+	}
+}
+
+func TestDeadVariableAnalysis(t *testing.T) {
+	sys := gcl.NewSystem("dead")
+	typ := gcl.IntType("t", 4)
+	m := sys.Module("m")
+	live := m.Var("live", typ, gcl.InitConst(0))
+	wronly := m.Var("wronly", typ, gcl.InitConst(0))
+	frozen := m.Var("frozen", typ, gcl.InitSet(1, 2))
+	konst := m.Var("konst", typ, gcl.InitConst(3))
+	unused := m.Var("unused", typ, gcl.InitConst(0))
+	m.Choice("ghost", typ)
+	_ = unused
+	m.Cmd("step",
+		gcl.And(gcl.Lt(gcl.X(live), gcl.X(frozen)), gcl.Eq(gcl.X(konst), gcl.C(typ, 3))),
+		gcl.Set(live, gcl.AddSat(gcl.X(live), 1)),
+		gcl.Set(wronly, gcl.C(typ, 2)))
+	m.Fallback("idle")
+
+	rep := mustRun(t, sys)
+	checks := []struct {
+		code Code
+		vr   string
+		sev  Severity
+	}{
+		{CodeWriteOnlyVar, "wronly", Info},
+		{CodeNeverWrittenVar, "frozen", Warning},
+		{CodeNeverWrittenVar, "konst", Info},
+		{CodeUnusedVar, "unused", Warning},
+		{CodeUnreadChoice, "ghost", Warning},
+	}
+	for _, want := range checks {
+		found := false
+		for _, d := range find(rep, want.code) {
+			if d.Var == want.vr {
+				found = true
+				if d.Severity != want.sev {
+					t.Errorf("%s on %s: severity %v, want %v", want.code, want.vr, d.Severity, want.sev)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("missing %s on %s; got %+v", want.code, want.vr, rep.Diagnostics)
+		}
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Var == "live" && d.Code != CodeConstantComparison {
+			t.Errorf("live variable flagged: %+v", d)
+		}
+	}
+}
+
+func TestRangeOverflow(t *testing.T) {
+	sys := gcl.NewSystem("range")
+	narrow := gcl.IntType("narrow", 3)
+	wide := gcl.IntType("wide", 6)
+	m := sys.Module("m")
+	n := m.Var("n", narrow, gcl.InitConst(0))
+	w := m.Var("w", wide, gcl.InitConst(0))
+	m.Cmd("overflow", gcl.Ge(gcl.X(w), gcl.C(wide, 3)),
+		gcl.Set(n, gcl.X(w)), gcl.Set(w, gcl.C(wide, 0)))
+	m.Cmd("safe", gcl.Lt(gcl.X(w), gcl.C(wide, 3)),
+		gcl.Set(n, gcl.X(w)), gcl.Set(w, gcl.AddSat(gcl.X(w), 1)))
+
+	rep := mustRun(t, sys)
+	ds := find(rep, CodeRangeOverflow)
+	if len(ds) != 1 {
+		t.Fatalf("GCL008 diags = %+v, want exactly 1 (the guarded copy is safe)", ds)
+	}
+	d := ds[0]
+	if d.Command != "overflow" || d.Var != "n" || d.Severity != Error {
+		t.Errorf("wrong location: %+v", d)
+	}
+	if !strings.Contains(d.Witness, "m.w=") {
+		t.Errorf("witness %q does not pin w", d.Witness)
+	}
+}
+
+func TestConstantComparison(t *testing.T) {
+	sys := gcl.NewSystem("cc")
+	small := gcl.IntType("small", 3)
+	big := gcl.IntType("big", 10)
+	m := sys.Module("m")
+	v := m.Var("v", small, gcl.InitConst(0))
+	m.Cmd("step", gcl.And(gcl.Lt(gcl.X(v), gcl.C(big, 5)), gcl.Ne(gcl.X(v), gcl.C(small, 1))),
+		gcl.Keep(v))
+	m.Fallback("idle")
+
+	rep := mustRun(t, sys)
+	ds := find(rep, CodeConstantComparison)
+	if len(ds) != 1 {
+		t.Fatalf("GCL009 diags = %+v, want exactly 1", ds)
+	}
+	if !strings.Contains(ds[0].Message, "always true") {
+		t.Errorf("message %q should report the fold value", ds[0].Message)
+	}
+}
+
+func TestDeadFallback(t *testing.T) {
+	sys := gcl.NewSystem("deadfb")
+	typ := gcl.IntType("t", 4)
+	m := sys.Module("m")
+	v := m.Var("v", typ, gcl.InitConst(0))
+	m.Cmd("low", gcl.Lt(gcl.X(v), gcl.C(typ, 2)), gcl.Set(v, gcl.AddSat(gcl.X(v), 1)))
+	m.Cmd("high", gcl.Ge(gcl.X(v), gcl.C(typ, 2)), gcl.Set(v, gcl.C(typ, 0)))
+	m.Fallback("never")
+
+	rep := mustRun(t, sys)
+	ds := find(rep, CodeDeadFallback)
+	if len(ds) != 1 || ds[0].Command != "never" || ds[0].Severity != Info {
+		t.Fatalf("GCL010 diags = %+v, want one info on the fallback", ds)
+	}
+}
+
+func TestDisableAndOrdering(t *testing.T) {
+	sys := gcl.NewSystem("multi")
+	typ := gcl.IntType("t", 3)
+	m := sys.Module("m")
+	v := m.Var("v", typ, gcl.InitConst(0))
+	m.Var("unused", typ, gcl.InitConst(0))
+	m.Cmd("dead", gcl.False(), gcl.Keep(v))
+	m.Cmd("live", gcl.True(), gcl.Set(v, gcl.AddMod(gcl.X(v), 1)))
+	sys.MustFinalize()
+
+	rep1, err := Run(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Errorf("non-deterministic reports:\n%+v\n%+v", rep1, rep2)
+	}
+	if len(find(rep1, CodeUnreachableCommand)) != 1 {
+		t.Fatalf("expected a GCL001 in %+v", rep1.Diagnostics)
+	}
+	for i := 1; i < len(rep1.Diagnostics); i++ {
+		a, b := rep1.Diagnostics[i-1], rep1.Diagnostics[i]
+		if a.Module == b.Module && a.Command == b.Command && a.Var == b.Var && a.Code > b.Code {
+			t.Errorf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+
+	rep3, err := Run(sys, Options{Disable: []Code{CodeUnreachableCommand}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(find(rep3, CodeUnreachableCommand)) != 0 {
+		t.Errorf("disabled code still reported: %+v", rep3.Diagnostics)
+	}
+}
+
+func TestReportOutputs(t *testing.T) {
+	sys := gcl.NewSystem("out")
+	typ := gcl.IntType("t", 3)
+	m := sys.Module("m")
+	v := m.Var("v", typ, gcl.InitConst(0))
+	m.Cmd("dead", gcl.False(), gcl.Keep(v))
+	m.Cmd("live", gcl.True(), gcl.Set(v, gcl.AddMod(gcl.X(v), 1)))
+	rep := mustRun(t, sys)
+
+	if got := rep.Max(); got != Error {
+		t.Errorf("Max = %v, want Error", got)
+	}
+	if n := rep.Count(Error); n != len(rep.Errors()) {
+		t.Errorf("Count(Error)=%d, len(Errors())=%d", n, len(rep.Errors()))
+	}
+	if s := rep.Summary(); !strings.Contains(s, "error") {
+		t.Errorf("Summary = %q", s)
+	}
+
+	var human bytes.Buffer
+	rep.Format(&human)
+	if !strings.Contains(human.String(), "GCL001") {
+		t.Errorf("Format output missing code:\n%s", human.String())
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		System      string `json:"system"`
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			Module   string `json:"module"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.System != "out" || len(decoded.Diagnostics) == 0 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if decoded.Diagnostics[0].Severity != "error" {
+		t.Errorf("severity encoded as %q, want string name", decoded.Diagnostics[0].Severity)
+	}
+
+	var clean Report
+	if clean.Summary() != "clean" {
+		t.Errorf("empty summary = %q", clean.Summary())
+	}
+}
+
+func TestRunRequiresFinalized(t *testing.T) {
+	sys := gcl.NewSystem("raw")
+	if _, err := Run(sys, Options{}); err == nil {
+		t.Fatal("Run on unfinalized system should fail")
+	}
+}

@@ -1,0 +1,51 @@
+package original_test
+
+import (
+	"testing"
+
+	"ttastartup/internal/gcl/lint"
+	"ttastartup/internal/tta/original"
+)
+
+// TestLintShippedModels gates the bus-topology baseline: no error-level
+// diagnostics, and only the documented init-window nondeterminism (GCL003 on
+// init-stay/init-go) for correct nodes.
+func TestLintShippedModels(t *testing.T) {
+	cases := []struct {
+		name        string
+		faulty, deg int
+		wantGCL003  int // one per correct node
+	}{
+		{"fault-free", -1, 0, 3},
+		{"faulty-deg1", 1, 1, 2},
+		{"faulty-deg3", 1, 3, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := original.DefaultConfig(3)
+			cfg.FaultyNode = c.faulty
+			if c.faulty >= 0 {
+				cfg.FaultDegree = c.deg
+			}
+			m := original.MustBuild(cfg)
+			rep, err := lint.Run(m.Sys, lint.Options{})
+			if err != nil {
+				t.Fatalf("lint: %v", err)
+			}
+			if n := rep.Count(lint.Error); n != 0 {
+				t.Fatalf("%d error-level diagnostics:\n%+v", n, rep.Errors())
+			}
+			got := 0
+			for _, d := range rep.Diagnostics {
+				if d.Code != lint.CodeConflictingWrites || d.Command != "init-stay" || d.Var != "counter" {
+					t.Errorf("unexpected diagnostic: %v", d)
+					continue
+				}
+				got++
+			}
+			if got != c.wantGCL003 {
+				t.Errorf("GCL003 count = %d, want %d", got, c.wantGCL003)
+			}
+		})
+	}
+}

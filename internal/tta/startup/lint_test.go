@@ -1,0 +1,117 @@
+package startup_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ttastartup/internal/gcl/lint"
+	"ttastartup/internal/tta/startup"
+)
+
+// TestLintShippedModels is the regression gate for the static analyzer over
+// every shipped hub-topology configuration: no error-level diagnostics, and
+// nothing outside the documented, expected set.
+//
+// The expected diagnostics are characteristics of the paper's model, not
+// defects:
+//
+//   - GCL003 on init-stay/init-go (nodes and hubs): the power-on window is
+//     deliberately nondeterministic — within δ_init a component may keep
+//     counting or start, so both guards overlap while writing counter
+//     differently.
+//   - GCL004 on errorflag and relay src: observables written for properties
+//     and diagnosis, never read back by the model itself.
+//   - GCL006/GCL010 only with big-bang disabled: the big_bang flag goes
+//     unused and the nodes' diagnosis fallback loses its trigger.
+func TestLintShippedModels(t *testing.T) {
+	type tc struct {
+		name string
+		cfg  startup.Config
+	}
+	var cases []tc
+	for _, bigBang := range []bool{true, false} {
+		suffix := ""
+		if !bigBang {
+			suffix = "-nobb"
+		}
+		base := startup.DefaultConfig(3)
+		base.DisableBigBang = !bigBang
+		cases = append(cases, tc{"fault-free" + suffix, base})
+
+		hub := startup.DefaultConfig(3).WithFaultyHub(0)
+		hub.DisableBigBang = !bigBang
+		cases = append(cases, tc{"faulty-hub" + suffix, hub})
+
+		for _, deg := range []int{1, 6} {
+			node := startup.DefaultConfig(3).WithFaultyNode(1)
+			node.FaultDegree = deg
+			node.DisableBigBang = !bigBang
+			cases = append(cases, tc{fmt.Sprintf("faulty-node-deg%d%s", deg, suffix), node})
+		}
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := startup.MustBuild(c.cfg)
+			rep, err := lint.Run(m.Sys, lint.Options{})
+			if err != nil {
+				t.Fatalf("lint: %v", err)
+			}
+			if n := rep.Count(lint.Error); n != 0 {
+				t.Fatalf("%d error-level diagnostics:\n%+v", n, rep.Errors())
+			}
+			allowed := map[lint.Code]bool{
+				lint.CodeConflictingWrites: true,
+				lint.CodeWriteOnlyVar:      true,
+			}
+			if c.cfg.DisableBigBang {
+				allowed[lint.CodeUnusedVar] = true
+				allowed[lint.CodeDeadFallback] = true
+			}
+			for _, d := range rep.Diagnostics {
+				if !allowed[d.Code] {
+					t.Errorf("unexpected diagnostic: %v", d)
+				}
+			}
+		})
+	}
+}
+
+// TestLintDefaultPinned pins the exact diagnostics of the default 3-node
+// fault-free model, so any drift in the analyzer or the model shows up as a
+// readable diff.
+func TestLintDefaultPinned(t *testing.T) {
+	m := startup.MustBuild(startup.DefaultConfig(3))
+	rep, err := lint.Run(m.Sys, lint.Options{})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	type loc struct {
+		code          lint.Code
+		module, vname string
+	}
+	want := []loc{
+		{lint.CodeConflictingWrites, "node0", "counter"},
+		{lint.CodeWriteOnlyVar, "node0", "errorflag"},
+		{lint.CodeConflictingWrites, "node1", "counter"},
+		{lint.CodeWriteOnlyVar, "node1", "errorflag"},
+		{lint.CodeConflictingWrites, "node2", "counter"},
+		{lint.CodeWriteOnlyVar, "node2", "errorflag"},
+		{lint.CodeWriteOnlyVar, "relay0", "src"},
+		{lint.CodeWriteOnlyVar, "relay1", "src"},
+		{lint.CodeConflictingWrites, "hub0", "counter"},
+		{lint.CodeConflictingWrites, "hub1", "counter"},
+	}
+	if len(rep.Diagnostics) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%+v", len(rep.Diagnostics), len(want), rep.Diagnostics)
+	}
+	for i, w := range want {
+		d := rep.Diagnostics[i]
+		if d.Code != w.code || d.Module != w.module || d.Var != w.vname {
+			t.Errorf("diag %d = %v, want %s on %s.%s", i, d, w.code, w.module, w.vname)
+		}
+		if d.Code == lint.CodeConflictingWrites && d.Witness == "" {
+			t.Errorf("diag %d: conflicting-writes diagnostic lacks a witness", i)
+		}
+	}
+}
