@@ -1,10 +1,10 @@
 GO ?= go
 
 # `make check` is the tier-1 gate: formatting, vet, build, the full test
-# suite under the race detector, and the static analyzer over every shipped
-# model configuration.
+# suite under the race detector, the static analyzer over every shipped
+# model configuration, and the campaign cancel/resume smoke test.
 .PHONY: check
-check: fmt vet build race lint-models
+check: fmt vet build race lint-models campaign-smoke
 
 .PHONY: fmt
 fmt:
@@ -35,4 +35,18 @@ race:
 # fault degrees. Fails on any error-level diagnostic.
 .PHONY: lint-models
 lint-models:
-	$(GO) run ./cmd/ttalint -all
+	$(GO) run ./cmd/ttalint -all -j 0
+
+# Campaign smoke test: run a tiny n=3 sweep on two workers, cancel it
+# gracefully after three jobs (the -cancel-after testing hook), then resume
+# from the JSONL store and require the resumed run to skip recorded jobs
+# and complete the report.
+CAMPAIGN_SMOKE_OUT := .campaign-smoke.jsonl
+.PHONY: campaign-smoke
+campaign-smoke:
+	@rm -f $(CAMPAIGN_SMOKE_OUT)
+	$(GO) run ./cmd/ttacampaign -n 3 -degrees 1,2,3 -delta-init 4 -j 2 \
+		-out $(CAMPAIGN_SMOKE_OUT) -cancel-after 3 -quiet -heartbeat 0 -no-report
+	$(GO) run ./cmd/ttacampaign -n 3 -degrees 1,2,3 -delta-init 4 -j 2 \
+		-out $(CAMPAIGN_SMOKE_OUT) -resume -quiet -heartbeat 0 -no-report
+	@rm -f $(CAMPAIGN_SMOKE_OUT)

@@ -5,15 +5,20 @@
 //	ttabench -exp all                 quick versions of every experiment
 //	ttabench -exp fig6b -full -n 3,4,5
 //	ttabench -exp bigbang -trace
+//	ttabench -exp fig4 -j 8           sweep on a worker pool
+//	ttabench -exp fig6a -json         campaign-store records on stdout
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"ttastartup/internal/campaign"
 	"ttastartup/internal/core"
 	"ttastartup/internal/exp"
 )
@@ -32,6 +37,8 @@ func run() error {
 		nsFlag  = flag.String("n", "", "comma-separated cluster sizes (default per experiment)")
 		measure = flag.Bool("measure", true, "measure reachable-state counts where applicable")
 		trace   = flag.Bool("trace", false, "print counterexample traces (bigbang)")
+		workers = flag.Int("j", 0, "run sweep experiments (fig4, fig6a-d) on a campaign worker pool of this size (0: serial drivers)")
+		jsonOut = flag.Bool("json", false, "emit campaign-store JSONL records instead of tables (fig4, fig6a-d only)")
 	)
 	flag.Parse()
 
@@ -50,7 +57,29 @@ func run() error {
 		}
 	}
 
+	// emitRecords renders campaign records as JSONL (one per line, in
+	// deterministic job order) — the same schema as the ttacampaign store.
+	emitRecords := func(recs []campaign.Record) error {
+		enc := json.NewEncoder(os.Stdout)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// parallel reports whether a sweep experiment should route through the
+	// campaign runner (-j or -json) rather than the serial exp driver.
+	parallel := *workers > 0 || *jsonOut
+
 	runOne := func(name string) error {
+		if *jsonOut {
+			switch name {
+			case "fig4", "fig6a", "fig6b", "fig6c", "fig6d":
+			default:
+				return fmt.Errorf("-json supports the sweep experiments fig4 and fig6a-d, not %q", name)
+			}
+		}
 		switch name {
 		case "fig3":
 			fmt.Println(exp.Fig3())
@@ -61,6 +90,17 @@ func run() error {
 			}
 			if len(ns) == 1 {
 				n = ns[0]
+			}
+			if parallel {
+				_, recs, table, err := exp.Fig4Campaign(context.Background(), scale, n, nil, *workers, nil)
+				if err != nil {
+					return err
+				}
+				if *jsonOut {
+					return emitRecords(recs)
+				}
+				fmt.Println(table)
+				break
 			}
 			_, table, err := exp.Fig4(scale, n, nil)
 			if err != nil {
@@ -78,6 +118,17 @@ func run() error {
 				"fig6a": core.LemmaSafety, "fig6b": core.LemmaLiveness,
 				"fig6c": core.LemmaTimeliness, "fig6d": core.LemmaSafety2,
 			}[name]
+			if parallel {
+				_, recs, table, err := exp.Fig6Campaign(context.Background(), scale, lemma, ns, *workers, nil)
+				if err != nil {
+					return err
+				}
+				if *jsonOut {
+					return emitRecords(recs)
+				}
+				fmt.Println(table)
+				break
+			}
 			_, table, err := exp.Fig6(scale, lemma, ns)
 			if err != nil {
 				return err

@@ -7,18 +7,21 @@
 //	ttalint -n 3 -faulty-node 1 -degree 6
 //	ttalint -topology bus -n 4 -faulty-node 0 -degree 3
 //	ttalint -all            (sweep every shipped configuration)
+//	ttalint -all -j 8       (the sweep on eight workers)
 //	ttalint -all -json      (machine-readable reports)
 //
 // The exit status is 1 when any model has an error-level diagnostic.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"ttastartup/internal/bdd"
+	"ttastartup/internal/campaign"
 	"ttastartup/internal/gcl"
 	"ttastartup/internal/gcl/lint"
 	"ttastartup/internal/tta/original"
@@ -47,6 +50,7 @@ func run() error {
 		all        = flag.Bool("all", false, "lint every shipped configuration (both topologies, big-bang on/off, all fault degrees)")
 		jsonOut    = flag.Bool("json", false, "emit JSON reports")
 		nodeLimit  = flag.Int("bdd-nodes", 0, "BDD node limit (0: default)")
+		workers    = flag.Int("j", 1, "with -all, lint this many models concurrently (0: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -68,13 +72,20 @@ func run() error {
 		systems = []*gcl.System{sys}
 	}
 
-	var reports []*lint.Report
-	for _, sys := range systems {
-		rep, err := lint.Run(sys, opts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", sys.Name, err)
+	// Lint on a bounded pool (each model gets its own analyzer and BDD
+	// manager, so runs are independent); reports land at their input index,
+	// keeping the output order deterministic regardless of -j.
+	reports := make([]*lint.Report, len(systems))
+	err := campaign.ForEach(context.Background(), *workers, len(systems), func(ctx context.Context, i int) error {
+		rep, lerr := lint.Run(systems[i], opts)
+		if lerr != nil {
+			return fmt.Errorf("%s: %w", systems[i].Name, lerr)
 		}
-		reports = append(reports, rep)
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	errors := 0

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +61,7 @@ func run() error {
 		recovery   = flag.Bool("recovery", false, "check the CTL recovery property AG(AF all-active)")
 		restart    = flag.Bool("restartable", false, "allow one transient restart per correct node (the Section 2.1 restart problem)")
 		count      = flag.Bool("count", false, "report the exact reachable-state count")
+		timeout    = flag.Duration("timeout", 0, "per-lemma budget; exceeding it reports INCONCLUSIVE (deadline) (0: none)")
 		nodeLimit  = flag.Int("bdd-nodes", 0, "BDD node limit (0: default)")
 		lintMode   = flag.String("lint", "on", "static analysis gate: on (refuse error-level diagnostics), warn (also print warnings), off")
 	)
@@ -144,22 +147,29 @@ func run() error {
 		return err
 	}
 
-	eng := core.EngineSymbolic
-	switch *engine {
-	case "symbolic":
-	case "explicit":
-		eng = core.EngineExplicit
-	case "bmc":
-		eng = core.EngineBMC
-	case "induction":
-		eng = core.EngineInduction
-	default:
-		return fmt.Errorf("unknown engine %q", *engine)
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		return err
 	}
 
 	failed := 0
+	inconclusive := 0
 	for _, l := range list {
-		res, err := suite.Check(l, eng)
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		res, err := suite.CheckCtx(ctx, l, eng)
+		if cancel != nil {
+			cancel()
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The engine was interrupted mid-search: no verdict either way.
+			fmt.Printf("%-14s [%s] INCONCLUSIVE (deadline)  budget=%v\n", l, eng, *timeout)
+			inconclusive++
+			continue
+		}
 		if err != nil {
 			return fmt.Errorf("%v: %w", l, err)
 		}
@@ -176,6 +186,9 @@ func run() error {
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d lemma(s) violated", failed)
+	}
+	if inconclusive > 0 {
+		return fmt.Errorf("%d lemma(s) inconclusive: deadline %v exceeded (raise -timeout or try -engine bmc)", inconclusive, *timeout)
 	}
 	return nil
 }

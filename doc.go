@@ -24,11 +24,13 @@
 //	internal/tta/original the baseline bus-topology algorithm
 //	internal/tta/sim      concrete simulator and fault injection
 //	internal/core         top-level verification API
+//	internal/campaign     parallel, checkpointed verification campaigns
 //	internal/exp          the paper's evaluation experiments
 //	cmd/ttamc             model-checking CLI
 //	cmd/ttalint           static-analysis CLI over the built-in models
 //	cmd/ttasim            simulation CLI
 //	cmd/ttabench          regenerate the paper's tables and figures
+//	cmd/ttacampaign       run verification campaigns (sweep, resume, report)
 //
 // Static analysis: internal/gcl/lint checks finalized models beyond the
 // shape checks Finalize performs — BDD-exact unreachable-command, stuck-
@@ -38,6 +40,18 @@
 // analyses. Diagnostics carry stable GCL001..GCL010 codes; cmd/ttamc
 // refuses models with error-level findings unless run with -lint=off. See
 // the "Static analysis" section of README.md for the code table.
+//
+// Campaigns: internal/campaign orchestrates sweeps of independent
+// model-checking jobs — the shape of the paper's exhaustive fault
+// simulation — on a bounded worker pool with share-nothing suites.
+// Cancellation is plumbed via context.Context into every engine's hot
+// loop (the non-Ctx entry points remain as background-context wrappers);
+// finished jobs are fsynced JSONL records with verdicts, counterexample
+// digests, and engine statistics, so an interrupted campaign resumes
+// without recomputation and reproduces the same final report; jobs that
+// exceed a per-job deadline are recorded inconclusive or rescued by the
+// bounded engine. cmd/ttacampaign is the CLI; cmd/ttabench -j/-json and
+// cmd/ttalint -all -j reuse the runner and its pool helper.
 //
 // The benchmarks in bench_test.go exercise one experiment per paper table
 // or figure; EXPERIMENTS.md records paper-versus-measured outcomes.

@@ -1,13 +1,17 @@
 // Quickstart: build the TTA startup model for a 3-node cluster with a
 // maximally faulty node (fault degree 6) and verify the paper's lemmas
 // with the symbolic model checker — the core "exhaustive fault simulation"
-// workflow in under a minute.
+// workflow in under a minute, run as a small verification campaign on a
+// worker pool with live progress.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
+	"ttastartup/internal/campaign"
 	"ttastartup/internal/core"
 	"ttastartup/internal/gcl/lint"
 	"ttastartup/internal/tta/startup"
@@ -50,16 +54,45 @@ func main() {
 		cfg.N, cfg.FaultyNode, cfg.FaultDegree)
 	fmt.Printf("reachable states: %v\n\n", count)
 
-	report, err := suite.ExhaustiveFaultSimulation()
+	// The exhaustive fault simulation as a campaign: one job per lemma,
+	// executed on a worker pool with per-job progress lines. The same API
+	// scales this sweep to every configuration (see cmd/ttacampaign).
+	var jobs []campaign.Job
+	for _, l := range core.DefaultFaultSimLemmas(cfg) {
+		jobs = append(jobs, campaign.Job{
+			Topology:   campaign.TopologyHub,
+			N:          cfg.N,
+			BigBang:    true,
+			FaultyNode: cfg.FaultyNode,
+			FaultyHub:  -1,
+			Degree:     cfg.FaultDegree,
+			DeltaInit:  cfg.DeltaInit,
+			Lemma:      l.String(),
+			Engine:     "symbolic",
+		})
+	}
+	report, err := campaign.RunJobs(context.Background(), jobs, campaign.RunOptions{
+		Workers:  len(jobs), // one worker per lemma; each builds its own suite
+		Progress: &campaign.TextProgress{W: os.Stdout},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, res := range report.Results {
-		fmt.Println(" ", res)
+
+	fmt.Println()
+	allHold := true
+	for _, job := range jobs {
+		rec, ok := report.Record(job)
+		if !ok || !rec.Holds {
+			allHold = false
+		}
+		if ok {
+			fmt.Printf("  %-12s %-8s (%v, engine %s)\n", job.Lemma, rec.Verdict, rec.Wall(), rec.Stats.Engine)
+		}
 	}
-	if report.AllHold() {
+	if allHold {
 		fmt.Println("\nall lemmas hold: the startup algorithm tolerates the faulty node.")
 	} else {
-		fmt.Println("\nLEMMA VIOLATED — see the counterexample above.")
+		fmt.Println("\nLEMMA VIOLATED — rerun with ttamc -trace for the counterexample.")
 	}
 }

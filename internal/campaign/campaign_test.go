@@ -1,0 +1,444 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testSpec is a small but representative sweep: both topologies, big-bang
+// on and off, two degrees, two lemmas.
+func testSpec() Spec {
+	return Spec{
+		Ns:         []int{3},
+		Topologies: []string{TopologyHub, TopologyBus},
+		BigBang:    []bool{true, false},
+		Degrees:    []int{1, 2},
+		Lemmas:     []string{"safety", "liveness"},
+		DeltaInit:  4,
+	}
+}
+
+func testJobs(t *testing.T) []Job {
+	t.Helper()
+	jobs, err := testSpec().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func TestSpecJobsDeterministic(t *testing.T) {
+	a := testJobs(t)
+	b := testJobs(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two expansions of the same spec differ")
+	}
+	seen := make(map[string]bool)
+	for _, j := range a {
+		id := j.ID()
+		if seen[id] {
+			t.Fatalf("duplicate job %s", id)
+		}
+		seen[id] = true
+	}
+	// hub: 2 bigbang × 2 degrees × 2 lemmas = 8; bus: 2 degrees × 2 lemmas = 4.
+	if len(a) != 12 {
+		t.Fatalf("want 12 jobs, got %d", len(a))
+	}
+}
+
+func TestSpecJobsSafety2Collapses(t *testing.T) {
+	jobs, err := Spec{Ns: []int{3}, Lemmas: []string{"safety_2"}, Degrees: []int{1, 2, 3}}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("faulty-hub lemma should collapse the degree sweep to 1 job, got %d", len(jobs))
+	}
+	if jobs[0].FaultyHub != 0 || jobs[0].FaultyNode != -1 {
+		t.Fatalf("safety_2 job should target the hub: %+v", jobs[0])
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Topologies: []string{"ring"}},
+		{Ns: []int{2}},
+		{Degrees: []int{7}},
+		{Lemmas: []string{"nope"}},
+		{Engines: []string{"magic"}},
+	}
+	for _, s := range bad {
+		if _, err := s.Jobs(); err == nil {
+			t.Errorf("spec %+v should be rejected", s)
+		}
+	}
+}
+
+// TestParallelMatchesSerial: the canonical report of a parallel run is
+// byte-identical to a serial run of the same job list.
+func TestParallelMatchesSerial(t *testing.T) {
+	jobs := testJobs(t)
+	serial, err := RunJobs(context.Background(), jobs, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunJobs(context.Background(), jobs, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Complete() || !parallel.Complete() {
+		t.Fatal("incomplete report from an uncancelled run")
+	}
+	if s, p := serial.Canonical(), parallel.Canonical(); s != p {
+		t.Fatalf("parallel run diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+}
+
+// countingProgress cancels the campaign after n finished jobs, mimicking
+// an operator interrupt at a deterministic point.
+type countingProgress struct {
+	NopProgress
+	n      int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (c *countingProgress) JobFinished(worker int, rec Record) {
+	c.seen++
+	if c.seen == c.n {
+		c.cancel()
+	}
+}
+
+// TestCancelMidFlight: cancelling a running campaign returns ctx.Err(),
+// keeps the already-finished records, and leaks no goroutines.
+func TestCancelMidFlight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	jobs := testJobs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	prog := &countingProgress{n: 3, cancel: cancel}
+	rep, err := RunJobs(ctx, jobs, RunOptions{Workers: 2, Progress: prog, Heartbeat: time.Millisecond})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(rep.Records) < 3 {
+		t.Fatalf("finished records lost on cancel: %d", len(rep.Records))
+	}
+	if rep.Complete() {
+		t.Fatal("cancelled campaign claims completion")
+	}
+	// All workers and the heartbeat goroutine must have exited; allow the
+	// runtime a moment to reap them.
+	for i := 0; ; i++ {
+		runtime.GC()
+		if after := runtime.NumGoroutine(); after <= before {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestResumeByteIdentical: interrupt a campaign mid-flight, resume it from
+// the store, and require the final canonical report to be byte-identical
+// to an uninterrupted serial run.
+func TestResumeByteIdentical(t *testing.T) {
+	jobs := testJobs(t)
+
+	fresh, err := RunJobs(context.Background(), jobs, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	store, err := OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	prog := &countingProgress{n: 4, cancel: cancel}
+	_, err = RunJobs(ctx, jobs, RunOptions{Workers: 2, Store: store, Progress: prog})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	store.Close()
+
+	resumed, err := OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if resumed.Len() < 4 {
+		t.Fatalf("store lost records across the interrupt: %d", resumed.Len())
+	}
+	rep, err := RunJobs(context.Background(), jobs, RunOptions{Workers: 2, Store: resumed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped == 0 {
+		t.Fatal("resume run recomputed everything (no records skipped)")
+	}
+	if !rep.Complete() {
+		t.Fatal("resumed campaign incomplete")
+	}
+	if f, r := fresh.Canonical(), rep.Canonical(); f != r {
+		t.Fatalf("resumed report differs from fresh run:\n--- fresh ---\n%s--- resumed ---\n%s", f, r)
+	}
+}
+
+// TestStoreTornTail: a crash mid-append leaves a torn trailing line; the
+// store must keep the intact prefix and drop the tail.
+func TestStoreTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	store, err := OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Job: Job{Topology: TopologyHub, N: 3, FaultyNode: 1, FaultyHub: -1, Degree: 1, Lemma: "safety", Engine: "symbolic"}, Verdict: "holds", Holds: true, WallMS: 5}
+	if err := store.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"job":{"topology":"hub","n":3,` /* torn mid-record */)
+	f.Close()
+
+	reopened, err := OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.Len() != 1 {
+		t.Fatalf("want 1 intact record, got %d", reopened.Len())
+	}
+	if _, ok := reopened.Get(rec.Job.ID()); !ok {
+		t.Fatal("intact record lost")
+	}
+	// Appending after recovery must yield a parseable file.
+	rec2 := rec
+	rec2.Job.Degree = 2
+	if err := reopened.Append(rec2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, line := range splitLines(data) {
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("corrupt line after recovery: %v", err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("want 2 lines after recovery+append, got %d", lines)
+	}
+}
+
+func splitLines(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			if i > start {
+				out = append(out, data[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// TestTimeoutRecordsInconclusive: a job whose budget cannot fit the check
+// is recorded as inconclusive, and with FallbackBMC the bounded engine
+// produces a bounded verdict tagged with the fallback engine.
+func TestTimeoutRecordsInconclusive(t *testing.T) {
+	jobs := []Job{{
+		Topology: TopologyHub, N: 4, BigBang: true,
+		FaultyNode: 2, FaultyHub: -1, Degree: 6,
+		Lemma: "safety", Engine: "symbolic",
+	}}
+	rep, err := RunJobs(context.Background(), jobs, RunOptions{Workers: 1, Timeout: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := rep.Record(jobs[0])
+	if !ok {
+		t.Fatal("timed-out job not recorded")
+	}
+	if !rec.Inconclusive || rec.Verdict != "inconclusive (deadline)" {
+		t.Fatalf("want inconclusive record, got %+v", rec)
+	}
+	if c := rep.Counts(); c.Inconclusive != 1 {
+		t.Fatalf("counts: %+v", c)
+	}
+}
+
+func TestTimeoutFallbackBMC(t *testing.T) {
+	// The BMC fallback gets a fresh budget; give it room at a shallow depth
+	// so the rescue deterministically succeeds where symbolic cannot start.
+	jobs := []Job{{
+		Topology: TopologyHub, N: 3, BigBang: true,
+		FaultyNode: 1, FaultyHub: -1, Degree: 6, DeltaInit: 4,
+		Lemma: "safety", Engine: "symbolic",
+	}}
+	opts := RunOptions{Workers: 1, Timeout: time.Nanosecond, FallbackBMC: true}
+	opts.Options.BMCDepth = 2
+	// A nanosecond kills the fallback too; rerun with a budget only the
+	// bounded engine can meet is timing-dependent, so instead check the
+	// plumbing: nanosecond budget + fallback that also times out must stay
+	// inconclusive and record no fallback engine.
+	rep, err := RunJobs(context.Background(), jobs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := rep.Record(jobs[0])
+	if !rec.Inconclusive {
+		t.Fatalf("want inconclusive under 1ns budget, got %+v", rec)
+	}
+	if rec.FallbackEngine != "" {
+		t.Fatalf("fallback cannot have succeeded under 1ns: %+v", rec)
+	}
+
+	// Now run the fallback path for real: symbolic budget too small, but
+	// runJob's fallback is exercised directly with a workable budget.
+	frec, err := runJob(context.Background(), jobs[0], RunOptions{
+		Timeout: 30 * time.Second, FallbackBMC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frec.Verdict == "error" {
+		t.Fatalf("direct job errored: %s", frec.Error)
+	}
+}
+
+// TestFallbackRescue forces the deadline-exceeded path deterministically
+// by stubbing nothing: a 4-node symbolic liveness check cannot finish in
+// 20ms, while a depth-2 BMC pass finishes comfortably within its fresh
+// budget of the same 20ms... on slow machines it may not; so assert only
+// the two legal outcomes (bounded verdict via fallback, or inconclusive).
+func TestFallbackRescue(t *testing.T) {
+	jobs := []Job{{
+		Topology: TopologyHub, N: 4, BigBang: true,
+		FaultyNode: 2, FaultyHub: -1, Degree: 6,
+		Lemma: "safety", Engine: "symbolic",
+	}}
+	opts := RunOptions{Workers: 1, Timeout: 300 * time.Millisecond, FallbackBMC: true}
+	opts.Options.BMCDepth = 1
+	rep, err := RunJobs(context.Background(), jobs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := rep.Record(jobs[0])
+	switch {
+	case rec.FallbackEngine == "bmc":
+		if rec.Verdict != "holds (bounded)" {
+			t.Fatalf("fallback verdict: %+v", rec)
+		}
+	case rec.Inconclusive:
+		// Legal on a very slow machine: both budgets expired.
+	case rec.Holds && rec.Stats.Engine == "symbolic":
+		// Legal on a very fast machine: symbolic finished inside 300ms.
+	default:
+		t.Fatalf("unexpected record: %+v", rec)
+	}
+}
+
+// TestForEach covers the pool helper: full coverage, bounded concurrency,
+// first-error propagation, and cancellation.
+func TestForEach(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var active, peak int32
+	err := ForEach(context.Background(), 3, 50, func(ctx context.Context, i int) error {
+		cur := atomic.AddInt32(&active, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		atomic.AddInt32(&active, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 50 {
+		t.Fatalf("covered %d of 50 indexes", len(seen))
+	}
+	if peak > 3 {
+		t.Fatalf("concurrency bound violated: peak %d workers", peak)
+	}
+
+	boom := errors.New("boom")
+	var calls int32
+	err = ForEach(context.Background(), 2, 100, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&calls, 1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if calls >= 100 {
+		t.Fatal("error did not stop the sweep")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = ForEach(ctx, 2, 10, func(ctx context.Context, i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestRecordJSONRoundTrip: records survive the store encoding unchanged.
+func TestRecordJSONRoundTrip(t *testing.T) {
+	rec := Record{
+		Job:       Job{Topology: TopologyBus, N: 4, FaultyNode: 2, FaultyHub: -1, Degree: 3, DeltaInit: 3, Lemma: "liveness", Engine: "symbolic"},
+		Verdict:   "VIOLATED",
+		CexLen:    16,
+		CexDigest: "3cf19f361ba17d35",
+		WallMS:    121,
+		Stats:     RecordStats{Engine: "symbolic", BDDVars: 120, Reachable: "41322", Iterations: 9},
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, back) {
+		t.Fatalf("round trip changed the record:\n%+v\n%+v", rec, back)
+	}
+}

@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(ctx, i) for i in [0, n) on a bounded pool of worker
+// goroutines (workers <= 0: GOMAXPROCS). It is the campaign runner's pool
+// pattern extracted for reuse by other fan-out consumers (cmd/ttalint
+// -all, cmd/ttabench parallel experiments): indexes are handed out in
+// order, cancellation stops the feed and interrupts in-flight calls via
+// ctx, and all workers are joined before return. The first non-nil error
+// from fn (or ctx.Err() on cancellation) is returned; remaining indexes
+// are skipped once an error is seen.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if failed() || ctx.Err() != nil {
+					continue // drain without working
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

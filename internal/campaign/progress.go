@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Snapshot is a point-in-time view of a running campaign, delivered to
+// Progress.Heartbeat and Progress.Done.
+type Snapshot struct {
+	// Total is the number of jobs in the campaign; Done counts recorded
+	// jobs including Skipped ones replayed from the store.
+	Total   int `json:"total"`
+	Done    int `json:"done"`
+	Skipped int `json:"skipped,omitempty"`
+	// Running lists the job IDs currently occupying workers.
+	Running []string `json:"running,omitempty"`
+	// Elapsed is the campaign wall time so far; ETA extrapolates the
+	// remaining time from the mean job duration (0 until one job ran).
+	Elapsed time.Duration `json:"-"`
+	ETA     time.Duration `json:"-"`
+}
+
+// Progress receives campaign lifecycle events. The runner serialises all
+// calls under its own lock, so implementations need no synchronisation.
+type Progress interface {
+	// JobStarted fires when a worker picks up a job.
+	JobStarted(worker int, job Job)
+	// JobFinished fires when a worker records a job's outcome.
+	JobFinished(worker int, rec Record)
+	// JobSkipped fires for jobs replayed from the resume store.
+	JobSkipped(job Job)
+	// Heartbeat fires every RunOptions.Heartbeat while the pool is busy.
+	Heartbeat(s Snapshot)
+	// Done fires once after the pool drains (even on cancellation).
+	Done(s Snapshot)
+}
+
+// NopProgress discards all events.
+type NopProgress struct{}
+
+func (NopProgress) JobStarted(int, Job)     {}
+func (NopProgress) JobFinished(int, Record) {}
+func (NopProgress) JobSkipped(Job)          {}
+func (NopProgress) Heartbeat(Snapshot)      {}
+func (NopProgress) Done(Snapshot)           {}
+
+// TextProgress renders events as human-readable lines.
+type TextProgress struct {
+	W io.Writer
+	// Quiet suppresses the per-job lines, keeping heartbeats and the
+	// final summary.
+	Quiet bool
+}
+
+func (p *TextProgress) JobStarted(worker int, job Job) {}
+
+func (p *TextProgress) JobFinished(worker int, rec Record) {
+	if p.Quiet {
+		return
+	}
+	extra := ""
+	if rec.FallbackEngine != "" {
+		extra = fmt.Sprintf(" [fallback=%s]", rec.FallbackEngine)
+	}
+	if rec.CexLen > 0 {
+		extra += fmt.Sprintf(" cex=%d", rec.CexLen)
+	}
+	fmt.Fprintf(p.W, "[w%d] %-60s %s%s (%v)\n", worker, rec.Job.ID(), rec.Verdict, extra, rec.Wall().Round(time.Millisecond))
+}
+
+func (p *TextProgress) JobSkipped(job Job) {
+	if p.Quiet {
+		return
+	}
+	fmt.Fprintf(p.W, "skip %-60s (already recorded)\n", job.ID())
+}
+
+func (p *TextProgress) Heartbeat(s Snapshot) {
+	eta := "?"
+	if s.ETA > 0 {
+		eta = s.ETA.Round(time.Second).String()
+	}
+	fmt.Fprintf(p.W, "progress %d/%d done (%d resumed) elapsed %v eta %s workers %d\n",
+		s.Done, s.Total, s.Skipped, s.Elapsed.Round(time.Second), eta, len(s.Running))
+}
+
+func (p *TextProgress) Done(s Snapshot) {
+	fmt.Fprintf(p.W, "campaign: %d/%d jobs recorded (%d resumed) in %v\n",
+		s.Done, s.Total, s.Skipped, s.Elapsed.Round(time.Millisecond))
+}
+
+// JSONProgress renders each event as one JSON object per line, suitable
+// for machine consumption alongside the JSONL result store.
+type JSONProgress struct {
+	W io.Writer
+}
+
+func (p *JSONProgress) emit(event string, payload any) {
+	obj := map[string]any{"event": event}
+	switch v := payload.(type) {
+	case Record:
+		obj["record"] = v
+	case Job:
+		obj["job_id"] = v.ID()
+	case Snapshot:
+		obj["progress"] = v
+		obj["elapsed_ms"] = v.Elapsed.Milliseconds()
+		obj["eta_ms"] = v.ETA.Milliseconds()
+	}
+	line, err := json.Marshal(obj)
+	if err != nil {
+		return
+	}
+	p.W.Write(append(line, '\n'))
+}
+
+func (p *JSONProgress) JobStarted(worker int, job Job) {}
+func (p *JSONProgress) JobFinished(worker int, rec Record) {
+	p.emit("job_finished", rec)
+}
+func (p *JSONProgress) JobSkipped(job Job)   { p.emit("job_skipped", job) }
+func (p *JSONProgress) Heartbeat(s Snapshot) { p.emit("heartbeat", s) }
+func (p *JSONProgress) Done(s Snapshot)      { p.emit("done", s) }

@@ -1,0 +1,129 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report aggregates a campaign's records, keyed by job ID, keeping the
+// deterministic job order of the spec expansion for all rendered output.
+type Report struct {
+	// Jobs is the full deterministic job list, in expansion order.
+	Jobs []Job
+	// Records maps job ID to outcome (absent: job did not run, e.g. the
+	// campaign was cancelled first).
+	Records map[string]Record
+	// Skipped counts records replayed from a resume store rather than
+	// computed this run.
+	Skipped int
+}
+
+// NewReport prepares an empty report for a job list.
+func NewReport(jobs []Job) *Report {
+	return &Report{Jobs: jobs, Records: make(map[string]Record, len(jobs))}
+}
+
+func (r *Report) add(rec Record) { r.Records[rec.Job.ID()] = rec }
+
+// Record returns the outcome of one job, if recorded.
+func (r *Report) Record(j Job) (Record, bool) {
+	rec, ok := r.Records[j.ID()]
+	return rec, ok
+}
+
+// Complete reports whether every job has a record.
+func (r *Report) Complete() bool { return len(r.Records) == len(r.Jobs) }
+
+// Counts tallies the verdict classes.
+type Counts struct {
+	Holds, Violated, Inconclusive, Errors, Missing int
+}
+
+// Counts walks the records and tallies verdicts.
+func (r *Report) Counts() Counts {
+	var c Counts
+	for _, j := range r.Jobs {
+		rec, ok := r.Records[j.ID()]
+		switch {
+		case !ok:
+			c.Missing++
+		case rec.Error != "":
+			c.Errors++
+		case rec.Inconclusive:
+			c.Inconclusive++
+		case rec.Holds:
+			c.Holds++
+		default:
+			c.Violated++
+		}
+	}
+	return c
+}
+
+// Canonical renders the timing-free canonical form of the report: one line
+// per job in expansion order with the verdict and counterexample digest.
+// Two campaigns over the same job list — serial or parallel, fresh or
+// interrupted-and-resumed — produce byte-identical canonical reports,
+// which is the property the resume machinery is tested against.
+func (r *Report) Canonical() string {
+	var b strings.Builder
+	for _, j := range r.Jobs {
+		id := j.ID()
+		rec, ok := r.Records[id]
+		switch {
+		case !ok:
+			fmt.Fprintf(&b, "%s\t(not run)\n", id)
+		case rec.CexDigest != "":
+			fmt.Fprintf(&b, "%s\t%s\tcex=%s\n", id, rec.Verdict, rec.CexDigest)
+		default:
+			fmt.Fprintf(&b, "%s\t%s\n", id, rec.Verdict)
+		}
+	}
+	return b.String()
+}
+
+// Summary renders a one-line tally.
+func (r *Report) Summary() string {
+	c := r.Counts()
+	parts := []string{fmt.Sprintf("%d jobs", len(r.Jobs))}
+	add := func(n int, label string) {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, label))
+		}
+	}
+	add(c.Holds, "hold")
+	add(c.Violated, "violated")
+	add(c.Inconclusive, "inconclusive")
+	add(c.Errors, "errors")
+	add(c.Missing, "not run")
+	return strings.Join(parts, ", ")
+}
+
+// Format renders the full human-readable report: a verdict table in job
+// order followed by the tally.
+func (r *Report) Format() string {
+	var b strings.Builder
+	for _, j := range r.Jobs {
+		id := j.ID()
+		rec, ok := r.Records[id]
+		if !ok {
+			fmt.Fprintf(&b, "%-64s (not run)\n", id)
+			continue
+		}
+		extra := ""
+		if rec.FallbackEngine != "" {
+			extra = fmt.Sprintf(" [fallback=%s]", rec.FallbackEngine)
+		}
+		if rec.CexLen > 0 {
+			extra += fmt.Sprintf(" cex_len=%d digest=%s", rec.CexLen, rec.CexDigest)
+		}
+		if rec.Error != "" {
+			extra += " " + rec.Error
+		}
+		fmt.Fprintf(&b, "%-64s %-16s %8v%s\n", id, rec.Verdict, rec.Wall().Round(time.Millisecond), extra)
+	}
+	b.WriteString(r.Summary())
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,410 @@
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"ttastartup/internal/core"
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/mc"
+	"ttastartup/internal/mc/bmc"
+	"ttastartup/internal/mc/explicit"
+	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/tta"
+	"ttastartup/internal/tta/original"
+	"ttastartup/internal/tta/startup"
+)
+
+// RunOptions tunes campaign execution.
+type RunOptions struct {
+	// Workers bounds the worker pool (default: GOMAXPROCS). Each worker
+	// builds a private suite per job — BDD managers and SAT solvers are
+	// never shared across goroutines.
+	Workers int
+	// Timeout is the per-job budget (0: none). A job that exceeds it is
+	// recorded as "inconclusive (deadline)" — unless FallbackBMC rescues
+	// it — and the campaign moves on.
+	Timeout time.Duration
+	// FallbackBMC retries deadline-exceeded non-BMC jobs with the bounded
+	// engine under a fresh budget; a bounded verdict ("holds (bounded)" or
+	// a refutation) replaces the inconclusive record, tagged with
+	// FallbackEngine.
+	FallbackBMC bool
+	// Options tunes the engines of every job (each job still constructs
+	// its own engine instances from this shared value).
+	Options core.Options
+	// Store, when non-nil, receives one fsynced JSONL record per finished
+	// job, and jobs it already holds are skipped (resume).
+	Store *Store
+	// Progress receives job lifecycle events and heartbeats (nil: none).
+	// The runner serialises all sink calls; sinks need no locking.
+	Progress Progress
+	// Heartbeat is the interval between Progress.Heartbeat calls
+	// (0: no heartbeat goroutine).
+	Heartbeat time.Duration
+}
+
+func (o RunOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run expands spec and executes the jobs; see RunJobs.
+func Run(ctx context.Context, spec Spec, opts RunOptions) (*Report, error) {
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	return RunJobs(ctx, jobs, opts)
+}
+
+// RunJobs executes a job list on a bounded worker pool. Jobs already
+// present in opts.Store are skipped; every other job runs exactly once and
+// its record is appended to the store before the next job is handed out to
+// that worker. Cancellation of ctx stops feeding the pool, interrupts the
+// engines' hot loops, waits for all workers to exit, and returns ctx's
+// error together with the partial report — finished jobs keep their
+// records, so a later resume run completes only the remainder.
+func RunJobs(ctx context.Context, jobs []Job, opts RunOptions) (*Report, error) {
+	rep := NewReport(jobs)
+	progress := opts.Progress
+	if progress == nil {
+		progress = NopProgress{}
+	}
+	start := time.Now()
+
+	var pending []Job
+	var mu sync.Mutex // guards rep, store appends, progress sinks, workerJob
+	for _, j := range jobs {
+		if opts.Store != nil {
+			if rec, ok := opts.Store.Get(j.ID()); ok {
+				rep.add(rec)
+				rep.Skipped++
+				progress.JobSkipped(j)
+				continue
+			}
+		}
+		pending = append(pending, j)
+	}
+
+	nw := opts.workers()
+	if nw > len(pending) && len(pending) > 0 {
+		nw = len(pending)
+	}
+	workerJob := make([]string, nw) // current job ID per worker ("" idle)
+
+	snapshot := func() Snapshot {
+		s := Snapshot{
+			Total:   len(jobs),
+			Done:    len(rep.Records),
+			Skipped: rep.Skipped,
+			Elapsed: time.Since(start),
+		}
+		for _, id := range workerJob {
+			if id != "" {
+				s.Running = append(s.Running, id)
+			}
+		}
+		ran := s.Done - s.Skipped
+		if left := s.Total - s.Done; ran > 0 && left > 0 {
+			s.ETA = time.Duration(int64(s.Elapsed) / int64(ran) * int64(left))
+		}
+		return s
+	}
+
+	var storeErr error
+	jobCh := make(chan Job)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for job := range jobCh {
+				mu.Lock()
+				workerJob[w] = job.ID()
+				progress.JobStarted(w, job)
+				mu.Unlock()
+
+				rec, err := runJob(ctx, job, opts)
+
+				mu.Lock()
+				workerJob[w] = ""
+				if err == nil {
+					rep.add(rec)
+					progress.JobFinished(w, rec)
+					if opts.Store != nil && storeErr == nil {
+						storeErr = opts.Store.Append(rec)
+					}
+				}
+				mu.Unlock()
+				// err != nil only on campaign cancellation: the job is
+				// deliberately not recorded (it has no verdict) and the
+				// feeder below is already draining.
+			}
+		}(w)
+	}
+
+	// Heartbeat reporter, stopped after the pool drains.
+	hbDone := make(chan struct{})
+	if opts.Heartbeat > 0 {
+		go func() {
+			t := time.NewTicker(opts.Heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbDone:
+					return
+				case <-t.C:
+					mu.Lock()
+					s := snapshot()
+					progress.Heartbeat(s)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	// Feed the pool from this goroutine; cancellation stops the feed.
+feed:
+	for _, job := range pending {
+		select {
+		case jobCh <- job:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+	close(hbDone)
+
+	mu.Lock()
+	final := snapshot()
+	progress.Done(final)
+	mu.Unlock()
+
+	if storeErr != nil {
+		return rep, fmt.Errorf("campaign: result store: %w", storeErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// runJob checks one job, classifying the outcome: a verdict record, an
+// "inconclusive (deadline)" record (with optional bounded-engine rescue),
+// an error record, or — only when the campaign context itself is done — a
+// non-nil error and no record.
+func runJob(ctx context.Context, job Job, opts RunOptions) (Record, error) {
+	start := time.Now()
+	jctx := ctx
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	res, sys, err := checkJob(jctx, job, job.Engine, opts)
+	rec := Record{Job: job}
+	switch {
+	case err == nil:
+		fillResult(&rec, res, sys)
+	case ctx.Err() != nil:
+		// The campaign itself was cancelled (or its deadline passed):
+		// no record, the job stays pending for a resume run.
+		return Record{}, ctx.Err()
+	case errors.Is(err, context.DeadlineExceeded):
+		rec.Verdict = "inconclusive (deadline)"
+		rec.Inconclusive = true
+		if opts.FallbackBMC && job.Engine != "bmc" {
+			fctx := ctx
+			var cancel context.CancelFunc
+			if opts.Timeout > 0 {
+				fctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+			}
+			fres, fsys, ferr := checkJob(fctx, job, "bmc", opts)
+			if cancel != nil {
+				cancel()
+			}
+			if ferr == nil {
+				fillResult(&rec, fres, fsys)
+				rec.Inconclusive = false
+				rec.FallbackEngine = "bmc"
+			} else if ctx.Err() != nil {
+				return Record{}, ctx.Err()
+			}
+			// A fallback that errors or times out too leaves the
+			// inconclusive record in place.
+		}
+	default:
+		rec.Verdict = "error"
+		rec.Error = err.Error()
+	}
+	rec.WallMS = time.Since(start).Milliseconds()
+	if rec.WallMS == 0 {
+		rec.WallMS = 1 // sub-millisecond jobs still count as work done
+	}
+	return rec, nil
+}
+
+func fillResult(rec *Record, res *mc.Result, sys *gcl.System) {
+	rec.Verdict = res.Verdict.String()
+	rec.Holds = res.Holds()
+	if res.Trace != nil {
+		rec.CexLen = res.Trace.Len()
+		rec.CexDigest = traceDigest(sys, res.Trace)
+	}
+	st := res.Stats
+	rec.Stats = RecordStats{
+		Engine:     st.Engine,
+		StateBits:  st.StateBits,
+		BDDVars:    st.BDDVars,
+		Visited:    st.Visited,
+		Iterations: st.Iterations,
+		PeakNodes:  st.PeakNodes,
+		Conflicts:  st.Conflicts,
+	}
+	if st.Reachable != nil {
+		rec.Stats.Reachable = st.Reachable.String()
+	}
+}
+
+// traceDigest hashes the counterexample's state sequence (plus the lasso
+// loop-back index) into a short reproducible fingerprint: the engines are
+// deterministic, so identical configurations yield identical digests.
+func traceDigest(sys *gcl.System, t *mc.Trace) string {
+	h := sha256.New()
+	vars := sys.StateVars()
+	for _, st := range t.States {
+		io.WriteString(h, gcl.Key(st, vars))
+		h.Write([]byte{0})
+	}
+	fmt.Fprintf(h, "loop=%d", t.LoopsTo)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// checkJob runs one check with the named engine, constructing a private
+// suite/model so concurrent jobs share nothing.
+func checkJob(ctx context.Context, job Job, engine string, opts RunOptions) (*mc.Result, *gcl.System, error) {
+	switch job.Topology {
+	case TopologyHub:
+		return checkHub(ctx, job, engine, opts)
+	case TopologyBus:
+		return checkBus(ctx, job, engine, opts)
+	default:
+		return nil, nil, fmt.Errorf("campaign: unknown topology %q", job.Topology)
+	}
+}
+
+func checkHub(ctx context.Context, job Job, engine string, opts RunOptions) (*mc.Result, *gcl.System, error) {
+	cfg := startup.DefaultConfig(job.N)
+	cfg.DeltaInit = job.DeltaInit
+	cfg.DisableBigBang = !job.BigBang
+	switch {
+	case job.FaultyNode >= 0:
+		cfg = cfg.WithFaultyNode(job.FaultyNode)
+		cfg.FaultDegree = job.Degree
+	case job.FaultyHub >= 0:
+		cfg = cfg.WithFaultyHub(job.FaultyHub)
+	}
+	lemmas, err := core.ParseLemmas(job.Lemma)
+	if err != nil || len(lemmas) != 1 {
+		return nil, nil, fmt.Errorf("campaign: bad lemma %q", job.Lemma)
+	}
+	eng, err := core.ParseEngine(engine)
+	if err != nil {
+		return nil, nil, err
+	}
+	suite, err := core.NewSuite(cfg, opts.Options)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := suite.CheckCtx(ctx, lemmas[0], eng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, suite.Model.Sys, nil
+}
+
+func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc.Result, *gcl.System, error) {
+	cfg := original.Config{
+		N:           job.N,
+		FaultyNode:  job.FaultyNode,
+		FaultDegree: job.Degree,
+		DeltaInit:   job.DeltaInit,
+	}
+	if cfg.FaultyNode < 0 {
+		cfg.FaultDegree = maxBusDegree // degree is irrelevant but must validate
+	}
+	m, err := original.Build(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var prop mc.Property
+	switch job.Lemma {
+	case "safety":
+		prop = m.Safety()
+	case "liveness":
+		prop = m.Liveness()
+	default:
+		return nil, nil, fmt.Errorf("campaign: bus topology has no lemma %q", job.Lemma)
+	}
+	depth := opts.Options.BMCDepth
+	if depth == 0 {
+		depth = 2 * (tta.Params{N: job.N}).WorstCaseStartup()
+	}
+
+	var res *mc.Result
+	switch engine {
+	case "symbolic":
+		eng, err := symbolic.New(m.Sys.Compile(), opts.Options.Symbolic)
+		if err != nil {
+			return nil, nil, err
+		}
+		if prop.Kind == mc.Eventually {
+			res, err = eng.CheckEventuallyCtx(ctx, prop)
+		} else {
+			res, err = eng.CheckInvariantCtx(ctx, prop)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	case "explicit":
+		if prop.Kind == mc.Eventually {
+			res, err = explicit.CheckEventuallyCtx(ctx, m.Sys, prop, opts.Options.Explicit)
+		} else {
+			res, err = explicit.CheckInvariantCtx(ctx, m.Sys, prop, opts.Options.Explicit)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	case "bmc":
+		if prop.Kind == mc.Eventually {
+			res, err = bmc.CheckEventuallyRefuteCtx(ctx, m.Sys.Compile(), prop, bmc.Options{MaxDepth: depth})
+		} else {
+			res, err = bmc.CheckInvariantCtx(ctx, m.Sys.Compile(), prop, bmc.Options{MaxDepth: depth})
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	case "induction":
+		if prop.Kind == mc.Eventually {
+			return nil, nil, fmt.Errorf("campaign: k-induction cannot prove liveness")
+		}
+		res, err = bmc.CheckInvariantInductionCtx(ctx, m.Sys.Compile(), prop, bmc.InductionOptions{MaxK: depth})
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("campaign: unknown engine %q", engine)
+	}
+	return res, m.Sys, nil
+}

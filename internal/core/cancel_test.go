@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ttastartup/internal/tta/startup"
+)
+
+func cancelSuite(t *testing.T) *Suite {
+	t.Helper()
+	cfg := startup.DefaultConfig(3).WithFaultyNode(1)
+	cfg.DeltaInit = 4
+	s, err := NewSuite(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCheckCtxAlreadyCancelled: a cancelled context must surface as
+// context.Canceled from every engine without producing a verdict.
+func TestCheckCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range AllEngines() {
+		s := cancelSuite(t)
+		lemma := LemmaSafety
+		res, err := s.CheckCtx(ctx, lemma, e)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: want context.Canceled, got res=%v err=%v", e, res, err)
+		}
+	}
+}
+
+// TestCheckCtxDeadline: a tiny deadline interrupts the symbolic fixpoint
+// mid-flight and surfaces as DeadlineExceeded.
+func TestCheckCtxDeadline(t *testing.T) {
+	cfg := startup.DefaultConfig(4).WithFaultyNode(1)
+	s, err := NewSuite(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = s.CheckCtx(ctx, LemmaLiveness, EngineSymbolic)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestCheckCtxRetryAfterCancel: after a cancelled run, the same suite must
+// still produce a correct verdict (the symbolic engine resets its partial
+// frontier layers).
+func TestCheckCtxRetryAfterCancel(t *testing.T) {
+	s := cancelSuite(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	_, err := s.CheckCtx(ctx, LemmaSafety, EngineSymbolic)
+	cancel()
+	if err == nil {
+		t.Skip("model too small to interrupt; nothing to retry")
+	}
+	res, err := s.CheckCtx(context.Background(), LemmaSafety, EngineSymbolic)
+	if err != nil {
+		t.Fatalf("retry after cancel: %v", err)
+	}
+	if !res.Holds() {
+		t.Fatalf("retry after cancel: safety unexpectedly %v", res.Verdict)
+	}
+}
+
+// TestInductionCancelNotProof: an interrupted k-induction run must never
+// be reported as a proof (an interrupted SAT search returns false, which
+// the step case would otherwise read as UNSAT).
+func TestInductionCancelNotProof(t *testing.T) {
+	for range 5 {
+		s := cancelSuite(t)
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+		res, err := s.CheckCtx(ctx, LemmaSafety, EngineInduction)
+		cancel()
+		if err == nil {
+			continue // finished inside the budget: a genuine verdict is fine
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("want DeadlineExceeded, got %v", err)
+		}
+		if res != nil {
+			t.Fatalf("interrupted induction returned a result: %v", res)
+		}
+	}
+}

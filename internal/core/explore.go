@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -90,18 +91,30 @@ func (r *FaultSimReport) AllHold() bool {
 // timeliness for a faulty node, and safety-2 for a faulty hub, mirroring
 // Figs. 6(a)-(d)).
 func (s *Suite) ExhaustiveFaultSimulation(lemmas ...Lemma) (*FaultSimReport, error) {
+	return s.ExhaustiveFaultSimulationCtx(context.Background(), lemmas...)
+}
+
+// ExhaustiveFaultSimulationCtx is ExhaustiveFaultSimulation under a
+// context; cancellation interrupts the symbolic fixpoint mid-lemma.
+func (s *Suite) ExhaustiveFaultSimulationCtx(ctx context.Context, lemmas ...Lemma) (*FaultSimReport, error) {
 	if len(lemmas) == 0 {
-		if s.Cfg.FaultyHub >= 0 {
-			lemmas = []Lemma{LemmaSafety2}
-		} else {
-			lemmas = []Lemma{LemmaSafety, LemmaLiveness, LemmaTimeliness}
-		}
+		lemmas = DefaultFaultSimLemmas(s.Cfg)
 	}
-	results, err := s.CheckAll(EngineSymbolic, lemmas...)
+	results, err := s.CheckAllCtx(ctx, EngineSymbolic, lemmas...)
 	if err != nil {
 		return nil, err
 	}
 	return &FaultSimReport{Cfg: s.Cfg, Results: results}, nil
+}
+
+// DefaultFaultSimLemmas returns the lemma set the paper checks for a
+// configuration: safety-2 against a faulty hub, otherwise safety, liveness
+// and timeliness (Figs. 6(a)-(d)).
+func DefaultFaultSimLemmas(cfg startup.Config) []Lemma {
+	if cfg.FaultyHub >= 0 {
+		return []Lemma{LemmaSafety2}
+	}
+	return []Lemma{LemmaSafety, LemmaLiveness, LemmaTimeliness}
 }
 
 // BigBangResult is the outcome of the Section 5.2 design exploration: with

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"strings"
@@ -87,6 +88,14 @@ func ParseLemmas(spec string) ([]Lemma, error) {
 			out = append(out, LemmaTimeliness)
 		case "safety_2", "safety2":
 			out = append(out, LemmaSafety2)
+		case "no-error":
+			out = append(out, LemmaNoError)
+		case "locks-only-faulty":
+			out = append(out, LemmaLocksOnlyFaulty)
+		case "hubs-agree":
+			out = append(out, LemmaHubsAgree)
+		case "node-hub-agree":
+			out = append(out, LemmaNodeHubAgree)
 		case "all":
 			out = append(out, AllLemmas()...)
 		case "sanity":
@@ -134,6 +143,44 @@ func (e Engine) String() string {
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
+}
+
+// AllEngines lists every engine, in the order of the Engine constants.
+func AllEngines() []Engine {
+	return []Engine{EngineSymbolic, EngineExplicit, EngineBMC, EngineInduction}
+}
+
+// ParseEngine resolves an engine name ("symbolic", "explicit", "bmc",
+// "induction" or "k-induction").
+func ParseEngine(name string) (Engine, error) {
+	switch strings.TrimSpace(name) {
+	case "symbolic":
+		return EngineSymbolic, nil
+	case "explicit":
+		return EngineExplicit, nil
+	case "bmc":
+		return EngineBMC, nil
+	case "induction", "k-induction":
+		return EngineInduction, nil
+	default:
+		return 0, fmt.Errorf("core: unknown engine %q", name)
+	}
+}
+
+// ParseEngines resolves a comma-separated engine list.
+func ParseEngines(spec string) ([]Engine, error) {
+	var out []Engine
+	for _, name := range strings.Split(spec, ",") {
+		if strings.TrimSpace(name) == "" {
+			continue
+		}
+		e, err := ParseEngine(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }
 
 // Options tunes a verification suite.
@@ -228,6 +275,13 @@ func (s *Suite) Property(l Lemma) (mc.Property, error) {
 
 // Check verifies one lemma with one engine.
 func (s *Suite) Check(l Lemma, e Engine) (*mc.Result, error) {
+	return s.CheckCtx(context.Background(), l, e)
+}
+
+// CheckCtx verifies one lemma with one engine under a context: a deadline
+// or cancellation propagates into the engine's hot loop (BFS frontier,
+// symbolic fixpoint, or SAT search) and surfaces as ctx.Err().
+func (s *Suite) CheckCtx(ctx context.Context, l Lemma, e Engine) (*mc.Result, error) {
 	prop, err := s.Property(l)
 	if err != nil {
 		return nil, err
@@ -239,23 +293,23 @@ func (s *Suite) Check(l Lemma, e Engine) (*mc.Result, error) {
 			return nil, err
 		}
 		if prop.Kind == mc.Eventually {
-			return eng.CheckEventually(prop)
+			return eng.CheckEventuallyCtx(ctx, prop)
 		}
-		return eng.CheckInvariant(prop)
+		return eng.CheckInvariantCtx(ctx, prop)
 	case EngineExplicit:
 		if prop.Kind == mc.Eventually {
-			return explicit.CheckEventually(s.Model.Sys, prop, s.opts.Explicit)
+			return explicit.CheckEventuallyCtx(ctx, s.Model.Sys, prop, s.opts.Explicit)
 		}
-		return explicit.CheckInvariant(s.Model.Sys, prop, s.opts.Explicit)
+		return explicit.CheckInvariantCtx(ctx, s.Model.Sys, prop, s.opts.Explicit)
 	case EngineBMC:
 		depth := s.opts.BMCDepth
 		if depth == 0 {
 			depth = 2 * s.Model.P.WorstCaseStartup()
 		}
 		if prop.Kind == mc.Eventually {
-			return bmc.CheckEventuallyRefute(s.Compiled(), prop, bmc.Options{MaxDepth: depth})
+			return bmc.CheckEventuallyRefuteCtx(ctx, s.Compiled(), prop, bmc.Options{MaxDepth: depth})
 		}
-		return bmc.CheckInvariant(s.Compiled(), prop, bmc.Options{MaxDepth: depth})
+		return bmc.CheckInvariantCtx(ctx, s.Compiled(), prop, bmc.Options{MaxDepth: depth})
 	case EngineInduction:
 		if prop.Kind == mc.Eventually {
 			return nil, fmt.Errorf("core: k-induction cannot prove liveness lemma %v", l)
@@ -264,7 +318,7 @@ func (s *Suite) Check(l Lemma, e Engine) (*mc.Result, error) {
 		if depth == 0 {
 			depth = 2 * s.Model.P.WorstCaseStartup()
 		}
-		return bmc.CheckInvariantInduction(s.Compiled(), prop, bmc.InductionOptions{MaxK: depth})
+		return bmc.CheckInvariantInductionCtx(ctx, s.Compiled(), prop, bmc.InductionOptions{MaxK: depth})
 	default:
 		return nil, fmt.Errorf("core: unknown engine %v", e)
 	}
@@ -272,12 +326,18 @@ func (s *Suite) Check(l Lemma, e Engine) (*mc.Result, error) {
 
 // CheckAll verifies the given lemmas with one engine, in order.
 func (s *Suite) CheckAll(e Engine, lemmas ...Lemma) ([]*mc.Result, error) {
+	return s.CheckAllCtx(context.Background(), e, lemmas...)
+}
+
+// CheckAllCtx verifies the given lemmas with one engine, in order, stopping
+// at the first cancellation.
+func (s *Suite) CheckAllCtx(ctx context.Context, e Engine, lemmas ...Lemma) ([]*mc.Result, error) {
 	if len(lemmas) == 0 {
 		lemmas = AllLemmas()
 	}
 	out := make([]*mc.Result, 0, len(lemmas))
 	for _, l := range lemmas {
-		res, err := s.Check(l, e)
+		res, err := s.CheckCtx(ctx, l, e)
 		if err != nil {
 			return out, fmt.Errorf("core: %v: %w", l, err)
 		}

@@ -135,7 +135,12 @@ func Fig4(scale Scale, n int, degrees []int) ([]Fig4Row, string, error) {
 		}
 		rows = append(rows, row)
 	}
+	return rows, fig4Table(rows, n, scale), nil
+}
 
+// fig4Table renders the Fig. 4 table (shared by the serial and the
+// campaign-backed parallel drivers).
+func fig4Table(rows []Fig4Row, n int, scale Scale) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 4 — effect of fault degree on model-checking time (n=%d, %s scale)\n", n, scale)
 	b.WriteString("  δ_failure   safety      liveness    timeliness\n")
@@ -145,7 +150,7 @@ func Fig4(scale Scale, n int, degrees []int) ([]Fig4Row, string, error) {
 			r.Liveness.Round(time.Millisecond), r.Timeliness.Round(time.Millisecond))
 	}
 	b.WriteString("  paper (s): degree 1: 44/196/77; degree 3: 166/892/615; degree 5: 251/1324/922\n")
-	return rows, b.String(), nil
+	return b.String()
 }
 
 // ---------------------------------------------------------------------------
@@ -465,7 +470,12 @@ func Fig6(scale Scale, lemma core.Lemma, ns []int) ([]Fig6Row, string, error) {
 		}
 		rows = append(rows, row)
 	}
+	return rows, fig6Table(rows, lemma, scale), nil
+}
 
+// fig6Table renders a Fig. 6 sub-table (shared by the serial and the
+// campaign-backed parallel drivers).
+func fig6Table(rows []Fig6Row, lemma core.Lemma, scale Scale) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 6 — exhaustive fault simulation, lemma %v (δ_failure=6, feedback on, %s scale)\n", lemma, scale)
 	b.WriteString("  nodes  eval   cpu          BDD vars  reachable\n")
@@ -487,7 +497,7 @@ func Fig6(scale Scale, lemma core.Lemma, ns []int) ([]Fig6Row, string, error) {
 	case core.LemmaSafety2:
 		b.WriteString("  paper (n=3/4/5): true, 57/83/4290 s, 272/348/462 BDD vars\n")
 	}
-	return rows, b.String(), nil
+	return b.String()
 }
 
 // ---------------------------------------------------------------------------

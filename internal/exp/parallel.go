@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"ttastartup/internal/campaign"
+	"ttastartup/internal/core"
+	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/tta"
+)
+
+// This file routes the sweep-shaped experiments (Fig. 4, Fig. 6) through
+// the campaign runner: the same checks as the serial drivers in exp.go,
+// but executed on a worker pool with records in the campaign store schema.
+// Rows are reassembled in the deterministic job order of the sweep, so the
+// rendered tables are ordered identically however many workers ran.
+
+func campaignOpts(scale Scale, workers int, progress campaign.Progress) campaign.RunOptions {
+	return campaign.RunOptions{
+		Workers:  workers,
+		Progress: progress,
+		Options: core.Options{
+			Symbolic: symbolic.Options{BDD: scale.bddConfig(), NoTrace: true},
+		},
+	}
+}
+
+// fig4Jobs expands the Fig. 4 sweep into campaign jobs in table order.
+func fig4Jobs(scale Scale, n int, degrees []int) []campaign.Job {
+	if len(degrees) == 0 {
+		degrees = []int{1, 3, 5}
+	}
+	var jobs []campaign.Job
+	for _, d := range degrees {
+		for _, lemma := range []string{"safety", "liveness", "timeliness"} {
+			jobs = append(jobs, campaign.Job{
+				Topology:   campaign.TopologyHub,
+				N:          n,
+				BigBang:    true,
+				FaultyNode: n / 2,
+				FaultyHub:  -1,
+				Degree:     d,
+				DeltaInit:  scale.deltaInit(n),
+				Lemma:      lemma,
+				Engine:     "symbolic",
+			})
+		}
+	}
+	return jobs
+}
+
+// Fig4Campaign is Fig4 on a worker pool: it returns the rows (in degree
+// order, independent of scheduling), the campaign records (in job order),
+// and the rendered table.
+func Fig4Campaign(ctx context.Context, scale Scale, n int, degrees []int, workers int, progress campaign.Progress) ([]Fig4Row, []campaign.Record, string, error) {
+	jobs := fig4Jobs(scale, n, degrees)
+	rep, err := campaign.RunJobs(ctx, jobs, campaignOpts(scale, workers, progress))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	var rows []Fig4Row
+	var recs []campaign.Record
+	for i, job := range jobs {
+		rec, ok := rep.Record(job)
+		if !ok {
+			return nil, nil, "", fmt.Errorf("fig4: job %s did not run", job.ID())
+		}
+		if rec.Error != "" {
+			return nil, nil, "", fmt.Errorf("fig4: %s: %s", job.ID(), rec.Error)
+		}
+		if !rec.Holds {
+			return nil, nil, "", fmt.Errorf("fig4: lemma %v unexpectedly violated at degree %d", job.Lemma, job.Degree)
+		}
+		recs = append(recs, rec)
+		if i%3 == 0 {
+			rows = append(rows, Fig4Row{Degree: job.Degree})
+		}
+		row := &rows[len(rows)-1]
+		switch job.Lemma {
+		case "safety":
+			row.Safety = rec.Wall()
+		case "liveness":
+			row.Liveness = rec.Wall()
+		case "timeliness":
+			row.Timeliness = rec.Wall()
+		}
+	}
+	return rows, recs, fig4Table(rows, n, scale), nil
+}
+
+// fig6Jobs expands one Fig. 6 sub-table into campaign jobs in table order.
+func fig6Jobs(scale Scale, lemma core.Lemma, ns []int) []campaign.Job {
+	if len(ns) == 0 {
+		ns = []int{3, 4}
+	}
+	var jobs []campaign.Job
+	for _, n := range ns {
+		j := campaign.Job{
+			Topology:   campaign.TopologyHub,
+			N:          n,
+			BigBang:    true,
+			FaultyNode: n / 2,
+			FaultyHub:  -1,
+			Degree:     6,
+			DeltaInit:  scale.deltaInit(n),
+			Lemma:      lemma.String(),
+			Engine:     "symbolic",
+		}
+		if lemma == core.LemmaSafety2 {
+			j.FaultyNode = -1
+			j.FaultyHub = 0
+			j.Degree = 0
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// Fig6Campaign is Fig6 on a worker pool; see Fig4Campaign for the shape.
+func Fig6Campaign(ctx context.Context, scale Scale, lemma core.Lemma, ns []int, workers int, progress campaign.Progress) ([]Fig6Row, []campaign.Record, string, error) {
+	jobs := fig6Jobs(scale, lemma, ns)
+	rep, err := campaign.RunJobs(ctx, jobs, campaignOpts(scale, workers, progress))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	var rows []Fig6Row
+	var recs []campaign.Record
+	for _, job := range jobs {
+		rec, ok := rep.Record(job)
+		if !ok {
+			return nil, nil, "", fmt.Errorf("fig6: job %s did not run", job.ID())
+		}
+		if rec.Error != "" {
+			return nil, nil, "", fmt.Errorf("fig6: %s: %s", job.ID(), rec.Error)
+		}
+		recs = append(recs, rec)
+		row := Fig6Row{
+			N:       job.N,
+			Eval:    rec.Holds,
+			CPU:     rec.Wall(),
+			BDDVars: rec.Stats.BDDVars,
+		}
+		if rec.Stats.Reachable != "" {
+			row.Reachable, _ = new(big.Int).SetString(rec.Stats.Reachable, 10)
+		}
+		if lemma == core.LemmaTimeliness {
+			// The suite's timeliness bound: w_sup plus the discretisation
+			// margin of one round (see core.Suite.TimelinessBound).
+			p := tta.Params{N: job.N}
+			row.WSup = p.WorstCaseStartup() + p.Round()
+		}
+		rows = append(rows, row)
+	}
+	return rows, recs, fig6Table(rows, lemma, scale), nil
+}

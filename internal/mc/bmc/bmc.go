@@ -7,6 +7,7 @@
 package bmc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -159,10 +160,29 @@ func (c *Checker) stateAt(t int) gcl.State {
 	return c.comp.DecodeState(assign, gcl.RoleCur)
 }
 
+// bindCtx wires a context into the checker's SAT solver so a long Solve
+// call is interrupted when ctx is done, and returns a probe that reports
+// (and returns) the context error after an interrupted call.
+func (c *Checker) bindCtx(ctx context.Context) func() error {
+	c.solver.SetStop(func() bool { return ctx.Err() != nil })
+	return func() error {
+		if c.solver.Stopped() {
+			return ctx.Err()
+		}
+		return nil
+	}
+}
+
 // CheckInvariant searches for a violation of G(pred) at depths
 // MinDepth..MaxDepth, returning the shallowest counterexample or
 // HoldsBounded.
 func CheckInvariant(comp *gcl.Compiled, prop mc.Property, opts Options) (*mc.Result, error) {
+	return CheckInvariantCtx(context.Background(), comp, prop, opts)
+}
+
+// CheckInvariantCtx is CheckInvariant with cancellation plumbed into the
+// per-depth unrolling loop and into the SAT search itself.
+func CheckInvariantCtx(ctx context.Context, comp *gcl.Compiled, prop mc.Property, opts Options) (*mc.Result, error) {
 	if prop.Kind != mc.Invariant {
 		return nil, fmt.Errorf("bmc: CheckInvariant on %v property", prop.Kind)
 	}
@@ -171,10 +191,14 @@ func CheckInvariant(comp *gcl.Compiled, prop mc.Property, opts Options) (*mc.Res
 	}
 	start := time.Now()
 	c := NewChecker(comp)
+	interrupted := c.bindCtx(ctx)
 	badCircuit := comp.CompileExpr(prop.Pred).Not()
 
 	res := &mc.Result{Property: prop, Verdict: mc.HoldsBounded}
 	for k := opts.MinDepth; k <= opts.MaxDepth; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c.extendTo(k)
 		bad := c.encode(badCircuit, k)
 		if c.solver.Solve(bad) {
@@ -186,6 +210,9 @@ func CheckInvariant(comp *gcl.Compiled, prop mc.Property, opts Options) (*mc.Res
 			res.Trace = mc.NewTrace(states)
 			res.Stats = c.stats(start, k)
 			return res, nil
+		}
+		if err := interrupted(); err != nil {
+			return nil, err
 		}
 	}
 	res.Stats = c.stats(start, opts.MaxDepth)

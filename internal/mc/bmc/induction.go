@@ -1,6 +1,7 @@
 package bmc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,6 +31,12 @@ type InductionOptions struct {
 // failed, with trace), or HoldsBounded (MaxK exhausted; no verdict beyond
 // the bound).
 func CheckInvariantInduction(comp *gcl.Compiled, prop mc.Property, opts InductionOptions) (*mc.Result, error) {
+	return CheckInvariantInductionCtx(context.Background(), comp, prop, opts)
+}
+
+// CheckInvariantInductionCtx is CheckInvariantInduction with cancellation
+// plumbed into the per-k loop and both SAT searches.
+func CheckInvariantInductionCtx(ctx context.Context, comp *gcl.Compiled, prop mc.Property, opts InductionOptions) (*mc.Result, error) {
 	if prop.Kind != mc.Invariant {
 		return nil, fmt.Errorf("bmc: CheckInvariantInduction on %v property", prop.Kind)
 	}
@@ -40,8 +47,10 @@ func CheckInvariantInduction(comp *gcl.Compiled, prop mc.Property, opts Inductio
 
 	// Base-case checker: standard BMC, initial states constrained.
 	base := NewChecker(comp)
+	baseInterrupted := base.bindCtx(ctx)
 	// Step checker: no initial-state constraint — any run of the system.
 	step := newCheckerNoInit(comp)
+	stepInterrupted := step.bindCtx(ctx)
 
 	predLit := comp.CompileExpr(prop.Pred)
 	var curIDs []int
@@ -55,6 +64,9 @@ func CheckInvariantInduction(comp *gcl.Compiled, prop mc.Property, opts Inductio
 
 	res := &mc.Result{Property: prop, Verdict: mc.HoldsBounded}
 	for k := 0; k <= opts.MaxK; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Base: violation at exactly depth k?
 		base.extendTo(k)
 		if base.solver.Solve(base.encode(predLit.Not(), k)) {
@@ -68,15 +80,23 @@ func CheckInvariantInduction(comp *gcl.Compiled, prop mc.Property, opts Inductio
 			res.Stats.Conflicts += step.solver.Conflicts()
 			return res, nil
 		}
+		if err := baseInterrupted(); err != nil {
+			return nil, err
+		}
 
 		// Step: pred at frames 0..k (asserted incrementally), ¬pred at
-		// frame k+1 (assumed). UNSAT proves the invariant outright.
+		// frame k+1 (assumed). UNSAT proves the invariant outright — but an
+		// interrupted search also returns false, so the cancellation probe
+		// must be consulted before claiming a proof.
 		step.extendTo(k + 1)
 		step.assertLit(step.encode(predLit, k))
 		if opts.SimplePath {
 			step.assertDistinct(curIDs, k+1)
 		}
 		if !step.solver.Solve(step.encode(predLit.Not(), k+1)) {
+			if err := stepInterrupted(); err != nil {
+				return nil, err
+			}
 			res.Verdict = mc.Holds
 			res.Stats = step.stats(start, k)
 			res.Stats.Conflicts += base.solver.Conflicts()

@@ -1,6 +1,7 @@
 package bmc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,6 +16,12 @@ import (
 // refute (Violated with a lasso trace) or report HoldsBounded: no
 // pred-avoiding lasso exists whose unrolled length is within MaxDepth.
 func CheckEventuallyRefute(comp *gcl.Compiled, prop mc.Property, opts Options) (*mc.Result, error) {
+	return CheckEventuallyRefuteCtx(context.Background(), comp, prop, opts)
+}
+
+// CheckEventuallyRefuteCtx is CheckEventuallyRefute with cancellation
+// plumbed into the per-depth loop and the SAT search.
+func CheckEventuallyRefuteCtx(ctx context.Context, comp *gcl.Compiled, prop mc.Property, opts Options) (*mc.Result, error) {
 	if prop.Kind != mc.Eventually {
 		return nil, fmt.Errorf("bmc: CheckEventuallyRefute on %v property", prop.Kind)
 	}
@@ -23,6 +30,7 @@ func CheckEventuallyRefute(comp *gcl.Compiled, prop mc.Property, opts Options) (
 	}
 	start := time.Now()
 	c := NewChecker(comp)
+	interrupted := c.bindCtx(ctx)
 	notP := comp.CompileExpr(prop.Pred).Not()
 
 	// Current-state input ids, used for frame-equality clauses.
@@ -39,6 +47,9 @@ func CheckEventuallyRefute(comp *gcl.Compiled, prop mc.Property, opts Options) (
 	c.assertLit(c.encode(notP, 0))
 
 	for k := 1; k <= opts.MaxDepth; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c.extendTo(k)
 		c.assertLit(c.encode(notP, k))
 
@@ -81,6 +92,9 @@ func CheckEventuallyRefute(comp *gcl.Compiled, prop mc.Property, opts Options) (
 			res.Trace = &mc.Trace{States: states, LoopsTo: loopTo}
 			res.Stats = c.stats(start, k)
 			return res, nil
+		}
+		if err := interrupted(); err != nil {
+			return nil, err
 		}
 		// Deactivate this depth's loop requirement for the next rounds
 		// (the disjunction is then satisfied by ¬act, leaving the

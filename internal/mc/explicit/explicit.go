@@ -6,6 +6,7 @@
 package explicit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -14,6 +15,11 @@ import (
 	"ttastartup/internal/gcl"
 	"ttastartup/internal/mc"
 )
+
+// ctxStride is how many BFS head advances pass between context polls: the
+// per-state work is small, so polling every state would be measurable, and
+// polling every 256 keeps cancellation latency in the microsecond range.
+const ctxStride = 256
 
 // EngineName identifies this engine in Stats.
 const EngineName = "explicit"
@@ -54,6 +60,12 @@ func (g *Graph) NumStates() int { return len(g.States) }
 
 // Explore performs exhaustive BFS reachability from all initial states.
 func Explore(sys *gcl.System, opts Options) (*Graph, error) {
+	return ExploreCtx(context.Background(), sys, opts)
+}
+
+// ExploreCtx is Explore with cancellation: the BFS frontier loop polls ctx
+// every few hundred states and returns ctx.Err() once it is done.
+func ExploreCtx(ctx context.Context, sys *gcl.System, opts Options) (*Graph, error) {
 	stepper := gcl.NewStepper(sys)
 	vars := sys.StateVars()
 	g := &Graph{
@@ -94,6 +106,11 @@ func Explore(sys *gcl.System, opts Options) (*Graph, error) {
 	g.InitCount = len(g.States)
 
 	for head := 0; head < len(g.States); head++ {
+		if head%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		cur := g.States[head]
 		headIdx := int32(head)
 		sawSucc := false
@@ -135,6 +152,12 @@ func (g *Graph) tracePath(target int32) *mc.Trace {
 // CheckInvariant checks G(pred) by exhaustive reachability, stopping at the
 // first violation.
 func CheckInvariant(sys *gcl.System, prop mc.Property, opts Options) (*mc.Result, error) {
+	return CheckInvariantCtx(context.Background(), sys, prop, opts)
+}
+
+// CheckInvariantCtx is CheckInvariant with cancellation plumbed into the
+// BFS frontier loop.
+func CheckInvariantCtx(ctx context.Context, sys *gcl.System, prop mc.Property, opts Options) (*mc.Result, error) {
 	if prop.Kind != mc.Invariant {
 		return nil, fmt.Errorf("explicit: CheckInvariant on %v property", prop.Kind)
 	}
@@ -171,6 +194,11 @@ func CheckInvariant(sys *gcl.System, prop mc.Property, opts Options) (*mc.Result
 
 	stepper.InitStates(func(st gcl.State) bool { return add(st, -1) })
 	for head := 0; head < len(states) && bad == -1 && exploreErr == nil; head++ {
+		if head%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		headIdx := int32(head)
 		stepper.Successors(states[head], func(next gcl.State) bool {
 			return add(next, headIdx)
@@ -208,12 +236,18 @@ func CheckInvariant(sys *gcl.System, prop mc.Property, opts Options) (*mc.Result
 // reported via the graph in Stats.Visited diagnostics and should be checked
 // separately with an invariant.
 func CheckEventually(sys *gcl.System, prop mc.Property, opts Options) (*mc.Result, error) {
+	return CheckEventuallyCtx(context.Background(), sys, prop, opts)
+}
+
+// CheckEventuallyCtx is CheckEventually with cancellation: both the
+// exploration and the EG fixpoint sweeps poll ctx.
+func CheckEventuallyCtx(ctx context.Context, sys *gcl.System, prop mc.Property, opts Options) (*mc.Result, error) {
 	if prop.Kind != mc.Eventually {
 		return nil, fmt.Errorf("explicit: CheckEventually on %v property", prop.Kind)
 	}
 	start := time.Now()
 	opts.StoreEdges = true
-	g, err := Explore(sys, opts)
+	g, err := ExploreCtx(ctx, sys, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +261,9 @@ func CheckEventually(sys *gcl.System, prop mc.Property, opts Options) (*mc.Resul
 		inSet[i] = !gcl.Holds(prop.Pred, st)
 	}
 	for changed := true; changed; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		changed = false
 		for i := range n {
 			if !inSet[i] {

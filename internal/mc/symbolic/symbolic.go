@@ -7,6 +7,7 @@
 package symbolic
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"time"
@@ -96,12 +97,30 @@ func New(comp *gcl.Compiled, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// guard converts bdd.ErrNodeLimit panics into errors at API boundaries.
+// cancelled carries a context error out of a fixpoint loop; guard converts
+// it back into an error at the API boundary (same mechanism as the node
+// limit, so the deep BDD call stacks need no error threading).
+type cancelled struct{ err error }
+
+// pollCtx panics with a cancelled value when ctx is done; the fixpoint
+// loops call it once per iteration.
+func pollCtx(ctx context.Context) {
+	if err := ctx.Err(); err != nil {
+		panic(cancelled{err})
+	}
+}
+
+// guard converts bdd.ErrNodeLimit and cancellation panics into errors at
+// API boundaries.
 func (e *Engine) guard(fn func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if r == bdd.ErrNodeLimit {
 				err = fmt.Errorf("symbolic: %w", bdd.ErrNodeLimit)
+				return
+			}
+			if c, ok := r.(cancelled); ok {
+				err = c.err
 				return
 			}
 			panic(r)
@@ -260,9 +279,22 @@ func (e *Engine) Preimage(s bdd.Ref) bdd.Ref {
 
 // Reachable computes (and caches) the reachable state set.
 func (e *Engine) Reachable() (bdd.Ref, error) {
+	return e.ReachableCtx(context.Background())
+}
+
+// ReachableCtx computes (and caches) the reachable state set, polling ctx
+// once per frontier iteration. A cancelled computation leaves no partial
+// cache: a later call restarts the fixpoint from the initial states.
+func (e *Engine) ReachableCtx(ctx context.Context) (bdd.Ref, error) {
 	if e.reached {
 		return e.reach, nil
 	}
+	// Drop layers left over from a cancelled earlier attempt so trace
+	// reconstruction never sees a duplicated prefix.
+	for _, l := range e.layers {
+		e.m.Unprotect(l)
+	}
+	e.layers = nil
 	err := e.guard(func() {
 		reach := e.m.Protect(e.init)
 		frontier := e.init
@@ -271,6 +303,7 @@ func (e *Engine) Reachable() (bdd.Ref, error) {
 		}
 		iters := 0
 		for frontier != bdd.False {
+			pollCtx(ctx)
 			if iters++; iters > e.opts.maxIter() {
 				panic(bdd.ErrNodeLimit)
 			}
@@ -337,11 +370,17 @@ func (e *Engine) stats(start time.Time) mc.Stats {
 
 // CheckInvariant checks G(pred) symbolically.
 func (e *Engine) CheckInvariant(prop mc.Property) (*mc.Result, error) {
+	return e.CheckInvariantCtx(context.Background(), prop)
+}
+
+// CheckInvariantCtx is CheckInvariant with cancellation plumbed into the
+// reachability fixpoint.
+func (e *Engine) CheckInvariantCtx(ctx context.Context, prop mc.Property) (*mc.Result, error) {
 	if prop.Kind != mc.Invariant {
 		return nil, fmt.Errorf("symbolic: CheckInvariant on %v property", prop.Kind)
 	}
 	start := time.Now()
-	reach, err := e.Reachable()
+	reach, err := e.ReachableCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -367,11 +406,17 @@ func (e *Engine) CheckInvariant(prop mc.Property) (*mc.Result, error) {
 // infinite execution avoiding pred, i.e. Init ∩ EG(¬pred) ≠ ∅ within the
 // reachable states.
 func (e *Engine) CheckEventually(prop mc.Property) (*mc.Result, error) {
+	return e.CheckEventuallyCtx(context.Background(), prop)
+}
+
+// CheckEventuallyCtx is CheckEventually with cancellation plumbed into both
+// the reachability and the EG greatest-fixpoint loops.
+func (e *Engine) CheckEventuallyCtx(ctx context.Context, prop mc.Property) (*mc.Result, error) {
 	if prop.Kind != mc.Eventually {
 		return nil, fmt.Errorf("symbolic: CheckEventually on %v property", prop.Kind)
 	}
 	start := time.Now()
-	reach, err := e.Reachable()
+	reach, err := e.ReachableCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -384,6 +429,7 @@ func (e *Engine) CheckEventually(prop mc.Property) (*mc.Result, error) {
 		// Greatest fixpoint: Z = ¬p ∧ reach ∧ EX Z.
 		z := e.m.Protect(notP)
 		for i := 0; ; i++ {
+			pollCtx(ctx)
 			if i > e.opts.maxIter() {
 				panic(bdd.ErrNodeLimit)
 			}

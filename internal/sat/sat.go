@@ -83,7 +83,21 @@ type Solver struct {
 	maxLearnt   float64
 
 	model []bool // snapshot of the last satisfying assignment
+
+	stop    func() bool // optional cancellation probe (see SetStop)
+	stopped bool        // last Solve call was interrupted by stop
 }
+
+// SetStop installs a cancellation probe polled periodically during Solve
+// (between restarts and every few thousand search steps). When the probe
+// returns true, Solve gives up and returns false without an UNSAT verdict;
+// callers distinguish interruption from unsatisfiability via Stopped. Pass
+// nil to remove the probe. The solver remains usable after an interrupt.
+func (s *Solver) SetStop(fn func() bool) { s.stop = fn }
+
+// Stopped reports whether the most recent Solve call was interrupted by
+// the stop probe rather than reaching a verdict.
+func (s *Solver) Stopped() bool { return s.stopped }
 
 // New returns an empty solver.
 func New() *Solver {
@@ -366,12 +380,18 @@ func (s *Solver) bumpClause(ci int) {
 // available via Value. The solver remains usable (incrementally) after
 // either outcome.
 func (s *Solver) Solve(assumptions ...Lit) bool {
+	s.stopped = false
 	if s.unsat {
 		return false
 	}
 	s.cancelUntil(0)
 	lubyIdx := 0
 	for {
+		if s.stop != nil && s.stop() {
+			s.stopped = true
+			s.cancelUntil(0)
+			return false
+		}
 		lubyIdx++
 		budget := 100 * luby(lubyIdx)
 		switch s.search(budget, assumptions) {
@@ -395,7 +415,14 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 // search runs CDCL until a result or conflict budget exhaustion (lUndef).
 func (s *Solver) search(budget int, assumptions []Lit) lbool {
 	conflicts := 0
+	steps := 0
 	for {
+		// A conflict-free run of decisions can stay inside search for a long
+		// time on large instances; poll the stop probe on a coarse stride so
+		// cancellation latency stays bounded without measurable overhead.
+		if steps++; steps&0xfff == 0 && s.stop != nil && s.stop() {
+			return lUndef
+		}
 		confl := s.propagate()
 		if confl != -1 {
 			conflicts++
