@@ -2,9 +2,9 @@ GO ?= go
 
 # `make check` is the tier-1 gate: formatting, vet, build, the full test
 # suite under the race detector, the static analyzer over every shipped
-# model configuration, and the campaign cancel/resume smoke test.
+# model configuration, and the campaign and IC3 smoke tests.
 .PHONY: check
-check: fmt vet build race lint-models campaign-smoke
+check: fmt vet build race lint-models campaign-smoke ic3-smoke
 
 .PHONY: fmt
 fmt:
@@ -50,3 +50,13 @@ campaign-smoke:
 	$(GO) run ./cmd/ttacampaign -n 3 -degrees 1,2,3 -delta-init 4 -j 2 \
 		-out $(CAMPAIGN_SMOKE_OUT) -resume -quiet -heartbeat 0 -no-report
 	@rm -f $(CAMPAIGN_SMOKE_OUT)
+
+# IC3 smoke test: prove the n=3 safety lemma unboundedly with IC3 (the bus
+# topology closes in under a second; the hub lemma needs minutes — see
+# README), then exercise mid-run cancellation under the race detector so an
+# interrupted SAT query is never misread as a proof.
+.PHONY: ic3-smoke
+ic3-smoke:
+	$(GO) run ./cmd/ttacampaign -n 3 -topologies bus -degrees 1 -lemmas safety \
+		-engines ic3 -delta-init 2 -quiet -heartbeat 0
+	$(GO) test -race -run 'TestIC3CancelMidRun|TestTTAEnginesAgree/bus' ./internal/mc/ic3/ ./internal/mc/

@@ -32,7 +32,7 @@ func main() {
 
 func run() error {
 	var (
-		expName = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6a, fig6b, fig6c, fig6d, baseline, feedback, bigbang, wcsup, campaign, restart, ablation, all")
+		expName = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6a, fig6b, fig6c, fig6d, baseline, feedback, bigbang, wcsup, campaign, restart, ablation, ic3, all")
 		full    = flag.Bool("full", false, "use the paper's full parameters (slow; quick scale is the default)")
 		nsFlag  = flag.String("n", "", "comma-separated cluster sizes (default per experiment)")
 		measure = flag.Bool("measure", true, "measure reachable-state counts where applicable")
@@ -75,9 +75,9 @@ func run() error {
 	runOne := func(name string) error {
 		if *jsonOut {
 			switch name {
-			case "fig4", "fig6a", "fig6b", "fig6c", "fig6d":
+			case "fig4", "fig6a", "fig6b", "fig6c", "fig6d", "ic3":
 			default:
-				return fmt.Errorf("-json supports the sweep experiments fig4 and fig6a-d, not %q", name)
+				return fmt.Errorf("-json supports the sweep experiments fig4, fig6a-d, and ic3, not %q", name)
 			}
 		}
 		switch name {
@@ -132,6 +132,15 @@ func run() error {
 			_, table, err := exp.Fig6(scale, lemma, ns)
 			if err != nil {
 				return err
+			}
+			fmt.Println(table)
+		case "ic3":
+			_, recs, table, err := exp.IC3Compare(context.Background(), scale, ns, *workers, nil)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emitRecords(recs)
 			}
 			fmt.Println(table)
 		case "baseline":
@@ -217,7 +226,7 @@ func run() error {
 	}
 
 	if *expName == "all" {
-		for _, name := range []string{"fig3", "fig5", "baseline", "campaign", "restart", "ablation", "bigbang", "wcsup", "feedback", "fig4", "fig6a", "fig6c", "fig6d", "fig6b"} {
+		for _, name := range []string{"fig3", "fig5", "baseline", "campaign", "restart", "ablation", "bigbang", "wcsup", "feedback", "ic3", "fig4", "fig6a", "fig6c", "fig6d", "fig6b"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -51,7 +51,7 @@ func run() (int, error) {
 		bigbang     = flag.String("bigbang", "on", "hub big-bang variants: on, off, both")
 		degrees     = flag.String("degrees", "1,2,3,4,5,6", "comma-separated fault degrees")
 		lemmas      = flag.String("lemmas", "safety,liveness,timeliness,safety_2", "comma-separated lemmas")
-		engines     = flag.String("engines", "symbolic", "comma-separated engines: symbolic, explicit, bmc, induction")
+		engines     = flag.String("engines", "symbolic", "comma-separated engines: symbolic, explicit, bmc, induction, ic3")
 		deltaInit   = flag.Int("delta-init", 0, "power-on window in slots (0: each model's default)")
 		workers     = flag.Int("j", 0, "worker goroutines (0: GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "per-job budget; exceeded jobs record 'inconclusive (deadline)' (0: none)")

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ttastartup/internal/bdd"
 	"ttastartup/internal/core"
@@ -53,7 +54,7 @@ func run() error {
 		noWatchdog = flag.Bool("no-watchdog", false, "ablation: drop the guardians' ACTIVE silence watchdog")
 		dumpModel  = flag.Bool("dump-model", false, "print the model in guarded-command (SAL-like) form and exit")
 		lemmas     = flag.String("lemma", "safety,liveness,timeliness", "comma-separated lemmas: safety, liveness, timeliness, safety_2, sanity")
-		engine     = flag.String("engine", "symbolic", "engine: symbolic, explicit, bmc, induction")
+		engine     = flag.String("engine", "symbolic", "engine: symbolic, explicit, bmc, induction, ic3")
 		depth      = flag.Int("depth", 0, "bmc unrolling depth (0: 2·w_sup)")
 		bound      = flag.Int("bound", 0, "timeliness bound in slots (0: w_sup + round)")
 		trace      = flag.Bool("trace", false, "print counterexample traces")
@@ -188,7 +189,14 @@ func run() error {
 		return fmt.Errorf("%d lemma(s) violated", failed)
 	}
 	if inconclusive > 0 {
-		return fmt.Errorf("%d lemma(s) inconclusive: deadline %v exceeded (raise -timeout or try -engine bmc)", inconclusive, *timeout)
+		hint := "raise -timeout or try"
+		for _, alt := range []core.Engine{core.EngineBMC, core.EngineIC3} {
+			if alt != eng {
+				hint += " -engine " + alt.String() + " or"
+			}
+		}
+		hint = strings.TrimSuffix(hint, " or")
+		return fmt.Errorf("%d lemma(s) inconclusive: deadline %v exceeded (%s)", inconclusive, *timeout, hint)
 	}
 	return nil
 }
@@ -239,7 +247,11 @@ func printResult(res *mc.Result) {
 	if stats.BDDVars > 0 {
 		extra += fmt.Sprintf("  bdd-vars=%d", stats.BDDVars)
 	}
-	if stats.Conflicts > 0 {
+	switch {
+	case stats.Engine == "ic3":
+		extra += fmt.Sprintf("  frames=%d obligations=%d queries=%d core-shrink=%.2f",
+			stats.Iterations, stats.Obligations, stats.SATQueries, stats.CoreShrink)
+	case stats.Conflicts > 0:
 		extra += fmt.Sprintf("  conflicts=%d depth=%d", stats.Conflicts, stats.Iterations)
 	}
 	fmt.Printf("%-14s [%s] %-18s cpu=%v%s\n",

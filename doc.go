@@ -2,9 +2,10 @@
 // Algorithm: From Design Exploration To Exhaustive Fault Simulation"
 // (Steiner, Rushby, Sorea, Pfeifer; DSN 2004) as a self-contained Go
 // library: the fault-tolerant startup algorithm of the Time-Triggered
-// Architecture, a guarded-command modelling language, three model-checking
-// engines built from scratch (explicit-state, BDD-based symbolic, and
-// SAT-based bounded), a concrete cluster simulator with Monte-Carlo fault
+// Architecture, a guarded-command modelling language, five model-checking
+// engines built from scratch (explicit-state, BDD-based symbolic,
+// SAT-based bounded, k-induction, and IC3/PDR for unbounded invariant
+// proofs), a concrete cluster simulator with Monte-Carlo fault
 // injection, and a benchmark harness that regenerates every table and
 // figure of the paper's evaluation.
 //
@@ -18,7 +19,8 @@
 //	internal/mc           engine-independent model-checking vocabulary
 //	internal/mc/explicit  explicit-state engine
 //	internal/mc/symbolic  BDD-based symbolic engine
-//	internal/mc/bmc       SAT-based bounded model checking
+//	internal/mc/bmc       SAT-based bounded model checking and k-induction
+//	internal/mc/ic3       IC3/PDR unbounded invariant proofs
 //	internal/tta          TTA domain parameters and fault degrees
 //	internal/tta/startup  the verified startup-algorithm model
 //	internal/tta/original the baseline bus-topology algorithm

@@ -194,8 +194,8 @@ func (s Spec) Jobs() ([]Job, error) {
 							continue
 						}
 						for _, engine := range s.engines() {
-							if engine == "induction" && eventuality(lemma) {
-								continue // k-induction cannot prove liveness
+							if (engine == "induction" || engine == "ic3") && eventuality(lemma) {
+								continue // invariant-only engines cannot prove liveness
 							}
 							j := Job{
 								Topology:   topo,
@@ -252,7 +252,7 @@ func (s Spec) validate() error {
 	}
 	for _, e := range s.engines() {
 		switch e {
-		case "symbolic", "explicit", "bmc", "induction":
+		case "symbolic", "explicit", "bmc", "induction", "ic3":
 		default:
 			return fmt.Errorf("campaign: unknown engine %q", e)
 		}
@@ -300,6 +300,10 @@ type RecordStats struct {
 	Iterations int    `json:"iterations,omitempty"`
 	PeakNodes  int    `json:"peak_nodes,omitempty"`
 	Conflicts  int    `json:"conflicts,omitempty"`
+	// SAT-engine counters (bmc, induction, ic3).
+	SATQueries  int     `json:"sat_queries,omitempty"`
+	Obligations int     `json:"obligations,omitempty"`
+	CoreShrink  float64 `json:"core_shrink,omitempty"`
 }
 
 // Wall returns the recorded wall time as a duration.

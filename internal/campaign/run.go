@@ -16,6 +16,7 @@ import (
 	"ttastartup/internal/mc"
 	"ttastartup/internal/mc/bmc"
 	"ttastartup/internal/mc/explicit"
+	"ttastartup/internal/mc/ic3"
 	"ttastartup/internal/mc/symbolic"
 	"ttastartup/internal/tta"
 	"ttastartup/internal/tta/original"
@@ -264,13 +265,16 @@ func fillResult(rec *Record, res *mc.Result, sys *gcl.System) {
 	}
 	st := res.Stats
 	rec.Stats = RecordStats{
-		Engine:     st.Engine,
-		StateBits:  st.StateBits,
-		BDDVars:    st.BDDVars,
-		Visited:    st.Visited,
-		Iterations: st.Iterations,
-		PeakNodes:  st.PeakNodes,
-		Conflicts:  st.Conflicts,
+		Engine:      st.Engine,
+		StateBits:   st.StateBits,
+		BDDVars:     st.BDDVars,
+		Visited:     st.Visited,
+		Iterations:  st.Iterations,
+		PeakNodes:   st.PeakNodes,
+		Conflicts:   st.Conflicts,
+		SATQueries:  st.SATQueries,
+		Obligations: st.Obligations,
+		CoreShrink:  st.CoreShrink,
 	}
 	if st.Reachable != nil {
 		rec.Stats.Reachable = st.Reachable.String()
@@ -400,6 +404,14 @@ func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 			return nil, nil, fmt.Errorf("campaign: k-induction cannot prove liveness")
 		}
 		res, err = bmc.CheckInvariantInductionCtx(ctx, m.Sys.Compile(), prop, bmc.InductionOptions{MaxK: depth})
+		if err != nil {
+			return nil, nil, err
+		}
+	case "ic3":
+		if prop.Kind == mc.Eventually {
+			return nil, nil, fmt.Errorf("campaign: ic3 cannot prove liveness")
+		}
+		res, err = ic3.CheckInvariantCtx(ctx, m.Sys.Compile(), prop, opts.Options.IC3)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -16,6 +16,7 @@ import (
 	"ttastartup/internal/mc"
 	"ttastartup/internal/mc/bmc"
 	"ttastartup/internal/mc/explicit"
+	"ttastartup/internal/mc/ic3"
 	"ttastartup/internal/mc/symbolic"
 	"ttastartup/internal/tta/startup"
 )
@@ -128,6 +129,9 @@ const (
 	// EngineInduction is SAT-based k-induction: unbounded invariant
 	// proofs without BDDs (an extension beyond the paper's SAL 2.0).
 	EngineInduction
+	// EngineIC3 is IC3/PDR: unbounded invariant proofs by incremental
+	// induction with many small SAT queries and no unrolling.
+	EngineIC3
 )
 
 func (e Engine) String() string {
@@ -140,6 +144,8 @@ func (e Engine) String() string {
 		return bmc.EngineName
 	case EngineInduction:
 		return "k-induction"
+	case EngineIC3:
+		return ic3.EngineName
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -147,11 +153,11 @@ func (e Engine) String() string {
 
 // AllEngines lists every engine, in the order of the Engine constants.
 func AllEngines() []Engine {
-	return []Engine{EngineSymbolic, EngineExplicit, EngineBMC, EngineInduction}
+	return []Engine{EngineSymbolic, EngineExplicit, EngineBMC, EngineInduction, EngineIC3}
 }
 
 // ParseEngine resolves an engine name ("symbolic", "explicit", "bmc",
-// "induction" or "k-induction").
+// "induction"/"k-induction", or "ic3"/"pdr").
 func ParseEngine(name string) (Engine, error) {
 	switch strings.TrimSpace(name) {
 	case "symbolic":
@@ -162,6 +168,8 @@ func ParseEngine(name string) (Engine, error) {
 		return EngineBMC, nil
 	case "induction", "k-induction":
 		return EngineInduction, nil
+	case "ic3", "pdr":
+		return EngineIC3, nil
 	default:
 		return 0, fmt.Errorf("core: unknown engine %q", name)
 	}
@@ -194,6 +202,8 @@ type Options struct {
 	// TimelinessBound overrides the bound used for Lemma 3 and Lemma 4
 	// (default: the paper's w_sup formula plus the discretisation margin).
 	TimelinessBound int
+	// IC3 configures the IC3/PDR engine.
+	IC3 ic3.Options
 }
 
 // Suite verifies the startup model of one configuration. Engines and the
@@ -319,6 +329,11 @@ func (s *Suite) CheckCtx(ctx context.Context, l Lemma, e Engine) (*mc.Result, er
 			depth = 2 * s.Model.P.WorstCaseStartup()
 		}
 		return bmc.CheckInvariantInductionCtx(ctx, s.Compiled(), prop, bmc.InductionOptions{MaxK: depth})
+	case EngineIC3:
+		if prop.Kind == mc.Eventually {
+			return nil, fmt.Errorf("core: ic3 cannot prove liveness lemma %v", l)
+		}
+		return ic3.CheckInvariantCtx(ctx, s.Compiled(), prop, s.opts.IC3)
 	default:
 		return nil, fmt.Errorf("core: unknown engine %v", e)
 	}

@@ -42,6 +42,13 @@ type Checker struct {
 	// tseitinMemo[t] caches gate encodings per frame: circuit node -> lit.
 	tseitinMemo []map[circuit.Lit]sat.Lit
 	depth       int // number of fully-encoded transition steps
+	queries     int // SAT queries issued so far
+}
+
+// solve wraps the solver call, counting queries for Stats.SATQueries.
+func (c *Checker) solve(assumps ...sat.Lit) bool {
+	c.queries++
+	return c.solver.Solve(assumps...)
 }
 
 // NewChecker prepares an incremental bounded checker; frame 0 is
@@ -201,7 +208,7 @@ func CheckInvariantCtx(ctx context.Context, comp *gcl.Compiled, prop mc.Property
 		}
 		c.extendTo(k)
 		bad := c.encode(badCircuit, k)
-		if c.solver.Solve(bad) {
+		if c.solve(bad) {
 			states := make([]gcl.State, k+1)
 			for t := 0; t <= k; t++ {
 				states[t] = c.stateAt(t)
@@ -230,6 +237,7 @@ func (c *Checker) stats(start time.Time, depth int) mc.Stats {
 		StateBits:  bits,
 		Iterations: depth,
 		Conflicts:  c.solver.Conflicts(),
+		SATQueries: c.queries,
 	}
 }
 

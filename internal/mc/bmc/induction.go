@@ -69,7 +69,7 @@ func CheckInvariantInductionCtx(ctx context.Context, comp *gcl.Compiled, prop mc
 		}
 		// Base: violation at exactly depth k?
 		base.extendTo(k)
-		if base.solver.Solve(base.encode(predLit.Not(), k)) {
+		if base.solve(base.encode(predLit.Not(), k)) {
 			states := make([]gcl.State, k+1)
 			for t := 0; t <= k; t++ {
 				states[t] = base.stateAt(t)
@@ -78,6 +78,7 @@ func CheckInvariantInductionCtx(ctx context.Context, comp *gcl.Compiled, prop mc
 			res.Trace = mc.NewTrace(states)
 			res.Stats = base.stats(start, k)
 			res.Stats.Conflicts += step.solver.Conflicts()
+			res.Stats.SATQueries += step.queries
 			return res, nil
 		}
 		if err := baseInterrupted(); err != nil {
@@ -93,18 +94,20 @@ func CheckInvariantInductionCtx(ctx context.Context, comp *gcl.Compiled, prop mc
 		if opts.SimplePath {
 			step.assertDistinct(curIDs, k+1)
 		}
-		if !step.solver.Solve(step.encode(predLit.Not(), k+1)) {
+		if !step.solve(step.encode(predLit.Not(), k+1)) {
 			if err := stepInterrupted(); err != nil {
 				return nil, err
 			}
 			res.Verdict = mc.Holds
 			res.Stats = step.stats(start, k)
 			res.Stats.Conflicts += base.solver.Conflicts()
+			res.Stats.SATQueries += base.queries
 			return res, nil
 		}
 	}
 	res.Stats = base.stats(start, opts.MaxK)
 	res.Stats.Conflicts += step.solver.Conflicts()
+	res.Stats.SATQueries += step.queries
 	return res, nil
 }
 

@@ -72,7 +72,7 @@ func CheckEventuallyRefuteCtx(ctx context.Context, comp *gcl.Compiled, prop mc.P
 		clause = append(clause, act.Not())
 		c.solver.AddClause(clause...)
 
-		if c.solver.Solve(act) {
+		if c.solve(act) {
 			// Decode the lasso; find the loop target.
 			states := make([]gcl.State, k)
 			for t := range k {

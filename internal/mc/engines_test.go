@@ -8,6 +8,7 @@ import (
 	"ttastartup/internal/mc"
 	"ttastartup/internal/mc/bmc"
 	"ttastartup/internal/mc/explicit"
+	"ttastartup/internal/mc/ic3"
 	"ttastartup/internal/mc/symbolic"
 )
 
@@ -171,8 +172,8 @@ func verifyTrace(t *testing.T, sys *gcl.System, prop mc.Property, tr *mc.Trace) 
 }
 
 // TestEnginesAgree runs every property through explicit, symbolic, and
-// (for invariants) bounded engines and demands consistent verdicts plus
-// valid counterexamples.
+// (for invariants) the three SAT engines — bounded, k-induction, IC3 —
+// and demands consistent verdicts plus valid counterexamples.
 func TestEnginesAgree(t *testing.T) {
 	for _, ts := range systems() {
 		t.Run(ts.name, func(t *testing.T) {
@@ -207,6 +208,31 @@ func TestEnginesAgree(t *testing.T) {
 							t.Errorf("%s: bmc verdict %v, want violated", pc.prop.Name, bmcRes.Verdict)
 						} else {
 							verifyTrace(t, sys, pc.prop, bmcRes.Trace)
+						}
+					}
+					// k-induction with simple-path constraints is complete
+					// on finite systems: exact verdicts, like IC3 below.
+					indRes, err := bmc.CheckInvariantInduction(comp, pc.prop,
+						bmc.InductionOptions{MaxK: 60, SimplePath: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					icRes, err := ic3.CheckInvariant(comp, pc.prop, ic3.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, r := range []*mc.Result{indRes, icRes} {
+						if pc.holds && r.Verdict != mc.Holds {
+							t.Errorf("%s: %s verdict %v, want holds (unbounded)",
+								pc.prop.Name, r.Stats.Engine, r.Verdict)
+						}
+						if !pc.holds {
+							if r.Verdict != mc.Violated {
+								t.Errorf("%s: %s verdict %v, want violated",
+									pc.prop.Name, r.Stats.Engine, r.Verdict)
+							} else {
+								verifyTrace(t, sys, pc.prop, r.Trace)
+							}
 						}
 					}
 				case mc.Eventually:

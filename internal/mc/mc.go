@@ -119,9 +119,14 @@ type Stats struct {
 	BDDVars    int      // total BDD variables (cur+next+choice), 0 for non-symbolic engines
 	Reachable  *big.Int // reachable-state count when computed
 	Visited    int      // explicit engine: states visited
-	Iterations int      // symbolic engine: fixpoint iterations; BMC: depth reached
+	Iterations int      // symbolic engine: fixpoint iterations; BMC: depth reached; IC3: frames
 	PeakNodes  int      // symbolic engine: peak live BDD nodes
-	Conflicts  int      // BMC: SAT conflicts
+	Conflicts  int      // SAT engines: CDCL conflicts
+
+	// SAT-engine query accounting (BMC, k-induction, IC3).
+	SATQueries  int     // incremental Solve calls issued
+	Obligations int     // IC3: proof obligations discharged
+	CoreShrink  float64 // IC3: mean fraction of cube literals kept by assumption cores
 }
 
 // Result is the outcome of checking one property with one engine.

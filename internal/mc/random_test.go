@@ -11,6 +11,7 @@ import (
 	"ttastartup/internal/mc"
 	"ttastartup/internal/mc/bmc"
 	"ttastartup/internal/mc/explicit"
+	"ttastartup/internal/mc/ic3"
 	"ttastartup/internal/mc/symbolic"
 )
 
@@ -222,6 +223,47 @@ func TestRandomSystemsEnginesAgree(t *testing.T) {
 		if symRes.Holds() && bmcRes.Verdict == mc.Violated {
 			t.Logf("seed %d: bmc found a violation of a proved invariant", seed)
 			return false
+		}
+		// IC3 is unbounded: its verdict must match symbolic exactly, with
+		// a proof (not a bounded pass) for every true invariant.
+		icRes, err := ic3.CheckInvariant(sys.Compile(), prop, ic3.Options{})
+		if err != nil {
+			t.Logf("seed %d: ic3: %v", seed, err)
+			return false
+		}
+		if symRes.Holds() {
+			if icRes.Verdict != mc.Holds {
+				t.Logf("seed %d: ic3 verdict %v on a proved invariant", seed, icRes.Verdict)
+				return false
+			}
+		} else {
+			if icRes.Verdict != mc.Violated {
+				t.Logf("seed %d: ic3 verdict %v on a violated invariant", seed, icRes.Verdict)
+				return false
+			}
+			if !replay(t, sys, prop, icRes.Trace) {
+				return false
+			}
+		}
+		// k-induction (no simple-path): sound in both directions, but may
+		// return holds-bounded — only definite verdicts are compared.
+		indRes, err := bmc.CheckInvariantInduction(sys.Compile(), prop, bmc.InductionOptions{MaxK: 30})
+		if err != nil {
+			t.Logf("seed %d: induction: %v", seed, err)
+			return false
+		}
+		if indRes.Verdict == mc.Holds && !symRes.Holds() {
+			t.Logf("seed %d: induction proved a violated invariant", seed)
+			return false
+		}
+		if indRes.Verdict == mc.Violated {
+			if symRes.Holds() {
+				t.Logf("seed %d: induction refuted a proved invariant", seed)
+				return false
+			}
+			if !replay(t, sys, prop, indRes.Trace) {
+				return false
+			}
 		}
 		if !symRes.Holds() {
 			// The violation is reachable; with the graph's BFS depth as

@@ -1,0 +1,208 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// guardedPigeonhole adds PHP(pigeons, holes) with every clause guarded by
+// a fresh activation literal, so the instance is hard-UNSAT only under the
+// returned assumption and the solver survives it for later queries.
+func guardedPigeonhole(s *Solver, pigeons, holes int) Lit {
+	act := Pos(s.NewVar())
+	vars := make([][]int, pigeons)
+	for p := range vars {
+		vars[p] = make([]int, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := range pigeons {
+		lits := []Lit{act.Not()}
+		for h := range holes {
+			lits = append(lits, Pos(vars[p][h]))
+		}
+		s.AddClause(lits...)
+	}
+	for h := range holes {
+		for p1 := range pigeons {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(act.Not(), Neg(vars[p1][h]), Neg(vars[p2][h]))
+			}
+		}
+	}
+	return act
+}
+
+func TestFinalConflictExact(t *testing.T) {
+	s := New()
+	p, x, y, z := s.NewVar(), s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(Neg(x), Pos(y))
+	s.AddClause(Neg(y), Pos(z))
+	if s.Solve(Pos(p), Pos(x), Neg(z)) {
+		t.Fatal("x ∧ ¬z should be unsat under the implication chain")
+	}
+	core := s.FinalConflict()
+	want := map[Lit]bool{Pos(x): true, Neg(z): true}
+	if len(core) != len(want) {
+		t.Fatalf("core = %v, want exactly {x, -z}", core)
+	}
+	for _, l := range core {
+		if !want[l] {
+			t.Errorf("core literal %v is not a conflicting assumption", l)
+		}
+	}
+	// The irrelevant assumption p must not pollute the core, and the core
+	// alone must still be unsatisfiable.
+	if s.Solve(Pos(x), Neg(z)) {
+		t.Error("core alone should be unsat")
+	}
+	if !s.Solve(Pos(p)) {
+		t.Error("dropping the core must make the query sat again")
+	}
+}
+
+func TestFinalConflictComplementaryAssumptions(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	s.AddClause(Pos(x), Neg(x)) // tautology; formula alone is sat
+	if s.Solve(Pos(x), Neg(x)) {
+		t.Fatal("x ∧ ¬x should be unsat")
+	}
+	core := s.FinalConflict()
+	if len(core) != 2 {
+		t.Fatalf("core = %v, want both complementary assumptions", core)
+	}
+	seen := map[Lit]bool{}
+	for _, l := range core {
+		seen[l] = true
+	}
+	if !seen[Pos(x)] || !seen[Neg(x)] {
+		t.Errorf("core = %v, want {x, -x}", core)
+	}
+}
+
+// TestFinalConflictEmptyOnUnsatFormula checks the contract that an empty
+// core means the formula is unsatisfiable without any assumptions.
+func TestFinalConflictEmptyOnUnsatFormula(t *testing.T) {
+	s := New()
+	free := s.NewVar()
+	pigeonhole(s, 4, 3)
+	if s.Solve(Pos(free)) {
+		t.Fatal("PHP(4,3) should be unsat regardless of assumptions")
+	}
+	if core := s.FinalConflict(); len(core) != 0 {
+		t.Errorf("core = %v, want empty (formula unsat on its own)", core)
+	}
+}
+
+// TestFinalConflictRandom cross-checks the core contract on random 3-SAT
+// instances under random assumption sets: the core is a subset of the
+// assumptions, and the same formula rebuilt in a fresh solver is already
+// unsatisfiable under the core alone.
+func TestFinalConflictRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nvars = 8
+	unsatSeen := 0
+	for iter := 0; iter < 300; iter++ {
+		var cnf [][]Lit
+		s := New()
+		for v := 0; v < nvars; v++ {
+			s.NewVar()
+		}
+		nclauses := 10 + rng.Intn(25)
+		for i := 0; i < nclauses; i++ {
+			var cl []Lit
+			for j := 0; j < 3; j++ {
+				v := 1 + rng.Intn(nvars)
+				if rng.Intn(2) == 0 {
+					cl = append(cl, Pos(v))
+				} else {
+					cl = append(cl, Neg(v))
+				}
+			}
+			cnf = append(cnf, cl)
+			s.AddClause(cl...)
+		}
+		var assumps []Lit
+		used := map[int]bool{}
+		for len(assumps) < 1+rng.Intn(nvars) {
+			v := 1 + rng.Intn(nvars)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			if rng.Intn(2) == 0 {
+				assumps = append(assumps, Pos(v))
+			} else {
+				assumps = append(assumps, Neg(v))
+			}
+		}
+		if s.Solve(assumps...) {
+			continue
+		}
+		unsatSeen++
+		core := s.FinalConflict()
+		inAssumps := map[Lit]bool{}
+		for _, a := range assumps {
+			inAssumps[a] = true
+		}
+		for _, l := range core {
+			if !inAssumps[l] {
+				t.Fatalf("iter %d: core literal %v not among assumptions %v", iter, l, assumps)
+			}
+		}
+		// Rebuild from scratch so no learnt state can hide an unsound core.
+		fresh := New()
+		for v := 0; v < nvars; v++ {
+			fresh.NewVar()
+		}
+		for _, cl := range cnf {
+			fresh.AddClause(cl...)
+		}
+		if fresh.Solve(core...) {
+			t.Fatalf("iter %d: formula sat under core %v (assumptions %v)", iter, core, assumps)
+		}
+	}
+	if unsatSeen == 0 {
+		t.Fatal("no unsat instance generated; test is vacuous")
+	}
+}
+
+// TestSetStopMidSolveReusable interrupts a hard query mid-search and then
+// requires the same solver to answer further incremental queries — both a
+// sat and an unsat one — correctly.
+func TestSetStopMidSolveReusable(t *testing.T) {
+	s := New()
+	act := guardedPigeonhole(s, 7, 6)
+	calls := 0
+	s.SetStop(func() bool { calls++; return calls >= 2 })
+	if s.Solve(act) {
+		t.Fatal("guarded PHP(7,6) must not report sat")
+	}
+	if !s.Stopped() {
+		t.Fatal("solve should have been interrupted by the stop probe")
+	}
+	if core := s.FinalConflict(); core != nil {
+		t.Errorf("interrupted solve must not report a core, got %v", core)
+	}
+	s.SetStop(nil)
+	// The solver must remain usable: a sat query with the guard released...
+	if !s.Solve(act.Not()) {
+		t.Fatal("deactivated instance should be sat")
+	}
+	if s.Stopped() {
+		t.Error("completed solve must clear Stopped")
+	}
+	// ...and the original hard query run to an honest unsat verdict.
+	if s.Solve(act) {
+		t.Fatal("guarded PHP(7,6) should be unsat")
+	}
+	if s.Stopped() {
+		t.Error("uninterrupted solve must not report Stopped")
+	}
+	core := s.FinalConflict()
+	if len(core) != 1 || core[0] != act {
+		t.Errorf("core = %v, want {act}", core)
+	}
+}

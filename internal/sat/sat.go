@@ -84,6 +84,8 @@ type Solver struct {
 
 	model []bool // snapshot of the last satisfying assignment
 
+	finalConflict []Lit // assumption core of the last UNSAT Solve
+
 	stop    func() bool // optional cancellation probe (see SetStop)
 	stopped bool        // last Solve call was interrupted by stop
 }
@@ -381,6 +383,7 @@ func (s *Solver) bumpClause(ci int) {
 // either outcome.
 func (s *Solver) Solve(assumptions ...Lit) bool {
 	s.stopped = false
+	s.finalConflict = nil
 	if s.unsat {
 		return false
 	}
@@ -460,6 +463,7 @@ func (s *Solver) search(budget int, assumptions []Lit) lbool {
 				s.trailLim = append(s.trailLim, len(s.trail))
 				continue
 			case lFalse:
+				s.finalConflict = s.analyzeFinal(a)
 				return lFalse // conflict with assumptions
 			}
 			next = a
@@ -474,6 +478,61 @@ func (s *Solver) search(budget int, assumptions []Lit) lbool {
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.uncheckedEnqueue(next, -1)
 	}
+}
+
+// FinalConflict returns the assumption core of the most recent Solve call:
+// a subset of its assumption literals under which the formula is already
+// unsatisfiable (MiniSat's analyzeFinal). An empty core means the formula
+// is unsatisfiable without any assumptions. The result is meaningful only
+// when Solve returned false and Stopped reports false; the slice is owned
+// by the solver and valid until the next Solve call.
+func (s *Solver) FinalConflict() []Lit { return s.finalConflict }
+
+// analyzeFinal computes the subset of the current assumptions responsible
+// for falsifying assumption a. Called from search at the moment the
+// assumption-application loop finds value(a) == lFalse: every decision
+// level on the trail is then an assumption level, so walking ¬a's
+// implication graph backwards and collecting the decisions it reaches
+// yields exactly the conflicting assumptions.
+func (s *Solver) analyzeFinal(a Lit) []Lit {
+	core := []Lit{a}
+	if len(s.trailLim) == 0 || s.vars[a.Var()].level == 0 {
+		// a is refuted by level-0 facts alone; no other assumption is
+		// involved (a itself stays in the core: the formula plus a is
+		// unsatisfiable, the formula alone need not be).
+		return core
+	}
+	var toClear []int
+	mark := func(v int) {
+		vs := &s.vars[v]
+		if !vs.seen && vs.level > 0 {
+			vs.seen = true
+			toClear = append(toClear, v)
+		}
+	}
+	mark(a.Var())
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		p := s.trail[i]
+		vs := &s.vars[p.Var()]
+		if !vs.seen {
+			continue
+		}
+		if vs.reason == -1 {
+			// A decision below the assumption-application point is itself
+			// an assumption; record it as applied on the trail. (When the
+			// assumptions contain both a and ¬a, p is a.Not() here and
+			// the two-literal core is the honest answer.)
+			core = append(core, p)
+		} else {
+			for _, q := range s.clauses[vs.reason].lits[1:] {
+				mark(q.Var())
+			}
+		}
+	}
+	for _, v := range toClear {
+		s.vars[v].seen = false
+	}
+	return core
 }
 
 func (s *Solver) pickBranch() Lit {
@@ -553,6 +612,70 @@ func (s *Solver) reduceDB() {
 		s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{clause: i, blocker: c.lits[0]})
 	}
 	s.maxLearnt *= 1.1
+}
+
+// Simplify removes clauses satisfied at decision level 0 and strips
+// level-0-false literals from the rest, compacting the clause database and
+// rebuilding the watch lists. Callers that retire activation-guarded
+// clauses by pinning the activation literal (e.g. IC3 consecution queries)
+// call this periodically so dead clauses stop burdening propagation. Must
+// be called between Solve calls; the solver stays equivalent.
+func (s *Solver) Simplify() {
+	if s.unsat {
+		return
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: Simplify above decision level 0")
+	}
+	if s.propagate() != -1 {
+		s.unsat = true
+		return
+	}
+	// Level-0 assignments are permanent, so their reason clauses are never
+	// walked again; drop the references before the clauses disappear.
+	for _, l := range s.trail {
+		s.vars[l.Var()].reason = -1
+	}
+	remap := make([]int32, len(s.clauses))
+	out := s.clauses[:0]
+	removedLearnt := 0
+outer:
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		kept := c.lits[:0]
+		for _, l := range c.lits {
+			switch s.value(l) {
+			case lTrue:
+				remap[i] = -1
+				if c.learnt {
+					removedLearnt++
+				}
+				continue outer
+			case lUndef:
+				kept = append(kept, l)
+			}
+		}
+		// Not satisfied, so at least two literals survive: a unit would
+		// have propagated above and an empty clause conflicted.
+		c.lits = kept
+		remap[i] = int32(len(out))
+		out = append(out, *c)
+	}
+	s.clauses = out
+	s.learntCount -= removedLearnt
+	for v := 1; v < len(s.vars); v++ {
+		if r := s.vars[v].reason; r >= 0 {
+			s.vars[v].reason = remap[r]
+		}
+	}
+	for li := range s.watches {
+		s.watches[li] = s.watches[li][:0]
+	}
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{clause: i, blocker: c.lits[1]})
+		s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{clause: i, blocker: c.lits[0]})
+	}
 }
 
 // Value returns the model value of variable v after a successful Solve.
