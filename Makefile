@@ -2,9 +2,9 @@ GO ?= go
 
 # `make check` is the tier-1 gate: formatting, vet, build, the full test
 # suite under the race detector, the static analyzer over every shipped
-# model configuration, and the campaign and IC3 smoke tests.
+# model configuration, and the campaign, IC3, and observability smoke tests.
 .PHONY: check
-check: fmt vet build race lint-models campaign-smoke ic3-smoke
+check: fmt vet build race lint-models campaign-smoke ic3-smoke obs-smoke
 
 .PHONY: fmt
 fmt:
@@ -60,3 +60,16 @@ ic3-smoke:
 	$(GO) run ./cmd/ttacampaign -n 3 -topologies bus -degrees 1 -lemmas safety \
 		-engines ic3 -delta-init 2 -quiet -heartbeat 0
 	$(GO) test -race -run 'TestIC3CancelMidRun|TestTTAEnginesAgree/bus' ./internal/mc/ic3/ ./internal/mc/
+
+# Observability smoke test: record a Chrome trace of an unbounded IC3 proof
+# on the bus model, then validate it with ttatrace — the trace must parse,
+# keep timestamps ordered, and carry spans from at least three layers
+# (engine, frame, sat).
+OBS_SMOKE_TRACE := .obs-smoke.trace.json
+.PHONY: obs-smoke
+obs-smoke:
+	@rm -f $(OBS_SMOKE_TRACE)
+	$(GO) run ./cmd/ttamc -model bus -n 3 -lemma safety -engine ic3 \
+		-delta-init 2 -trace $(OBS_SMOKE_TRACE) -metrics
+	$(GO) run ./cmd/ttatrace -min-cats 3 -min-events 100 $(OBS_SMOKE_TRACE)
+	@rm -f $(OBS_SMOKE_TRACE)

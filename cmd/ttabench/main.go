@@ -6,7 +6,8 @@
 //	ttabench -exp fig6b -full -n 3,4,5
 //	ttabench -exp bigbang -trace
 //	ttabench -exp fig4 -j 8           sweep on a worker pool
-//	ttabench -exp fig6a -json         campaign-store records on stdout
+//	ttabench -exp fig6a -json         campaign-store records on stdout,
+//	                                  metrics registry in BENCH_obs.json
 package main
 
 import (
@@ -17,10 +18,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ttastartup/internal/campaign"
 	"ttastartup/internal/core"
 	"ttastartup/internal/exp"
+	"ttastartup/internal/obs"
 )
 
 func main() {
@@ -39,8 +42,27 @@ func run() error {
 		trace   = flag.Bool("trace", false, "print counterexample traces (bigbang)")
 		workers = flag.Int("j", 0, "run sweep experiments (fig4, fig6a-d) on a campaign worker pool of this size (0: serial drivers)")
 		jsonOut = flag.Bool("json", false, "emit campaign-store JSONL records instead of tables (fig4, fig6a-d only)")
+		obsOut  = flag.String("obs-out", "", "write the final metrics registry as JSON to this file (default BENCH_obs.json with -json, off otherwise)")
 	)
 	flag.Parse()
+
+	if *obsOut == "" && *jsonOut {
+		*obsOut = "BENCH_obs.json"
+	}
+	if *obsOut != "" {
+		exp.Obs = obs.Scope{Reg: obs.NewRegistry()}
+		defer func() {
+			f, err := os.Create(*obsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ttabench: obs-out:", err)
+				return
+			}
+			defer f.Close()
+			if err := exp.Obs.Reg.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ttabench: obs-out:", err)
+			}
+		}()
+	}
 
 	scale := exp.Quick
 	if *full {
@@ -176,7 +198,7 @@ func run() error {
 				fmt.Println("clique counterexample (symbolic engine):")
 				// The suite's model is not exposed here; the bounded trace
 				// prints identically through the symbolic result's system.
-				fmt.Printf("(%d steps; run ttamc -no-big-bang -faulty-hub 0 -trace for the rendered trace)\n",
+				fmt.Printf("(%d steps; run ttamc -no-big-bang -faulty-hub 0 -cex for the rendered trace)\n",
 					broken.Symbolic.Trace.Len())
 			}
 		case "ablation":
@@ -225,13 +247,22 @@ func run() error {
 		return nil
 	}
 
+	// timedRun records per-experiment wall time into the obs registry so
+	// BENCH_obs.json carries a bench trajectory, not just engine counters.
+	timedRun := func(name string) error {
+		start := time.Now()
+		err := runOne(name)
+		exp.Obs.Reg.Counter("bench." + name + ".ms").Add(time.Since(start).Milliseconds())
+		return err
+	}
+
 	if *expName == "all" {
 		for _, name := range []string{"fig3", "fig5", "baseline", "campaign", "restart", "ablation", "bigbang", "wcsup", "feedback", "ic3", "fig4", "fig6a", "fig6c", "fig6d", "fig6b"} {
-			if err := runOne(name); err != nil {
+			if err := timedRun(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
 		return nil
 	}
-	return runOne(*expName)
+	return timedRun(*expName)
 }

@@ -13,6 +13,7 @@
 //	ttacampaign -n 3 -out results.jsonl -resume          (continue after a kill)
 //	ttacampaign -n 3 -timeout 30s -fallback-bmc          (rescue slow jobs)
 //	ttacampaign -n 3 -progress json | jq .               (machine-readable feed)
+//	ttacampaign -n 3 -trace out.json -metrics            (worker-pool trace)
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"ttastartup/internal/campaign"
 	"ttastartup/internal/core"
 	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/obs"
 )
 
 func main() {
@@ -66,11 +68,30 @@ func run() (int, error) {
 		cancelAfter = flag.Int("cancel-after", 0, "cancel the campaign gracefully after this many jobs finish (testing hook; 0: off)")
 		nodeLimit   = flag.Int("bdd-nodes", 0, "BDD node limit per job (0: default)")
 		bmcDepth    = flag.Int("depth", 0, "bmc unrolling depth (0: 2·w_sup)")
+		tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON file here (one lane per worker)")
+		spanlog     = flag.String("spanlog", "", "append one JSON line per finished span to this file")
+		metrics     = flag.Bool("metrics", false, "dump the metrics registry after the campaign")
+		pprofAddr   = flag.String("pprof", "", "serve /debug/pprof and /metricsz on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
+	scope, obsDone, err := obs.Setup(obs.SetupOptions{
+		TracePath: *tracePath,
+		SpanLog:   *spanlog,
+		Metrics:   *metrics,
+		PprofAddr: *pprofAddr,
+		MetricsW:  os.Stderr, // stdout may carry the JSON progress feed
+	})
+	if err != nil {
+		return 1, err
+	}
+	defer func() {
+		if derr := obsDone(); derr != nil {
+			fmt.Fprintln(os.Stderr, "ttacampaign: obs:", derr)
+		}
+	}()
+
 	spec := campaign.Spec{DeltaInit: *deltaInit}
-	var err error
 	if spec.Ns, err = parseInts(*ns); err != nil {
 		return 2, fmt.Errorf("-n: %w", err)
 	}
@@ -111,6 +132,7 @@ func run() (int, error) {
 		Options: core.Options{
 			Symbolic: symbolic.Options{BDD: bdd.Config{NodeLimit: *nodeLimit}},
 			BMCDepth: *bmcDepth,
+			Obs:      scope,
 		},
 	}
 	if *out != "" {

@@ -5,13 +5,15 @@
 // Examples:
 //
 //	ttamc -n 3 -faulty-node 1 -degree 6 -lemma safety,liveness
-//	ttamc -n 4 -faulty-hub 0 -lemma safety_2 -trace
-//	ttamc -n 3 -no-big-bang -faulty-hub 0 -lemma safety -trace   (Section 5.2)
+//	ttamc -n 4 -faulty-hub 0 -lemma safety_2 -cex
+//	ttamc -n 3 -no-big-bang -faulty-hub 0 -lemma safety -cex     (Section 5.2)
 //	ttamc -n 3 -engine bmc -depth 20 -lemma safety
 //	ttamc -n 3 -wcsup                                            (Section 5.3)
 //	ttamc -n 3 -restartable -recovery                            (Section 2.1 restart)
 //	ttamc -n 3 -no-interlinks -faulty-node 1 -lemma sanity       (future-work variant)
 //	ttamc -n 3 -dump-model                                       (SAL-like model dump)
+//	ttamc -model bus -lemma safety -engine ic3                   (original bus design)
+//	ttamc -lemma safety -trace out.json -metrics -pprof :6060    (observability)
 package main
 
 import (
@@ -21,14 +23,20 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ttastartup/internal/bdd"
 	"ttastartup/internal/core"
 	"ttastartup/internal/gcl"
 	"ttastartup/internal/gcl/lint"
 	"ttastartup/internal/mc"
+	"ttastartup/internal/mc/bmc"
 	"ttastartup/internal/mc/explicit"
+	"ttastartup/internal/mc/ic3"
 	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/obs"
+	"ttastartup/internal/tta"
+	"ttastartup/internal/tta/original"
 	"ttastartup/internal/tta/startup"
 )
 
@@ -39,7 +47,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		n          = flag.Int("n", 3, "cluster size (number of nodes)")
 		faultyNode = flag.Int("faulty-node", -1, "inject a faulty node with this id (-1: none)")
@@ -57,7 +65,7 @@ func run() error {
 		engine     = flag.String("engine", "symbolic", "engine: symbolic, explicit, bmc, induction, ic3")
 		depth      = flag.Int("depth", 0, "bmc unrolling depth (0: 2·w_sup)")
 		bound      = flag.Int("bound", 0, "timeliness bound in slots (0: w_sup + round)")
-		trace      = flag.Bool("trace", false, "print counterexample traces")
+		cex        = flag.Bool("cex", false, "print counterexample traces")
 		wcsup      = flag.Bool("wcsup", false, "explore the worst-case startup time (Section 5.3)")
 		recovery   = flag.Bool("recovery", false, "check the CTL recovery property AG(AF all-active)")
 		restart    = flag.Bool("restartable", false, "allow one transient restart per correct node (the Section 2.1 restart problem)")
@@ -65,8 +73,58 @@ func run() error {
 		timeout    = flag.Duration("timeout", 0, "per-lemma budget; exceeding it reports INCONCLUSIVE (deadline) (0: none)")
 		nodeLimit  = flag.Int("bdd-nodes", 0, "BDD node limit (0: default)")
 		lintMode   = flag.String("lint", "on", "static analysis gate: on (refuse error-level diagnostics), warn (also print warnings), off")
+		model      = flag.String("model", "hub", "topology: hub (star, central guardians) or bus (the paper's original design)")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON file here (view in chrome://tracing or Perfetto)")
+		spanlog    = flag.String("spanlog", "", "append one JSON line per finished span to this file")
+		metrics    = flag.Bool("metrics", false, "dump the metrics registry after the run")
+		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and /metricsz on this address (e.g. :6060)")
+		heartbeat  = flag.Duration("heartbeat", 0, "print a one-line progress summary at this interval (0: off)")
 	)
 	flag.Parse()
+
+	scope, obsDone, err := obs.Setup(obs.SetupOptions{
+		TracePath: *tracePath,
+		SpanLog:   *spanlog,
+		Metrics:   *metrics,
+		PprofAddr: *pprofAddr,
+		Heartbeat: *heartbeat,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if derr := obsDone(); derr != nil && err == nil {
+			err = derr
+		}
+	}()
+
+	if *model == "bus" {
+		// The bus model has exactly the paper's two properties and fault
+		// degrees 1..3; keep the hub defaults only when set explicitly.
+		lemmaSet, degSet := false, false
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "lemma":
+				lemmaSet = true
+			case "degree":
+				degSet = true
+			}
+		})
+		if !lemmaSet {
+			*lemmas = "safety,liveness"
+		}
+		if !degSet {
+			*degree = 3
+		}
+		if *faultyHub >= 0 || *wcsup || *recovery || *count || *restart {
+			return fmt.Errorf("-faulty-hub, -wcsup, -recovery, -count and -restartable apply to the hub model only")
+		}
+		return runBus(scope, *n, *faultyNode, *degree, *deltaInit, *lemmas,
+			*engine, *depth, *nodeLimit, *cex, *dumpModel, *lintMode, *timeout)
+	}
+	if *model != "hub" {
+		return fmt.Errorf("unknown -model %q (want hub or bus)", *model)
+	}
 
 	cfg := startup.DefaultConfig(*n)
 	cfg.FaultyNode = *faultyNode
@@ -86,6 +144,7 @@ func run() error {
 		Explicit:        explicit.Options{},
 		BMCDepth:        *depth,
 		TimelinessBound: *bound,
+		Obs:             scope,
 	}
 	suite, err := core.NewSuite(cfg, opts)
 	if err != nil {
@@ -177,7 +236,7 @@ func run() error {
 		printResult(res)
 		if !res.Holds() {
 			failed++
-			if *trace && res.Trace != nil {
+			if *cex && res.Trace != nil {
 				fmt.Println("counterexample timeline:")
 				fmt.Print(suite.Model.FormatTimeline(res.Trace))
 				fmt.Println("\nvariable-level trace:")
@@ -252,8 +311,134 @@ func printResult(res *mc.Result) {
 		extra += fmt.Sprintf("  frames=%d obligations=%d queries=%d core-shrink=%.2f",
 			stats.Iterations, stats.Obligations, stats.SATQueries, stats.CoreShrink)
 	case stats.Conflicts > 0:
-		extra += fmt.Sprintf("  conflicts=%d depth=%d", stats.Conflicts, stats.Iterations)
+		extra += fmt.Sprintf("  conflicts=%d propagations=%d depth=%d",
+			stats.Conflicts, stats.Propagations, stats.Iterations)
 	}
 	fmt.Printf("%-14s [%s] %-18s cpu=%v%s\n",
 		res.Property.Name, stats.Engine, res.Verdict, stats.Duration.Round(1000000), extra)
+}
+
+// runBus checks the paper's original bus topology (internal/tta/original):
+// no guardians, so only the safety and liveness lemmas exist.
+func runBus(scope obs.Scope, n, faultyNode, degree, deltaInit int, lemmas, engine string,
+	depth, nodeLimit int, cex, dumpModel bool, lintMode string, timeout time.Duration) error {
+	cfg := original.Config{
+		N:           n,
+		FaultyNode:  faultyNode,
+		FaultDegree: degree,
+		DeltaInit:   deltaInit,
+	}
+	if cfg.FaultyNode < 0 {
+		cfg.FaultDegree = 3 // degree is irrelevant but must validate
+	}
+	m, err := original.Build(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %s  (faulty-node=%d degree=%d δ_init=%d)\n",
+		m.Sys.Name, cfg.FaultyNode, cfg.FaultDegree, cfg.DeltaInit)
+	if err := lintGate(m.Sys, lintMode, nodeLimit); err != nil {
+		return err
+	}
+	if dumpModel {
+		return m.Sys.WriteModel(os.Stdout)
+	}
+
+	list, err := core.ParseLemmas(lemmas)
+	if err != nil {
+		return err
+	}
+	eng, err := core.ParseEngine(engine)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Symbolic: symbolic.Options{BDD: bdd.Config{NodeLimit: nodeLimit}},
+		BMCDepth: depth,
+		Obs:      scope,
+	}
+	opts.Normalize()
+	if opts.BMCDepth == 0 {
+		opts.BMCDepth = 2 * (tta.Params{N: n}).WorstCaseStartup()
+	}
+
+	failed := 0
+	for _, l := range list {
+		var prop mc.Property
+		switch l {
+		case core.LemmaSafety:
+			prop = m.Safety()
+		case core.LemmaLiveness:
+			prop = m.Liveness()
+		default:
+			return fmt.Errorf("bus model has no lemma %v (want safety or liveness)", l)
+		}
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		res, err := checkBusProp(ctx, m, prop, eng, opts)
+		if cancel != nil {
+			cancel()
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Printf("%-14s [%s] INCONCLUSIVE (deadline)  budget=%v\n", l, eng, timeout)
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("%v: %w", l, err)
+		}
+		printResult(res)
+		if !res.Holds() {
+			failed++
+			if cex && res.Trace != nil {
+				fmt.Println("counterexample trace:")
+				fmt.Println(res.Trace.Format(m.Sys))
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d lemma(s) violated", failed)
+	}
+	return nil
+}
+
+// checkBusProp dispatches one bus-model property to the chosen engine.
+func checkBusProp(ctx context.Context, m *original.Model, prop mc.Property, eng core.Engine, opts core.Options) (*mc.Result, error) {
+	switch eng {
+	case core.EngineSymbolic:
+		s, err := symbolic.New(m.Sys.Compile(), opts.Symbolic)
+		if err != nil {
+			return nil, err
+		}
+		if prop.Kind == mc.Eventually {
+			return s.CheckEventuallyCtx(ctx, prop)
+		}
+		return s.CheckInvariantCtx(ctx, prop)
+	case core.EngineExplicit:
+		if prop.Kind == mc.Eventually {
+			return explicit.CheckEventuallyCtx(ctx, m.Sys, prop, opts.Explicit)
+		}
+		return explicit.CheckInvariantCtx(ctx, m.Sys, prop, opts.Explicit)
+	case core.EngineBMC:
+		bopts := bmc.Options{MaxDepth: opts.BMCDepth, Obs: opts.Obs}
+		if prop.Kind == mc.Eventually {
+			return bmc.CheckEventuallyRefuteCtx(ctx, m.Sys.Compile(), prop, bopts)
+		}
+		return bmc.CheckInvariantCtx(ctx, m.Sys.Compile(), prop, bopts)
+	case core.EngineInduction:
+		if prop.Kind == mc.Eventually {
+			return nil, fmt.Errorf("k-induction cannot prove liveness")
+		}
+		return bmc.CheckInvariantInductionCtx(ctx, m.Sys.Compile(), prop,
+			bmc.InductionOptions{MaxK: opts.BMCDepth, Obs: opts.Obs})
+	case core.EngineIC3:
+		if prop.Kind == mc.Eventually {
+			return nil, fmt.Errorf("ic3 cannot prove liveness")
+		}
+		return ic3.CheckInvariantCtx(ctx, m.Sys.Compile(), prop, opts.IC3)
+	default:
+		return nil, fmt.Errorf("unknown engine %v", eng)
+	}
 }

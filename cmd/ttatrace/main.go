@@ -1,0 +1,122 @@
+// Command ttatrace validates and summarises Chrome trace_event JSON files
+// written by ttamc/ttacampaign -trace. It round-trips the file through the
+// JSON decoder, checks the invariants the viewer relies on (events present,
+// timestamps non-decreasing per thread, "X" events with non-negative
+// durations), and prints an event/category summary. The Makefile obs-smoke
+// target uses it as a machine check on a freshly recorded trace.
+//
+// Examples:
+//
+//	ttamc -model bus -lemma safety -engine ic3 -trace /tmp/t.json
+//	ttatrace /tmp/t.json
+//	ttatrace -min-cats 3 -min-events 100 /tmp/t.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// event mirrors the subset of the trace_event schema that obs emits.
+type event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ttatrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		minCats   = flag.Int("min-cats", 0, "fail unless the trace has at least this many distinct categories")
+		minEvents = flag.Int("min-events", 1, "fail unless the trace has at least this many events")
+		quiet     = flag.Bool("q", false, "suppress the summary; exit status only")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: ttatrace [flags] trace.json")
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
+	}
+	if len(tf.TraceEvents) < *minEvents {
+		return fmt.Errorf("%s: %d event(s), want at least %d", path, len(tf.TraceEvents), *minEvents)
+	}
+
+	cats := map[string]int{}
+	phases := map[string]int{}
+	lastTS := map[int]float64{} // per tid; obs sorts the stream by (ts, seq)
+	var prevTS float64
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X", "i", "C", "M":
+		default:
+			return fmt.Errorf("%s: event %d (%q): unknown phase %q", path, i, ev.Name, ev.Ph)
+		}
+		if ev.Ph != "M" { // metadata events carry no timestamp semantics
+			if ev.TS < prevTS {
+				return fmt.Errorf("%s: event %d (%q): timestamps out of order (%.1f after %.1f)", path, i, ev.Name, ev.TS, prevTS)
+			}
+			prevTS = ev.TS
+			if ev.TS < lastTS[ev.TID] {
+				return fmt.Errorf("%s: event %d (%q): tid %d goes back in time", path, i, ev.Name, ev.TID)
+			}
+			lastTS[ev.TID] = ev.TS
+		}
+		if ev.Ph == "X" && ev.Dur < 0 {
+			return fmt.Errorf("%s: event %d (%q): negative duration %.1f", path, i, ev.Name, ev.Dur)
+		}
+		if ev.Cat != "" {
+			cats[ev.Cat]++
+		}
+		phases[ev.Ph]++
+	}
+	if len(cats) < *minCats {
+		return fmt.Errorf("%s: %d distinct categor(ies) %v, want at least %d", path, len(cats), keys(cats), *minCats)
+	}
+
+	if !*quiet {
+		fmt.Printf("%s: ok — %d events, %d lanes\n", path, len(tf.TraceEvents), len(lastTS))
+		for _, c := range keys(cats) {
+			fmt.Printf("  cat %-10s %d\n", c, cats[c])
+		}
+		for _, p := range keys(phases) {
+			fmt.Printf("  ph  %-10s %d\n", p, phases[p])
+		}
+	}
+	return nil
+}
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

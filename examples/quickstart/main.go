@@ -93,6 +93,6 @@ func main() {
 	if allHold {
 		fmt.Println("\nall lemmas hold: the startup algorithm tolerates the faulty node.")
 	} else {
-		fmt.Println("\nLEMMA VIOLATED — rerun with ttamc -trace for the counterexample.")
+		fmt.Println("\nLEMMA VIOLATED — rerun with ttamc -cex for the counterexample.")
 	}
 }

@@ -8,6 +8,7 @@ package bdd
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Ref identifies a BDD node in a Manager. The constants False and True are
@@ -58,8 +59,15 @@ type Manager struct {
 	gcCount   int
 	permEpoch int32 // distinguishes permutations in the op cache
 
-	// Stats
-	gcFreed int
+	// Stats: plain fields — the manager is single-threaded and the cache
+	// probe is the hottest path in the symbolic engine. PublishObs flushes
+	// deltas to an attached obs registry at safe points.
+	gcFreed     int
+	gcPause     time.Duration
+	cacheHits   int
+	cacheMisses int
+
+	obs obsSinks
 }
 
 // Config tunes a Manager.
@@ -189,8 +197,10 @@ func (m *Manager) rehash() {
 func (m *Manager) cacheLookup(op int32, f, g, h Ref) (Ref, bool) {
 	e := &m.cache[hash3(op^int32(f), int32(g), int32(h))&uint64(len(m.cache)-1)]
 	if e.op == op && e.f == f && e.g == g && e.h == h {
+		m.cacheHits++
 		return e.result, true
 	}
+	m.cacheMisses++
 	return 0, false
 }
 

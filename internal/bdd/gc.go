@@ -1,5 +1,11 @@
 package bdd
 
+import (
+	"time"
+
+	"ttastartup/internal/obs"
+)
+
 // Protect registers f as an external root so that garbage collection keeps
 // it (and its cone) alive. Calls nest: a node protected twice needs two
 // Unprotects.
@@ -24,6 +30,8 @@ func (m *Manager) Unprotect(f Ref) {
 // points where no unprotected intermediate results are still needed. It
 // returns the number of nodes freed.
 func (m *Manager) GC(extra ...Ref) int {
+	gcStart := time.Now()
+	sp := m.obs.tracer.Start(obs.CatBDD, "gc")
 	marked := make([]bool, len(m.nodes))
 	marked[False] = true
 	marked[True] = true
@@ -68,6 +76,9 @@ func (m *Manager) GC(extra ...Ref) int {
 	}
 	m.gcCount++
 	m.gcFreed += freed
+	pause := time.Since(gcStart)
+	m.gcPause += pause
+	m.publishGC(sp, pause, freed)
 	return freed
 }
 

@@ -301,9 +301,12 @@ type RecordStats struct {
 	PeakNodes  int    `json:"peak_nodes,omitempty"`
 	Conflicts  int    `json:"conflicts,omitempty"`
 	// SAT-engine counters (bmc, induction, ic3).
-	SATQueries  int     `json:"sat_queries,omitempty"`
-	Obligations int     `json:"obligations,omitempty"`
-	CoreShrink  float64 `json:"core_shrink,omitempty"`
+	SATQueries   int     `json:"sat_queries,omitempty"`
+	Decisions    int     `json:"decisions,omitempty"`
+	Propagations int     `json:"propagations,omitempty"`
+	Restarts     int     `json:"restarts,omitempty"`
+	Obligations  int     `json:"obligations,omitempty"`
+	CoreShrink   float64 `json:"core_shrink,omitempty"`
 }
 
 // Wall returns the recorded wall time as a duration.

@@ -18,6 +18,7 @@ import (
 	"ttastartup/internal/mc/explicit"
 	"ttastartup/internal/mc/ic3"
 	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/obs"
 	"ttastartup/internal/tta"
 	"ttastartup/internal/tta/original"
 	"ttastartup/internal/tta/startup"
@@ -103,6 +104,11 @@ func RunJobs(ctx context.Context, jobs []Job, opts RunOptions) (*Report, error) 
 	}
 	workerJob := make([]string, nw) // current job ID per worker ("" idle)
 
+	scope := opts.Options.Obs
+	scope.Reg.Gauge(obs.MCampaignWorkers).Set(int64(nw))
+	cJobs := scope.Reg.Counter(obs.MCampaignJobs)
+	cBusy := scope.Reg.Counter(obs.MCampaignBusyMS)
+
 	snapshot := func() Snapshot {
 		s := Snapshot{
 			Total:   len(jobs),
@@ -135,7 +141,16 @@ func RunJobs(ctx context.Context, jobs []Job, opts RunOptions) (*Report, error) 
 				progress.JobStarted(w, job)
 				mu.Unlock()
 
+				// One span per job, on the worker's own trace lane (tid
+				// w+1) so the Chrome viewer shows pool utilisation.
+				sp := scope.Trace.StartOn(w+1, obs.CatCampaign, job.ID())
 				rec, err := runJob(ctx, job, opts)
+				if err == nil {
+					sp.Attr("verdict", rec.Verdict)
+					cJobs.Inc()
+					cBusy.Add(rec.WallMS)
+				}
+				sp.End()
 
 				mu.Lock()
 				workerJob[w] = ""
@@ -265,16 +280,19 @@ func fillResult(rec *Record, res *mc.Result, sys *gcl.System) {
 	}
 	st := res.Stats
 	rec.Stats = RecordStats{
-		Engine:      st.Engine,
-		StateBits:   st.StateBits,
-		BDDVars:     st.BDDVars,
-		Visited:     st.Visited,
-		Iterations:  st.Iterations,
-		PeakNodes:   st.PeakNodes,
-		Conflicts:   st.Conflicts,
-		SATQueries:  st.SATQueries,
-		Obligations: st.Obligations,
-		CoreShrink:  st.CoreShrink,
+		Engine:       st.Engine,
+		StateBits:    st.StateBits,
+		BDDVars:      st.BDDVars,
+		Visited:      st.Visited,
+		Iterations:   st.Iterations,
+		PeakNodes:    st.PeakNodes,
+		Conflicts:    st.Conflicts,
+		SATQueries:   st.SATQueries,
+		Decisions:    st.Decisions,
+		Propagations: st.Propagations,
+		Restarts:     st.Restarts,
+		Obligations:  st.Obligations,
+		CoreShrink:   st.CoreShrink,
 	}
 	if st.Reachable != nil {
 		rec.Stats.Reachable = st.Reachable.String()
@@ -339,6 +357,8 @@ func checkHub(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 }
 
 func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc.Result, *gcl.System, error) {
+	o := opts.Options
+	o.Normalize()
 	cfg := original.Config{
 		N:           job.N,
 		FaultyNode:  job.FaultyNode,
@@ -361,7 +381,7 @@ func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 	default:
 		return nil, nil, fmt.Errorf("campaign: bus topology has no lemma %q", job.Lemma)
 	}
-	depth := opts.Options.BMCDepth
+	depth := o.BMCDepth
 	if depth == 0 {
 		depth = 2 * (tta.Params{N: job.N}).WorstCaseStartup()
 	}
@@ -369,7 +389,7 @@ func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 	var res *mc.Result
 	switch engine {
 	case "symbolic":
-		eng, err := symbolic.New(m.Sys.Compile(), opts.Options.Symbolic)
+		eng, err := symbolic.New(m.Sys.Compile(), o.Symbolic)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -383,18 +403,18 @@ func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 		}
 	case "explicit":
 		if prop.Kind == mc.Eventually {
-			res, err = explicit.CheckEventuallyCtx(ctx, m.Sys, prop, opts.Options.Explicit)
+			res, err = explicit.CheckEventuallyCtx(ctx, m.Sys, prop, o.Explicit)
 		} else {
-			res, err = explicit.CheckInvariantCtx(ctx, m.Sys, prop, opts.Options.Explicit)
+			res, err = explicit.CheckInvariantCtx(ctx, m.Sys, prop, o.Explicit)
 		}
 		if err != nil {
 			return nil, nil, err
 		}
 	case "bmc":
 		if prop.Kind == mc.Eventually {
-			res, err = bmc.CheckEventuallyRefuteCtx(ctx, m.Sys.Compile(), prop, bmc.Options{MaxDepth: depth})
+			res, err = bmc.CheckEventuallyRefuteCtx(ctx, m.Sys.Compile(), prop, bmc.Options{MaxDepth: depth, Obs: o.Obs})
 		} else {
-			res, err = bmc.CheckInvariantCtx(ctx, m.Sys.Compile(), prop, bmc.Options{MaxDepth: depth})
+			res, err = bmc.CheckInvariantCtx(ctx, m.Sys.Compile(), prop, bmc.Options{MaxDepth: depth, Obs: o.Obs})
 		}
 		if err != nil {
 			return nil, nil, err
@@ -403,7 +423,7 @@ func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 		if prop.Kind == mc.Eventually {
 			return nil, nil, fmt.Errorf("campaign: k-induction cannot prove liveness")
 		}
-		res, err = bmc.CheckInvariantInductionCtx(ctx, m.Sys.Compile(), prop, bmc.InductionOptions{MaxK: depth})
+		res, err = bmc.CheckInvariantInductionCtx(ctx, m.Sys.Compile(), prop, bmc.InductionOptions{MaxK: depth, Obs: o.Obs})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -411,7 +431,7 @@ func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 		if prop.Kind == mc.Eventually {
 			return nil, nil, fmt.Errorf("campaign: ic3 cannot prove liveness")
 		}
-		res, err = ic3.CheckInvariantCtx(ctx, m.Sys.Compile(), prop, opts.Options.IC3)
+		res, err = ic3.CheckInvariantCtx(ctx, m.Sys.Compile(), prop, o.IC3)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -18,6 +18,7 @@ import (
 	"ttastartup/internal/mc/explicit"
 	"ttastartup/internal/mc/ic3"
 	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/obs"
 	"ttastartup/internal/tta/startup"
 )
 
@@ -204,6 +205,25 @@ type Options struct {
 	TimelinessBound int
 	// IC3 configures the IC3/PDR engine.
 	IC3 ic3.Options
+	// Obs is inherited by every engine whose own Obs is unset, so one scope
+	// instruments the whole suite. The zero value disables instrumentation.
+	Obs obs.Scope
+}
+
+// Normalize propagates the suite-level scope into each engine's options
+// unless that engine already has its own. NewSuite calls it; callers that
+// construct engines directly from the per-engine option structs (the
+// campaign's bus jobs) should call it first.
+func (o *Options) Normalize() {
+	if !o.Symbolic.Obs.Enabled() {
+		o.Symbolic.Obs = o.Obs
+	}
+	if !o.Explicit.Obs.Enabled() {
+		o.Explicit.Obs = o.Obs
+	}
+	if !o.IC3.Obs.Enabled() {
+		o.IC3.Obs = o.Obs
+	}
 }
 
 // Suite verifies the startup model of one configuration. Engines and the
@@ -224,6 +244,7 @@ func NewSuite(cfg startup.Config, opts Options) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.Normalize()
 	return &Suite{Cfg: cfg, Model: model, opts: opts}, nil
 }
 
@@ -317,9 +338,9 @@ func (s *Suite) CheckCtx(ctx context.Context, l Lemma, e Engine) (*mc.Result, er
 			depth = 2 * s.Model.P.WorstCaseStartup()
 		}
 		if prop.Kind == mc.Eventually {
-			return bmc.CheckEventuallyRefuteCtx(ctx, s.Compiled(), prop, bmc.Options{MaxDepth: depth})
+			return bmc.CheckEventuallyRefuteCtx(ctx, s.Compiled(), prop, bmc.Options{MaxDepth: depth, Obs: s.opts.Obs})
 		}
-		return bmc.CheckInvariantCtx(ctx, s.Compiled(), prop, bmc.Options{MaxDepth: depth})
+		return bmc.CheckInvariantCtx(ctx, s.Compiled(), prop, bmc.Options{MaxDepth: depth, Obs: s.opts.Obs})
 	case EngineInduction:
 		if prop.Kind == mc.Eventually {
 			return nil, fmt.Errorf("core: k-induction cannot prove liveness lemma %v", l)
@@ -328,7 +349,7 @@ func (s *Suite) CheckCtx(ctx context.Context, l Lemma, e Engine) (*mc.Result, er
 		if depth == 0 {
 			depth = 2 * s.Model.P.WorstCaseStartup()
 		}
-		return bmc.CheckInvariantInductionCtx(ctx, s.Compiled(), prop, bmc.InductionOptions{MaxK: depth})
+		return bmc.CheckInvariantInductionCtx(ctx, s.Compiled(), prop, bmc.InductionOptions{MaxK: depth, Obs: s.opts.Obs})
 	case EngineIC3:
 		if prop.Kind == mc.Eventually {
 			return nil, fmt.Errorf("core: ic3 cannot prove liveness lemma %v", l)

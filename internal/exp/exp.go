@@ -19,11 +19,18 @@ import (
 	"ttastartup/internal/mc"
 	"ttastartup/internal/mc/explicit"
 	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/obs"
 	"ttastartup/internal/tta"
 	"ttastartup/internal/tta/original"
 	"ttastartup/internal/tta/sim"
 	"ttastartup/internal/tta/startup"
 )
+
+// Obs, when set before an experiment runs, instruments every suite and
+// campaign the experiments construct (ttabench uses it for BENCH_obs.json).
+// The experiments are driver code, not a library API, so a package variable
+// keeps the dozens of experiment signatures stable.
+var Obs obs.Scope
 
 // Scale selects experiment sizing.
 type Scale int
@@ -65,6 +72,7 @@ func (s Scale) suite(cfg startup.Config) (*core.Suite, error) {
 	}
 	return core.NewSuite(cfg, core.Options{
 		Symbolic: symbolic.Options{BDD: s.bddConfig(), NoTrace: true},
+		Obs:      Obs,
 	})
 }
 
@@ -643,7 +651,7 @@ func BigBang(scale Scale, n int) (*core.BigBangResult, *mc.Result, string, error
 	if cfg.DeltaInit == 0 {
 		cfg.DeltaInit = 2 * n // keep the BMC unrolling tractable at full scale
 	}
-	opts := core.Options{Symbolic: symbolic.Options{BDD: scale.bddConfig()}}
+	opts := core.Options{Symbolic: symbolic.Options{BDD: scale.bddConfig()}, Obs: Obs}
 	broken, err := core.BigBangExploration(cfg, opts)
 	if err != nil {
 		return nil, nil, "", err

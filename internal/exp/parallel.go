@@ -23,6 +23,7 @@ func campaignOpts(scale Scale, workers int, progress campaign.Progress) campaign
 		Progress: progress,
 		Options: core.Options{
 			Symbolic: symbolic.Options{BDD: scale.bddConfig(), NoTrace: true},
+			Obs:      Obs,
 		},
 	}
 }

@@ -9,11 +9,11 @@ package bmc
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"ttastartup/internal/circuit"
 	"ttastartup/internal/gcl"
 	"ttastartup/internal/mc"
+	"ttastartup/internal/obs"
 	"ttastartup/internal/sat"
 )
 
@@ -26,6 +26,9 @@ type Options struct {
 	MaxDepth int
 	// MinDepth is the first depth to check (default 0: initial states).
 	MinDepth int
+	// Obs receives per-depth frame spans, per-query SAT spans and counter
+	// flushes, and the engine span. The zero value disables instrumentation.
+	Obs obs.Scope
 }
 
 // Checker incrementally unrolls a compiled system into a single SAT solver.
@@ -42,13 +45,22 @@ type Checker struct {
 	// tseitinMemo[t] caches gate encodings per frame: circuit node -> lit.
 	tseitinMemo []map[circuit.Lit]sat.Lit
 	depth       int // number of fully-encoded transition steps
-	queries     int // SAT queries issued so far
+
+	// tap routes every query through the shared SAT accounting path
+	// (query count, per-query spans, registry counter flushes).
+	tap *mc.SATTap
 }
 
-// solve wraps the solver call, counting queries for Stats.SATQueries.
+// solve issues one query through the tap, the single accounting path
+// shared by all SAT engines.
 func (c *Checker) solve(assumps ...sat.Lit) bool {
-	c.queries++
-	return c.solver.Solve(assumps...)
+	return c.tap.Solve(assumps...)
+}
+
+// attachObs routes the checker's queries through scope. Call before the
+// first query; it resets the tap's query count.
+func (c *Checker) attachObs(scope obs.Scope) {
+	c.tap = mc.NewSATTap(scope, c.solver)
 }
 
 // NewChecker prepares an incremental bounded checker; frame 0 is
@@ -58,6 +70,7 @@ func NewChecker(comp *gcl.Compiled) *Checker {
 		comp:   comp,
 		solver: sat.New(),
 	}
+	c.tap = mc.NewSATTap(obs.Scope{}, c.solver)
 	c.frameVars = append(c.frameVars, c.newFrame())
 	c.tseitinMemo = append(c.tseitinMemo, make(map[circuit.Lit]sat.Lit))
 	c.assertLit(c.encode(comp.Init, 0))
@@ -196,49 +209,55 @@ func CheckInvariantCtx(ctx context.Context, comp *gcl.Compiled, prop mc.Property
 	if opts.MaxDepth <= 0 {
 		return nil, fmt.Errorf("bmc: MaxDepth must be positive")
 	}
-	start := time.Now()
+	run := mc.StartRun(opts.Obs, EngineName, prop.Name)
 	c := NewChecker(comp)
+	c.attachObs(opts.Obs)
 	interrupted := c.bindCtx(ctx)
 	badCircuit := comp.CompileExpr(prop.Pred).Not()
 
 	res := &mc.Result{Property: prop, Verdict: mc.HoldsBounded}
 	for k := opts.MinDepth; k <= opts.MaxDepth; k++ {
 		if err := ctx.Err(); err != nil {
+			run.Abort(err)
 			return nil, err
 		}
+		sp := opts.Obs.Trace.Start(obs.CatFrame, fmt.Sprintf("k=%d", k))
 		c.extendTo(k)
 		bad := c.encode(badCircuit, k)
-		if c.solve(bad) {
+		sat := c.solve(bad)
+		sp.End()
+		if sat {
 			states := make([]gcl.State, k+1)
 			for t := 0; t <= k; t++ {
 				states[t] = c.stateAt(t)
 			}
 			res.Verdict = mc.Violated
 			res.Trace = mc.NewTrace(states)
-			res.Stats = c.stats(start, k)
+			c.fillStats(&run.Stats, k)
+			res.Stats = run.Finish(res.Verdict)
 			return res, nil
 		}
 		if err := interrupted(); err != nil {
+			run.Abort(err)
 			return nil, err
 		}
 	}
-	res.Stats = c.stats(start, opts.MaxDepth)
+	c.fillStats(&run.Stats, opts.MaxDepth)
+	res.Stats = run.Finish(res.Verdict)
 	return res, nil
 }
 
-func (c *Checker) stats(start time.Time, depth int) mc.Stats {
+// fillStats writes the checker's measurements into st through the shared
+// tap path; counters accumulate so a second checker's tap can be added
+// on top (k-induction).
+func (c *Checker) fillStats(st *mc.Stats, depth int) {
 	bits := 0
 	for _, v := range c.comp.Sys.StateVars() {
 		bits += v.Type.Bits()
 	}
-	return mc.Stats{
-		Engine:     EngineName,
-		Duration:   time.Since(start),
-		StateBits:  bits,
-		Iterations: depth,
-		Conflicts:  c.solver.Conflicts(),
-		SATQueries: c.queries,
-	}
+	st.StateBits = bits
+	st.Iterations = depth
+	c.tap.FillStats(st)
 }
 
 // NumSATVars exposes the solver's variable count (diagnostics).

@@ -3,11 +3,11 @@ package bmc
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"ttastartup/internal/circuit"
 	"ttastartup/internal/gcl"
 	"ttastartup/internal/mc"
+	"ttastartup/internal/obs"
 	"ttastartup/internal/sat"
 )
 
@@ -20,6 +20,9 @@ type InductionOptions struct {
 	// quadratic clause cost). Without it the prover may return
 	// HoldsBounded even for true invariants.
 	SimplePath bool
+	// Obs receives per-depth frame spans, per-query SAT spans and counter
+	// flushes, and the engine span. The zero value disables instrumentation.
+	Obs obs.Scope
 }
 
 // CheckInvariantInduction attempts an UNBOUNDED proof of G(pred) by
@@ -43,13 +46,15 @@ func CheckInvariantInductionCtx(ctx context.Context, comp *gcl.Compiled, prop mc
 	if opts.MaxK <= 0 {
 		return nil, fmt.Errorf("bmc: MaxK must be positive")
 	}
-	start := time.Now()
+	run := mc.StartRun(opts.Obs, EngineName, prop.Name)
 
 	// Base-case checker: standard BMC, initial states constrained.
 	base := NewChecker(comp)
+	base.attachObs(opts.Obs)
 	baseInterrupted := base.bindCtx(ctx)
 	// Step checker: no initial-state constraint — any run of the system.
 	step := newCheckerNoInit(comp)
+	step.attachObs(opts.Obs)
 	stepInterrupted := step.bindCtx(ctx)
 
 	predLit := comp.CompileExpr(prop.Pred)
@@ -65,23 +70,28 @@ func CheckInvariantInductionCtx(ctx context.Context, comp *gcl.Compiled, prop mc
 	res := &mc.Result{Property: prop, Verdict: mc.HoldsBounded}
 	for k := 0; k <= opts.MaxK; k++ {
 		if err := ctx.Err(); err != nil {
+			run.Abort(err)
 			return nil, err
 		}
+		sp := opts.Obs.Trace.Start(obs.CatFrame, fmt.Sprintf("k=%d", k))
 		// Base: violation at exactly depth k?
 		base.extendTo(k)
 		if base.solve(base.encode(predLit.Not(), k)) {
+			sp.Attr("phase", "base").End()
 			states := make([]gcl.State, k+1)
 			for t := 0; t <= k; t++ {
 				states[t] = base.stateAt(t)
 			}
 			res.Verdict = mc.Violated
 			res.Trace = mc.NewTrace(states)
-			res.Stats = base.stats(start, k)
-			res.Stats.Conflicts += step.solver.Conflicts()
-			res.Stats.SATQueries += step.queries
+			base.fillStats(&run.Stats, k)
+			step.tap.FillStats(&run.Stats)
+			res.Stats = run.Finish(res.Verdict)
 			return res, nil
 		}
 		if err := baseInterrupted(); err != nil {
+			sp.End()
+			run.Abort(err)
 			return nil, err
 		}
 
@@ -94,20 +104,23 @@ func CheckInvariantInductionCtx(ctx context.Context, comp *gcl.Compiled, prop mc
 		if opts.SimplePath {
 			step.assertDistinct(curIDs, k+1)
 		}
-		if !step.solve(step.encode(predLit.Not(), k+1)) {
+		proved := !step.solve(step.encode(predLit.Not(), k+1))
+		sp.End()
+		if proved {
 			if err := stepInterrupted(); err != nil {
+				run.Abort(err)
 				return nil, err
 			}
 			res.Verdict = mc.Holds
-			res.Stats = step.stats(start, k)
-			res.Stats.Conflicts += base.solver.Conflicts()
-			res.Stats.SATQueries += base.queries
+			step.fillStats(&run.Stats, k)
+			base.tap.FillStats(&run.Stats)
+			res.Stats = run.Finish(res.Verdict)
 			return res, nil
 		}
 	}
-	res.Stats = base.stats(start, opts.MaxK)
-	res.Stats.Conflicts += step.solver.Conflicts()
-	res.Stats.SATQueries += step.queries
+	base.fillStats(&run.Stats, opts.MaxK)
+	step.tap.FillStats(&run.Stats)
+	res.Stats = run.Finish(res.Verdict)
 	return res, nil
 }
 
@@ -118,6 +131,7 @@ func newCheckerNoInit(comp *gcl.Compiled) *Checker {
 		comp:   comp,
 		solver: sat.New(),
 	}
+	c.tap = mc.NewSATTap(obs.Scope{}, c.solver)
 	c.frameVars = append(c.frameVars, c.newFrame())
 	c.tseitinMemo = append(c.tseitinMemo, make(map[circuit.Lit]sat.Lit))
 	return c

@@ -3,10 +3,10 @@ package bmc
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"ttastartup/internal/gcl"
 	"ttastartup/internal/mc"
+	"ttastartup/internal/obs"
 	"ttastartup/internal/sat"
 )
 
@@ -28,8 +28,9 @@ func CheckEventuallyRefuteCtx(ctx context.Context, comp *gcl.Compiled, prop mc.P
 	if opts.MaxDepth <= 0 {
 		return nil, fmt.Errorf("bmc: MaxDepth must be positive")
 	}
-	start := time.Now()
+	run := mc.StartRun(opts.Obs, EngineName, prop.Name)
 	c := NewChecker(comp)
+	c.attachObs(opts.Obs)
 	interrupted := c.bindCtx(ctx)
 	notP := comp.CompileExpr(prop.Pred).Not()
 
@@ -48,8 +49,10 @@ func CheckEventuallyRefuteCtx(ctx context.Context, comp *gcl.Compiled, prop mc.P
 
 	for k := 1; k <= opts.MaxDepth; k++ {
 		if err := ctx.Err(); err != nil {
+			run.Abort(err)
 			return nil, err
 		}
+		sp := opts.Obs.Trace.Start(obs.CatFrame, fmt.Sprintf("k=%d", k))
 		c.extendTo(k)
 		c.assertLit(c.encode(notP, k))
 
@@ -72,7 +75,9 @@ func CheckEventuallyRefuteCtx(ctx context.Context, comp *gcl.Compiled, prop mc.P
 		clause = append(clause, act.Not())
 		c.solver.AddClause(clause...)
 
-		if c.solve(act) {
+		found := c.solve(act)
+		sp.End()
+		if found {
 			// Decode the lasso; find the loop target.
 			states := make([]gcl.State, k)
 			for t := range k {
@@ -90,10 +95,12 @@ func CheckEventuallyRefuteCtx(ctx context.Context, comp *gcl.Compiled, prop mc.P
 			}
 			res.Verdict = mc.Violated
 			res.Trace = &mc.Trace{States: states, LoopsTo: loopTo}
-			res.Stats = c.stats(start, k)
+			c.fillStats(&run.Stats, k)
+			res.Stats = run.Finish(res.Verdict)
 			return res, nil
 		}
 		if err := interrupted(); err != nil {
+			run.Abort(err)
 			return nil, err
 		}
 		// Deactivate this depth's loop requirement for the next rounds
@@ -101,6 +108,7 @@ func CheckEventuallyRefuteCtx(ctx context.Context, comp *gcl.Compiled, prop mc.P
 		// selectors free).
 		c.solver.AddClause(act.Not())
 	}
-	res.Stats = c.stats(start, opts.MaxDepth)
+	c.fillStats(&run.Stats, opts.MaxDepth)
+	res.Stats = run.Finish(res.Verdict)
 	return res, nil
 }

@@ -10,10 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
-	"time"
 
 	"ttastartup/internal/gcl"
 	"ttastartup/internal/mc"
+	"ttastartup/internal/obs"
 )
 
 // ctxStride is how many BFS head advances pass between context polls: the
@@ -35,6 +35,53 @@ type Options struct {
 	// StoreEdges retains the successor adjacency, needed by liveness
 	// checking; invariant checking leaves it off to save memory.
 	StoreEdges bool
+	// Obs receives frontier/visited gauges per BFS layer and the engine
+	// span. The zero value disables instrumentation.
+	Obs obs.Scope
+}
+
+// layerObs tracks BFS layer boundaries: the BFS queue is flat, so layer
+// k ends when the head reaches the index the queue had when layer k-1
+// finished. tick publishes the per-layer gauges and counter events; the
+// bookkeeping itself (one compare per state) always runs so engines can
+// report the BFS depth in Stats even without a scope attached.
+type layerObs struct {
+	scope    obs.Scope
+	visited  *obs.Gauge
+	frontier *obs.Gauge
+	layers   *obs.Gauge
+	layer    int
+	layerEnd int
+}
+
+func newLayerObs(scope obs.Scope, boundary int) *layerObs {
+	return &layerObs{
+		scope:    scope,
+		visited:  scope.Reg.Gauge(obs.MExplicitVisited),
+		frontier: scope.Reg.Gauge(obs.MExplicitFrontier),
+		layers:   scope.Reg.Gauge(obs.MExplicitLayers),
+		layerEnd: boundary,
+	}
+}
+
+func (lo *layerObs) tick(head, total int) {
+	if head != lo.layerEnd {
+		return
+	}
+	lo.layer++
+	lo.visited.Set(int64(total))
+	lo.frontier.Set(int64(total - lo.layerEnd))
+	lo.layers.Set(int64(lo.layer))
+	lo.scope.Trace.CounterEvent(obs.CatEngine, obs.MExplicitVisited, int64(total))
+	lo.scope.Trace.CounterEvent(obs.CatEngine, obs.MExplicitFrontier, int64(total-lo.layerEnd))
+	lo.layerEnd = total
+}
+
+// finish publishes the final totals once exploration stops.
+func (lo *layerObs) finish(total int) {
+	lo.visited.Set(int64(total))
+	lo.frontier.Set(0)
+	lo.layers.Set(int64(lo.layer))
 }
 
 func (o Options) maxStates() int {
@@ -53,6 +100,7 @@ type Graph struct {
 	Edges     [][]int32        // successor adjacency (nil unless StoreEdges)
 	InitCount int              // states[0:InitCount] are the initial states
 	Deadlocks []int32          // indices of deadlocked states
+	Layers    int              // BFS depth: number of completed frontier layers
 }
 
 // NumStates returns the number of distinct reachable states.
@@ -105,7 +153,9 @@ func ExploreCtx(ctx context.Context, sys *gcl.System, opts Options) (*Graph, err
 	}
 	g.InitCount = len(g.States)
 
+	lo := newLayerObs(opts.Obs, len(g.States))
 	for head := 0; head < len(g.States); head++ {
+		lo.tick(head, len(g.States))
 		if head%ctxStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -133,6 +183,8 @@ func ExploreCtx(ctx context.Context, sys *gcl.System, opts Options) (*Graph, err
 			g.Deadlocks = append(g.Deadlocks, headIdx)
 		}
 	}
+	lo.finish(len(g.States))
+	g.Layers = lo.layer
 	return g, nil
 }
 
@@ -161,7 +213,7 @@ func CheckInvariantCtx(ctx context.Context, sys *gcl.System, prop mc.Property, o
 	if prop.Kind != mc.Invariant {
 		return nil, fmt.Errorf("explicit: CheckInvariant on %v property", prop.Kind)
 	}
-	start := time.Now()
+	run := mc.StartRun(opts.Obs, EngineName, prop.Name)
 	stepper := gcl.NewStepper(sys)
 	vars := sys.StateVars()
 	limit := opts.maxStates()
@@ -193,9 +245,12 @@ func CheckInvariantCtx(ctx context.Context, sys *gcl.System, prop mc.Property, o
 	}
 
 	stepper.InitStates(func(st gcl.State) bool { return add(st, -1) })
+	lo := newLayerObs(opts.Obs, len(states))
 	for head := 0; head < len(states) && bad == -1 && exploreErr == nil; head++ {
+		lo.tick(head, len(states))
 		if head%ctxStride == 0 {
 			if err := ctx.Err(); err != nil {
+				run.Abort(err)
 				return nil, err
 			}
 		}
@@ -205,26 +260,23 @@ func CheckInvariantCtx(ctx context.Context, sys *gcl.System, prop mc.Property, o
 		})
 	}
 	if exploreErr != nil {
+		run.Abort(exploreErr)
 		return nil, exploreErr
 	}
+	lo.finish(len(states))
 
-	res := &mc.Result{
-		Property: prop,
-		Verdict:  mc.Holds,
-		Stats: mc.Stats{
-			Engine:    EngineName,
-			Duration:  time.Since(start),
-			Visited:   len(states),
-			Reachable: big.NewInt(int64(len(states))),
-			StateBits: stateBits(sys),
-		},
-	}
+	run.Stats.Visited = len(states)
+	run.Stats.Iterations = lo.layer
+	run.Stats.Reachable = big.NewInt(int64(len(states)))
+	run.Stats.StateBits = stateBits(sys)
+	res := &mc.Result{Property: prop, Verdict: mc.Holds}
 	if bad >= 0 {
 		res.Verdict = mc.Violated
 		g := &Graph{Sys: sys, States: states, Parents: parents}
 		res.Trace = g.tracePath(bad)
-		res.Stats.Reachable = nil // exploration stopped early
+		run.Stats.Reachable = nil // exploration stopped early
 	}
+	res.Stats = run.Finish(res.Verdict)
 	return res, nil
 }
 
@@ -245,10 +297,11 @@ func CheckEventuallyCtx(ctx context.Context, sys *gcl.System, prop mc.Property, 
 	if prop.Kind != mc.Eventually {
 		return nil, fmt.Errorf("explicit: CheckEventually on %v property", prop.Kind)
 	}
-	start := time.Now()
+	run := mc.StartRun(opts.Obs, EngineName, prop.Name)
 	opts.StoreEdges = true
 	g, err := ExploreCtx(ctx, sys, opts)
 	if err != nil {
+		run.Abort(err)
 		return nil, err
 	}
 
@@ -262,6 +315,7 @@ func CheckEventuallyCtx(ctx context.Context, sys *gcl.System, prop mc.Property, 
 	}
 	for changed := true; changed; {
 		if err := ctx.Err(); err != nil {
+			run.Abort(err)
 			return nil, err
 		}
 		changed = false
@@ -283,17 +337,11 @@ func CheckEventuallyCtx(ctx context.Context, sys *gcl.System, prop mc.Property, 
 		}
 	}
 
-	res := &mc.Result{
-		Property: prop,
-		Verdict:  mc.Holds,
-		Stats: mc.Stats{
-			Engine:    EngineName,
-			Duration:  time.Since(start),
-			Visited:   n,
-			Reachable: big.NewInt(int64(n)),
-			StateBits: stateBits(sys),
-		},
-	}
+	run.Stats.Visited = n
+	run.Stats.Iterations = g.Layers
+	run.Stats.Reachable = big.NewInt(int64(n))
+	run.Stats.StateBits = stateBits(sys)
+	res := &mc.Result{Property: prop, Verdict: mc.Holds}
 
 	for i := 0; i < g.InitCount; i++ {
 		if !inSet[i] {
@@ -303,6 +351,7 @@ func CheckEventuallyCtx(ctx context.Context, sys *gcl.System, prop mc.Property, 
 		res.Trace = lassoTrace(g, inSet, int32(i))
 		break
 	}
+	res.Stats = run.Finish(res.Verdict)
 	return res, nil
 }
 

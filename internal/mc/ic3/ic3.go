@@ -17,11 +17,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"ttastartup/internal/circuit"
 	"ttastartup/internal/gcl"
 	"ttastartup/internal/mc"
+	"ttastartup/internal/obs"
 	"ttastartup/internal/sat"
 )
 
@@ -40,6 +40,10 @@ type Options struct {
 	// Progress, when non-nil, is called with a counter snapshot whenever a
 	// frame opens and after every blocked obligation (diagnostics).
 	Progress func(frames, clauses, inf, obligations, queries int)
+	// Obs receives per-frame spans, per-query SAT spans and counter flushes,
+	// obligation/core counters, and the engine span. The zero value disables
+	// instrumentation.
+	Obs obs.Scope
 }
 
 // clit is one cube literal: circuit input id (a current-state bit) = val.
@@ -193,6 +197,16 @@ type engine struct {
 	obligations int
 	coreKept    int
 	coreTotal   int
+
+	// Observability sinks: the tap is the single SAT accounting path; the
+	// remaining handles are resolved once in newEngine (all nil-safe).
+	tap        *mc.SATTap
+	frameSpan  *obs.Span
+	gFrames    *obs.Gauge
+	gQueue     *obs.Gauge
+	cObls      *obs.Counter
+	cCoreKept  *obs.Counter
+	cCoreTotal *obs.Counter
 }
 
 // frameGen returns a generation counter for Fi: the number of clauses ever
@@ -214,6 +228,12 @@ func newEngine(ctx context.Context, comp *gcl.Compiled, prop mc.Property, opts O
 		solver: sat.New(),
 		memo:   make(map[circuit.Lit]sat.Lit),
 	}
+	e.tap = mc.NewSATTap(opts.Obs, e.solver)
+	e.gFrames = opts.Obs.Reg.Gauge(obs.MIC3Frames)
+	e.gQueue = opts.Obs.Reg.Gauge(obs.MIC3QueueDepth)
+	e.cObls = opts.Obs.Reg.Counter(obs.MIC3Obligations)
+	e.cCoreKept = opts.Obs.Reg.Counter(obs.MIC3CoreKept)
+	e.cCoreTotal = opts.Obs.Reg.Counter(obs.MIC3CoreTotal)
 	e.vars = make([]int, comp.NumInputs())
 	for id := range e.vars {
 		e.vars[id] = e.solver.NewVar()
@@ -287,6 +307,9 @@ func (e *engine) newFrame() {
 	e.acts = append(e.acts, sat.Pos(e.solver.NewVar()))
 	e.frames = append(e.frames, nil)
 	e.addCnt = append(e.addCnt, 0)
+	e.frameSpan.End()
+	e.frameSpan = e.opts.Obs.Trace.Start(obs.CatFrame, fmt.Sprintf("F%d", e.k()))
+	e.gFrames.SetMax(int64(e.k()))
 	e.progress()
 }
 
@@ -359,7 +382,7 @@ func (e *engine) query(assumps []sat.Lit) (bool, error) {
 		e.solver.Simplify()
 	}
 	e.progress()
-	if e.solver.Solve(assumps...) {
+	if e.tap.Solve(assumps...) {
 		return true, nil
 	}
 	if e.solver.Stopped() {
@@ -458,6 +481,8 @@ func (e *engine) blockQuery(i int, s cube) (found bool, pred cube, predSt, succS
 	}
 	e.coreTotal += len(s)
 	e.coreKept += len(core)
+	e.cCoreTotal.Add(int64(len(s)))
+	e.cCoreKept.Add(int64(len(core)))
 	return false, nil, nil, nil, core, nil
 }
 
@@ -711,6 +736,7 @@ func (e *engine) block(top *obligation) (*mc.Trace, error) {
 	var h obHeap
 	h.push(top)
 	for h.Len() > 0 {
+		e.gQueue.Set(int64(h.Len()))
 		ob := h.pop()
 		if e.isBlocked(ob.cube, ob.frame) {
 			if ob.frame < e.k() {
@@ -722,6 +748,7 @@ func (e *engine) block(top *obligation) (*mc.Trace, error) {
 			continue
 		}
 		e.obligations++
+		e.cObls.Inc()
 		found, pred, predSt, succSt, core, err := e.blockQuery(ob.frame, ob.cube)
 		if err != nil {
 			return nil, err
@@ -844,7 +871,11 @@ func (e *engine) propagate() (bool, error) {
 	return false, nil
 }
 
-func (e *engine) stats(start time.Time) mc.Stats {
+// finish closes the open frame span, fills run.Stats through the shared
+// tap path, and stamps the result with the finished run's statistics.
+func (e *engine) finish(run *mc.Run, res *mc.Result) {
+	e.frameSpan.End()
+	e.frameSpan = nil
 	bits := 0
 	for _, v := range e.comp.Sys.StateVars() {
 		bits += v.Type.Bits()
@@ -853,16 +884,19 @@ func (e *engine) stats(start time.Time) mc.Stats {
 	if e.coreTotal > 0 {
 		shrink = float64(e.coreKept) / float64(e.coreTotal)
 	}
-	return mc.Stats{
-		Engine:      EngineName,
-		Duration:    time.Since(start),
-		StateBits:   bits,
-		Iterations:  e.k(),
-		Conflicts:   e.solver.Conflicts(),
-		Obligations: e.obligations,
-		SATQueries:  e.queries,
-		CoreShrink:  shrink,
-	}
+	run.Stats.StateBits = bits
+	run.Stats.Iterations = e.k()
+	run.Stats.Obligations = e.obligations
+	run.Stats.CoreShrink = shrink
+	e.tap.FillStats(&run.Stats)
+	res.Stats = run.Finish(res.Verdict)
+}
+
+// abort closes the open frame span and aborts the engine span with err.
+func (e *engine) abort(run *mc.Run, err error) {
+	e.frameSpan.End()
+	e.frameSpan = nil
+	run.Abort(err)
 }
 
 // CheckInvariant proves or refutes G(pred) unboundedly.
@@ -877,20 +911,21 @@ func CheckInvariantCtx(ctx context.Context, comp *gcl.Compiled, prop mc.Property
 	if prop.Kind != mc.Invariant {
 		return nil, fmt.Errorf("ic3: CheckInvariant on %v property", prop.Kind)
 	}
-	start := time.Now()
+	run := mc.StartRun(opts.Obs, EngineName, prop.Name)
 	e := newEngine(ctx, comp, prop, opts)
 	res := &mc.Result{Property: prop}
 
 	// Depth 0: an initial state violating the property.
 	ok, err := e.query([]sat.Lit{e.initLit, e.badLit})
 	if err != nil {
+		e.abort(run, err)
 		return nil, err
 	}
 	if ok {
 		_, st := e.modelCube()
 		res.Verdict = mc.Violated
 		res.Trace = mc.NewTrace([]gcl.State{st})
-		res.Stats = e.stats(start)
+		e.finish(run, res)
 		return res, nil
 	}
 
@@ -902,6 +937,7 @@ func CheckInvariantCtx(ctx context.Context, comp *gcl.Compiled, prop mc.Property
 		for {
 			ok, err := e.query(e.frameAssumps(e.k(), e.badLit))
 			if err != nil {
+				e.abort(run, err)
 				return nil, err
 			}
 			if !ok {
@@ -910,31 +946,34 @@ func CheckInvariantCtx(ctx context.Context, comp *gcl.Compiled, prop mc.Property
 			s, _ := e.modelCube()
 			s, err = e.liftBad(s)
 			if err != nil {
+				e.abort(run, err)
 				return nil, err
 			}
 			tr, err := e.block(&obligation{cube: s, frame: e.k(), seq: e.nextSeq()})
 			if err != nil {
+				e.abort(run, err)
 				return nil, err
 			}
 			if tr != nil {
 				res.Verdict = mc.Violated
 				res.Trace = tr
-				res.Stats = e.stats(start)
+				e.finish(run, res)
 				return res, nil
 			}
 		}
 		proved, err := e.propagate()
 		if err != nil {
+			e.abort(run, err)
 			return nil, err
 		}
 		if proved {
 			res.Verdict = mc.Holds
-			res.Stats = e.stats(start)
+			e.finish(run, res)
 			return res, nil
 		}
 		if e.opts.MaxFrames > 0 && e.k() >= e.opts.MaxFrames {
 			res.Verdict = mc.HoldsBounded
-			res.Stats = e.stats(start)
+			e.finish(run, res)
 			return res, nil
 		}
 		e.newFrame()

@@ -123,10 +123,14 @@ type Stats struct {
 	PeakNodes  int      // symbolic engine: peak live BDD nodes
 	Conflicts  int      // SAT engines: CDCL conflicts
 
-	// SAT-engine query accounting (BMC, k-induction, IC3).
-	SATQueries  int     // incremental Solve calls issued
-	Obligations int     // IC3: proof obligations discharged
-	CoreShrink  float64 // IC3: mean fraction of cube literals kept by assumption cores
+	// SAT-engine query accounting (BMC, k-induction, IC3), filled by
+	// SATTap.FillStats so every engine reports through one code path.
+	SATQueries   int     // incremental Solve calls issued
+	Decisions    int     // CDCL decision levels opened
+	Propagations int     // CDCL unit-propagation dequeues
+	Restarts     int     // CDCL Luby restarts
+	Obligations  int     // IC3: proof obligations discharged
+	CoreShrink   float64 // IC3: mean fraction of cube literals kept by assumption cores
 }
 
 // Result is the outcome of checking one property with one engine.

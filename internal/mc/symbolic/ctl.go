@@ -2,7 +2,6 @@ package symbolic
 
 import (
 	"fmt"
-	"time"
 
 	"ttastartup/internal/bdd"
 	"ttastartup/internal/circuit"
@@ -17,9 +16,10 @@ import (
 // trace contains one offending initial state (CTL counterexamples are
 // trees in general, so no linear trace is attempted).
 func (e *Engine) CheckCTL(name string, f *mc.CTLFormula) (*mc.Result, error) {
-	start := time.Now()
+	run := mc.StartRun(e.opts.Obs, EngineName, name)
 	reach, err := e.Reachable()
 	if err != nil {
+		run.Abort(err)
 		return nil, err
 	}
 	prop := mc.Property{Name: name, Kind: mc.Invariant, Pred: gcl.True()}
@@ -31,12 +31,14 @@ func (e *Engine) CheckCTL(name string, f *mc.CTLFormula) (*mc.Result, error) {
 			res.Verdict = mc.Violated
 			res.Trace = mc.NewTrace([]gcl.State{e.decode(e.m.PickCube(bad))})
 		}
-		res.Stats = e.stats(start)
-		res.Stats.Reachable = e.m.SatCount(reach, e.curVars)
+		e.fillStats(&run.Stats)
+		run.Stats.Reachable = e.m.SatCount(reach, e.curVars)
 	})
 	if err != nil {
+		run.Abort(err)
 		return nil, err
 	}
+	res.Stats = run.Finish(res.Verdict)
 	return res, nil
 }
 

@@ -10,12 +10,12 @@ import (
 	"context"
 	"fmt"
 	"math/big"
-	"time"
 
 	"ttastartup/internal/bdd"
 	"ttastartup/internal/circuit"
 	"ttastartup/internal/gcl"
 	"ttastartup/internal/mc"
+	"ttastartup/internal/obs"
 )
 
 // EngineName identifies this engine in Stats.
@@ -36,6 +36,10 @@ type Options struct {
 	// default: on the TTA models it buys ~15% time at roughly double the
 	// peak node count (see TestClusterComparison's log).
 	ClusterLimit int
+	// Obs receives fixpoint-iteration gauges, per-layer frame spans, BDD
+	// node counter events, and the engine span. The zero value disables
+	// instrumentation.
+	Obs obs.Scope
 }
 
 func (o Options) clusterLimit() int {
@@ -134,6 +138,7 @@ func (e *Engine) build() {
 	comp := e.comp
 	nin := comp.NumInputs()
 	e.m = bdd.New(nin, e.opts.BDD)
+	e.m.SetObs(e.opts.Obs)
 
 	// Role-indexed variable lists and cur<->next permutations. The
 	// compiler interleaves cur/next bits, so renaming is order-preserving.
@@ -302,11 +307,14 @@ func (e *Engine) ReachableCtx(ctx context.Context) (bdd.Ref, error) {
 			e.layers = append(e.layers, e.m.Protect(frontier))
 		}
 		iters := 0
+		gIters := e.opts.Obs.Reg.Gauge(obs.MSymbolicIters)
+		tracer := e.opts.Obs.Trace
 		for frontier != bdd.False {
 			pollCtx(ctx)
 			if iters++; iters > e.opts.maxIter() {
 				panic(bdd.ErrNodeLimit)
 			}
+			sp := tracer.Start(obs.CatFrame, fmt.Sprintf("layer %d", iters))
 			img := e.Image(frontier)
 			newStates := e.m.Diff(img, reach)
 			newReach := e.m.Or(reach, newStates)
@@ -317,6 +325,11 @@ func (e *Engine) ReachableCtx(ctx context.Context) (bdd.Ref, error) {
 				e.layers = append(e.layers, e.m.Protect(frontier))
 			}
 			e.maybeGC(frontier)
+			gIters.Set(int64(iters))
+			if tracer != nil {
+				tracer.CounterEvent(obs.CatBDD, obs.MBDDNodes, int64(e.m.NumNodes()))
+				sp.Attr("frontier_nodes", e.m.Size(frontier)).End()
+			}
 		}
 		e.reach = reach // stays protected for the engine's lifetime
 		e.reached = true
@@ -332,6 +345,7 @@ func (e *Engine) maybeGC(extra ...bdd.Ref) {
 	if e.m.NumNodes() > e.peakNodes {
 		e.peakNodes = e.m.NumNodes()
 	}
+	e.m.PublishObs()
 	if e.m.ShouldGC() {
 		e.m.GC(extra...)
 	}
@@ -350,22 +364,22 @@ func (e *Engine) CountStates() (*big.Int, error) {
 // diameter of the state graph plus one).
 func (e *Engine) Iterations() int { return e.iters }
 
-func (e *Engine) stats(start time.Time) mc.Stats {
+// fillStats writes the engine's measurements into a run's Stats; the
+// run itself stamps Engine and Duration so every engine reports timing
+// through the same code path.
+func (e *Engine) fillStats(st *mc.Stats) {
 	if e.m.NumNodes() > e.peakNodes {
 		e.peakNodes = e.m.NumNodes()
 	}
+	e.m.PublishObs()
 	bits := 0
 	for _, v := range e.comp.Sys.StateVars() {
 		bits += v.Type.Bits()
 	}
-	return mc.Stats{
-		Engine:     EngineName,
-		Duration:   time.Since(start),
-		StateBits:  bits,
-		BDDVars:    e.comp.NumInputs(),
-		Iterations: e.iters,
-		PeakNodes:  e.peakNodes,
-	}
+	st.StateBits = bits
+	st.BDDVars = e.comp.NumInputs()
+	st.Iterations = e.iters
+	st.PeakNodes = e.peakNodes
 }
 
 // CheckInvariant checks G(pred) symbolically.
@@ -379,9 +393,10 @@ func (e *Engine) CheckInvariantCtx(ctx context.Context, prop mc.Property) (*mc.R
 	if prop.Kind != mc.Invariant {
 		return nil, fmt.Errorf("symbolic: CheckInvariant on %v property", prop.Kind)
 	}
-	start := time.Now()
+	run := mc.StartRun(e.opts.Obs, EngineName, prop.Name)
 	reach, err := e.ReachableCtx(ctx)
 	if err != nil {
+		run.Abort(err)
 		return nil, err
 	}
 	res := &mc.Result{Property: prop, Verdict: mc.Holds}
@@ -393,12 +408,14 @@ func (e *Engine) CheckInvariantCtx(ctx context.Context, prop mc.Property) (*mc.R
 			res.Verdict = mc.Violated
 			res.Trace = e.traceTo(bad)
 		}
-		res.Stats = e.stats(start)
-		res.Stats.Reachable = e.m.SatCount(reach, e.curVars)
+		e.fillStats(&run.Stats)
+		run.Stats.Reachable = e.m.SatCount(reach, e.curVars)
 	})
 	if err != nil {
+		run.Abort(err)
 		return nil, err
 	}
+	res.Stats = run.Finish(res.Verdict)
 	return res, nil
 }
 
@@ -415,9 +432,10 @@ func (e *Engine) CheckEventuallyCtx(ctx context.Context, prop mc.Property) (*mc.
 	if prop.Kind != mc.Eventually {
 		return nil, fmt.Errorf("symbolic: CheckEventually on %v property", prop.Kind)
 	}
-	start := time.Now()
+	run := mc.StartRun(e.opts.Obs, EngineName, prop.Name)
 	reach, err := e.ReachableCtx(ctx)
 	if err != nil {
+		run.Abort(err)
 		return nil, err
 	}
 	res := &mc.Result{Property: prop, Verdict: mc.Holds}
@@ -449,12 +467,14 @@ func (e *Engine) CheckEventuallyCtx(ctx context.Context, prop mc.Property) (*mc.
 			res.Verdict = mc.Violated
 			res.Trace = e.lassoTrace(seed, z)
 		}
-		res.Stats = e.stats(start)
-		res.Stats.Reachable = e.m.SatCount(reach, e.curVars)
+		e.fillStats(&run.Stats)
+		run.Stats.Reachable = e.m.SatCount(reach, e.curVars)
 	})
 	if err != nil {
+		run.Abort(err)
 		return nil, err
 	}
+	res.Stats = run.Finish(res.Verdict)
 	return res, nil
 }
 
@@ -462,10 +482,11 @@ func (e *Engine) CheckEventuallyCtx(ctx context.Context, prop mc.Property) (*mc.
 // successor (the conjunction of all module relations is satisfiable for
 // some choice and next state).
 func (e *Engine) CheckDeadlockFree() (*mc.Result, error) {
-	start := time.Now()
 	prop := mc.Property{Name: "deadlock-free", Kind: mc.Invariant, Pred: gcl.True()}
+	run := mc.StartRun(e.opts.Obs, EngineName, prop.Name)
 	reach, err := e.Reachable()
 	if err != nil {
+		run.Abort(err)
 		return nil, err
 	}
 	res := &mc.Result{Property: prop, Verdict: mc.Holds}
@@ -483,11 +504,13 @@ func (e *Engine) CheckDeadlockFree() (*mc.Result, error) {
 			res.Verdict = mc.Violated
 			res.Trace = e.traceTo(stuck)
 		}
-		res.Stats = e.stats(start)
+		e.fillStats(&run.Stats)
 	})
 	if err != nil {
+		run.Abort(err)
 		return nil, err
 	}
+	res.Stats = run.Finish(res.Verdict)
 	return res, nil
 }
 

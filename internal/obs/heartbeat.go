@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// StartHeartbeat launches a goroutine that writes a one-line registry
+// summary to w every interval, prefixed with the elapsed time:
+//
+//	obs 12s: ic3.frames=9 sat.queries=2210 sat.conflicts=801
+//
+// The returned stop function is idempotent and waits for the goroutine
+// to exit. A nil registry or non-positive interval yields a no-op.
+func StartHeartbeat(w io.Writer, scope Scope, interval time.Duration) (stop func()) {
+	if scope.Reg == nil || interval <= 0 || w == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				fmt.Fprintf(w, "obs %v: %s\n",
+					time.Since(start).Round(time.Second), scope.Reg.Summary())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer guards a bytes.Buffer: the heartbeat goroutine writes while
+// the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestHeartbeatEmitsSummary(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MSATQueries).Add(7)
+	var buf syncBuffer
+	stop := StartHeartbeat(&buf, Scope{Reg: reg}, 5*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for buf.String() == "" && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	out := buf.String()
+	if !strings.Contains(out, "sat.queries=7") {
+		t.Fatalf("heartbeat output %q lacks summary", out)
+	}
+	if !strings.HasPrefix(out, "obs ") {
+		t.Fatalf("heartbeat output %q lacks prefix", out)
+	}
+}
+
+func TestHeartbeatDisabled(t *testing.T) {
+	var buf syncBuffer
+	// Nil registry and zero interval must both be no-ops.
+	StartHeartbeat(&buf, Scope{}, time.Millisecond)()
+	StartHeartbeat(&buf, Scope{Reg: NewRegistry()}, 0)()
+	time.Sleep(10 * time.Millisecond)
+	if got := buf.String(); got != "" {
+		t.Fatalf("disabled heartbeat wrote %q", got)
+	}
+}

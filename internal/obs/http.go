@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the optional live-introspection endpoint: the standard
+// net/http/pprof handlers plus /metricsz, a JSON dump of the registry.
+// It binds its own mux (never http.DefaultServeMux) so importing obs has
+// no global side effects.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug endpoint on addr (e.g. ":6060", or ":0"
+// for an ephemeral port in tests) and serves until Close. The listener
+// is bound synchronously so a bad addr fails here, not in the goroutine.
+func ServeDebug(addr string, scope Scope) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		scope.Reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the bound address (resolves ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServeDebugMetricsz(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MSATConflicts).Add(9)
+	reg.Gauge(MBDDNodes).Set(123)
+	srv, err := ServeDebug("127.0.0.1:0", Scope{Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metricsz status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("/metricsz is not JSON: %v\n%s", err, raw)
+	}
+	if doc.Counters[MSATConflicts] != 9 || doc.Gauges[MBDDNodes] != 123 {
+		t.Fatalf("unexpected /metricsz payload: %s", raw)
+	}
+
+	// The pprof index must be mounted on the same server.
+	resp2, err := http.Get("http://" + srv.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", resp2.StatusCode)
+	}
+	io.Copy(io.Discard, resp2.Body)
+}
+
+func TestServeDebugBadAddr(t *testing.T) {
+	if _, err := ServeDebug("256.256.256.256:0", Scope{}); err == nil {
+		t.Fatal("expected error for bad address")
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// SetupOptions selects the sinks a command-line front-end wants. The zero
+// value enables nothing.
+type SetupOptions struct {
+	// TracePath, when set, writes a Chrome trace_event JSON file at teardown.
+	TracePath string
+	// SpanLog, when set, streams one JSON line per finished span to a file.
+	SpanLog string
+	// Metrics prints the registry to MetricsW at teardown.
+	Metrics bool
+	// PprofAddr serves /debug/pprof and /metricsz on this address.
+	PprofAddr string
+	// Heartbeat prints a one-line progress summary to LogW at this interval.
+	Heartbeat time.Duration
+	// LogW receives the heartbeat lines and the pprof banner (default stderr).
+	LogW io.Writer
+	// MetricsW receives the final metrics dump (default stdout).
+	MetricsW io.Writer
+}
+
+func (o SetupOptions) enabled() bool {
+	return o.TracePath != "" || o.SpanLog != "" || o.Metrics || o.PprofAddr != "" || o.Heartbeat > 0
+}
+
+// Setup wires the sinks o asks for and returns the scope to thread through
+// the engines plus a teardown that stops the heartbeat, flushes files,
+// closes the debug server, and prints the final metrics dump. When nothing
+// is enabled the returned scope is the zero (disabled) value and teardown
+// is a no-op.
+func Setup(o SetupOptions) (Scope, func() error, error) {
+	var scope Scope
+	if !o.enabled() {
+		return scope, func() error { return nil }, nil
+	}
+	if o.LogW == nil {
+		o.LogW = os.Stderr
+	}
+	if o.MetricsW == nil {
+		o.MetricsW = os.Stdout
+	}
+	scope.Reg = NewRegistry()
+	var spanlogFile *os.File
+	if o.TracePath != "" || o.SpanLog != "" {
+		scope.Trace = NewTracer()
+		if o.SpanLog != "" {
+			f, err := os.Create(o.SpanLog)
+			if err != nil {
+				return scope, nil, err
+			}
+			spanlogFile = f
+			scope.Trace.SetSpanLog(f)
+		}
+	}
+	var srv *DebugServer
+	if o.PprofAddr != "" {
+		s, err := ServeDebug(o.PprofAddr, scope)
+		if err != nil {
+			if spanlogFile != nil {
+				spanlogFile.Close()
+			}
+			return scope, nil, err
+		}
+		srv = s
+		fmt.Fprintf(o.LogW, "obs: serving /debug/pprof and /metricsz on http://%s\n", s.Addr())
+	}
+	stopHB := StartHeartbeat(o.LogW, scope, o.Heartbeat)
+	done := func() error {
+		stopHB()
+		var first error
+		if o.TracePath != "" {
+			if err := WriteChromeFile(scope.Trace, o.TracePath); err != nil {
+				first = err
+			}
+		}
+		if spanlogFile != nil {
+			if err := spanlogFile.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if srv != nil {
+			srv.Close()
+		}
+		if o.Metrics {
+			fmt.Fprintln(o.MetricsW, "metrics:")
+			scope.Reg.Fprint(o.MetricsW)
+		}
+		return first
+	}
+	return scope, done, nil
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// steppedClock returns a deterministic clock advancing 100µs per call.
+func steppedClock() func() time.Duration {
+	var n int64
+	return func() time.Duration {
+		n++
+		return time.Duration(n*100) * time.Microsecond
+	}
+}
+
+// buildFixtureTrace records a small deterministic scenario exercising
+// nesting, attrs, lanes, counters, and instants.
+func buildFixtureTrace(spanLog *bytes.Buffer) *Tracer {
+	tr := NewTracerWithClock(steppedClock())
+	if spanLog != nil {
+		tr.SetSpanLog(spanLog)
+	}
+	root := tr.Start(CatEngine, "ic3")            // ts=100
+	solve := root.Start(CatSAT, "solve")          // ts=200
+	solve.Attr("result", "unsat").End()           // end=300
+	tr.CounterEvent(CatBDD, "bdd.nodes", 42)      // ts=400
+	tr.Instant(CatFrame, "converged")             // ts=500
+	frame := root.Start(CatFrame, "F1")           // ts=600
+	frame.End()                                   // end=700
+	worker := tr.StartOn(2, CatCampaign, "job-0") // ts=800, lane 2
+	worker.Attr("verdict", "holds").Attr("k", 3)  // attrs
+	worker.End()                                  // end=900
+	root.Attr("verdict", "holds").End()           // end=1000
+	return tr
+}
+
+func TestSpanNesting(t *testing.T) {
+	var spanLog bytes.Buffer
+	buildFixtureTrace(&spanLog)
+
+	lines := strings.Split(strings.TrimSpace(spanLog.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("span log has %d lines, want 4:\n%s", len(lines), spanLog.String())
+	}
+	type logLine struct {
+		TS     int64          `json:"ts_us"`
+		Dur    int64          `json:"dur_us"`
+		Cat    string         `json:"cat"`
+		Name   string         `json:"name"`
+		TID    int            `json:"tid"`
+		ID     uint64         `json:"id"`
+		Parent uint64         `json:"parent"`
+		Args   map[string]any `json:"args"`
+	}
+	byName := map[string]logLine{}
+	for _, raw := range lines {
+		var l logLine
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("span log line %q: %v", raw, err)
+		}
+		byName[l.Name] = l
+	}
+	root, solve, frame := byName["ic3"], byName["solve"], byName["F1"]
+	if root.ID == 0 || solve.Parent != root.ID || frame.Parent != root.ID {
+		t.Fatalf("parent links wrong: root=%+v solve=%+v frame=%+v", root, solve, frame)
+	}
+	if root.Parent != 0 {
+		t.Fatalf("root has parent %d", root.Parent)
+	}
+	// Children must be time-contained in the parent (how Chrome nests).
+	if solve.TS < root.TS || solve.TS+solve.Dur > root.TS+root.Dur {
+		t.Fatalf("child escapes parent: root=%+v solve=%+v", root, solve)
+	}
+	if solve.Args["result"] != "unsat" {
+		t.Fatalf("attr lost: %+v", solve.Args)
+	}
+	if byName["job-0"].TID != 2 {
+		t.Fatalf("StartOn lane lost: %+v", byName["job-0"])
+	}
+}
+
+func TestChromeGolden(t *testing.T) {
+	tr := buildFixtureTrace(nil)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run TestChromeGolden -update`)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome export differs from golden:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeRoundTripAndMonotonic(t *testing.T) {
+	tr := buildFixtureTrace(nil)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export does not round-trip: %v", err)
+	}
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(doc.TraceEvents))
+	}
+	cats := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Fatalf("negative time in %+v", ev)
+		}
+		if i > 0 && ev.TS < doc.TraceEvents[i-1].TS {
+			t.Fatalf("timestamps not sorted at %d: %+v", i, doc.TraceEvents)
+		}
+		cats[ev.Cat] = true
+	}
+	for _, want := range []string{CatEngine, CatSAT, CatFrame, CatBDD, CatCampaign} {
+		if !cats[want] {
+			t.Fatalf("category %q missing from export", want)
+		}
+	}
+	// The counter event carries its sampled value.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "C" && ev.Args["value"] != float64(42) {
+			t.Fatalf("counter event lost its value: %+v", ev)
+		}
+	}
+}
+
+// TestTracerConcurrent opens and closes spans from many goroutines;
+// meaningful under -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := tr.StartOn(w, CatSAT, "solve")
+				sp.Attr("i", i)
+				tr.CounterEvent(CatBDD, "n", int64(i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.EventCount(); got != workers*per*2 {
+		t.Fatalf("recorded %d events, want %d", got, workers*per*2)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("concurrent export is not valid JSON")
+	}
+}
+
+func TestWriteChromeFile(t *testing.T) {
+	tr := buildFixtureTrace(nil)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteChromeFile(tr, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Fatal("trace file is not valid JSON")
+	}
+}

@@ -78,6 +78,13 @@ type Solver struct {
 	restarts int
 	conflTot int
 
+	// Search statistics: plain fields, not atomics — the solver is
+	// single-threaded and these sit in the innermost loops. Engines
+	// flush deltas to an obs registry per Solve call.
+	decisions    int // decision levels opened (assumptions included)
+	propagations int // literals dequeued by unit propagation
+	learntTot    int // learnt clauses ever recorded (units included)
+
 	// learnt clause bookkeeping
 	learntCount int
 	maxLearnt   float64
@@ -139,6 +146,25 @@ func (s *Solver) NumClauses() int {
 
 // Conflicts returns the total number of conflicts encountered.
 func (s *Solver) Conflicts() int { return s.conflTot }
+
+// Decisions returns the total number of decision levels opened across
+// all Solve calls, assumption levels included (MiniSat's convention).
+func (s *Solver) Decisions() int { return s.decisions }
+
+// Propagations returns the total number of literals dequeued by unit
+// propagation across all Solve calls.
+func (s *Solver) Propagations() int { return s.propagations }
+
+// Restarts returns the total number of Luby restarts taken.
+func (s *Solver) Restarts() int { return s.restarts }
+
+// LearntTotal returns the number of clauses ever learnt from conflicts,
+// counting unit clauses and clauses since evicted by reduceDB.
+func (s *Solver) LearntTotal() int { return s.learntTot }
+
+// LearntCurrent returns the number of learnt clauses currently kept in
+// the clause database.
+func (s *Solver) LearntCurrent() int { return s.learntCount }
 
 func (s *Solver) value(l Lit) lbool {
 	a := s.vars[l.Var()].assign
@@ -221,6 +247,7 @@ func (s *Solver) propagate() int {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
+		s.propagations++
 		ws := s.watches[p]
 		kept := ws[:0]
 		for wi := 0; wi < len(ws); wi++ {
@@ -435,6 +462,7 @@ func (s *Solver) search(budget int, assumptions []Lit) lbool {
 				return lFalse
 			}
 			learnt, back := s.analyze(confl)
+			s.learntTot++
 			s.cancelUntil(back)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], -1)
@@ -475,6 +503,7 @@ func (s *Solver) search(budget int, assumptions []Lit) lbool {
 				return lTrue // all variables assigned
 			}
 		}
+		s.decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.uncheckedEnqueue(next, -1)
 	}

@@ -1,0 +1,46 @@
+package sat
+
+import "testing"
+
+// TestSearchStatistics pins the decision/propagation/learnt counters on
+// a formula small enough to reason about but hard enough to force CDCL
+// through conflicts: a pigeonhole-style instance (3 pigeons, 2 holes).
+func TestSearchStatistics(t *testing.T) {
+	s := New()
+	// p[i][j]: pigeon i sits in hole j.
+	var p [3][2]Lit
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			p[i][j] = Pos(s.NewVar())
+		}
+	}
+	for i := 0; i < 3; i++ {
+		s.AddClause(p[i][0], p[i][1]) // every pigeon somewhere
+	}
+	for j := 0; j < 2; j++ { // no two pigeons share a hole
+		for a := 0; a < 3; a++ {
+			for b := a + 1; b < 3; b++ {
+				s.AddClause(p[a][j].Not(), p[b][j].Not())
+			}
+		}
+	}
+	if s.Solve() {
+		t.Fatal("pigeonhole(3,2) reported SAT")
+	}
+	if s.Conflicts() == 0 {
+		t.Fatal("no conflicts recorded on an UNSAT instance")
+	}
+	if s.Propagations() == 0 {
+		t.Fatal("no propagations recorded")
+	}
+	if s.Decisions() == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	if s.LearntTotal() == 0 {
+		t.Fatal("no learnt clauses recorded")
+	}
+	if s.LearntCurrent() > s.LearntTotal() {
+		t.Fatalf("current learnt DB %d exceeds total ever learnt %d",
+			s.LearntCurrent(), s.LearntTotal())
+	}
+}
