@@ -2,9 +2,10 @@ GO ?= go
 
 # `make check` is the tier-1 gate: formatting, vet, build, the full test
 # suite under the race detector, the static analyzer over every shipped
-# model configuration, and the campaign, IC3, and observability smoke tests.
+# model configuration, the campaign, IC3, and observability smoke tests,
+# and a short run of both fuzz harnesses.
 .PHONY: check
-check: fmt vet build race lint-models campaign-smoke ic3-smoke obs-smoke
+check: fmt vet build race lint-models campaign-smoke ic3-smoke obs-smoke fuzz-smoke
 
 .PHONY: fmt
 fmt:
@@ -60,6 +61,16 @@ ic3-smoke:
 	$(GO) run ./cmd/ttacampaign -n 3 -topologies bus -degrees 1 -lemmas safety \
 		-engines ic3 -delta-init 2 -quiet -heartbeat 0
 	$(GO) test -race -run 'TestIC3CancelMidRun|TestTTAEnginesAgree/bus' ./internal/mc/ic3/ ./internal/mc/
+
+# Fuzz smoke test: a fixed slice of both differential fuzz harnesses — the
+# BDD register machine with auto-reordering against truth-table oracles,
+# and random well-typed gcl expressions across interpreter, circuit and
+# BDD semantics. The committed corpora under testdata/fuzz replay in plain
+# `go test`; this target additionally mutates for 10 seconds each.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzBDDOps$$' -fuzztime 10s ./internal/bdd
+	$(GO) test -run '^$$' -fuzz '^FuzzExprEval$$' -fuzztime 10s ./internal/gcl
 
 # Observability smoke test: record a Chrome trace of an unbounded IC3 proof
 # on the bus model, then validate it with ttatrace — the trace must parse,

@@ -35,14 +35,15 @@ func main() {
 
 func run() error {
 	var (
-		expName = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6a, fig6b, fig6c, fig6d, baseline, feedback, bigbang, wcsup, campaign, restart, ablation, ic3, all")
-		full    = flag.Bool("full", false, "use the paper's full parameters (slow; quick scale is the default)")
-		nsFlag  = flag.String("n", "", "comma-separated cluster sizes (default per experiment)")
-		measure = flag.Bool("measure", true, "measure reachable-state counts where applicable")
-		trace   = flag.Bool("trace", false, "print counterexample traces (bigbang)")
-		workers = flag.Int("j", 0, "run sweep experiments (fig4, fig6a-d) on a campaign worker pool of this size (0: serial drivers)")
-		jsonOut = flag.Bool("json", false, "emit campaign-store JSONL records instead of tables (fig4, fig6a-d only)")
-		obsOut  = flag.String("obs-out", "", "write the final metrics registry as JSON to this file (default BENCH_obs.json with -json, off otherwise)")
+		expName  = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6a, fig6b, fig6c, fig6d, baseline, feedback, bigbang, wcsup, campaign, restart, ablation, ic3, order, all")
+		full     = flag.Bool("full", false, "use the paper's full parameters (slow; quick scale is the default)")
+		nsFlag   = flag.String("n", "", "comma-separated cluster sizes (default per experiment)")
+		measure  = flag.Bool("measure", true, "measure reachable-state counts where applicable")
+		trace    = flag.Bool("trace", false, "print counterexample traces (bigbang)")
+		workers  = flag.Int("j", 0, "run sweep experiments (fig4, fig6a-d) on a campaign worker pool of this size (0: serial drivers)")
+		jsonOut  = flag.Bool("json", false, "emit campaign-store JSONL records instead of tables (fig4, fig6a-d only)")
+		obsOut   = flag.String("obs-out", "", "write the final metrics registry as JSON to this file (default BENCH_obs.json with -json, off otherwise)")
+		orderOut = flag.String("order-out", "BENCH_order.json", "write the order experiment's rows as JSON to this file (empty: table only)")
 	)
 	flag.Parse()
 
@@ -241,6 +242,26 @@ func run() error {
 				return err
 			}
 			fmt.Println(table)
+		case "order":
+			n := 3
+			if len(ns) == 1 {
+				n = ns[0]
+			}
+			rows, table, err := exp.OrderCompare(scale, n)
+			if err != nil {
+				return err
+			}
+			fmt.Println(table)
+			if *orderOut != "" {
+				f, err := os.Create(*orderOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := exp.WriteOrderReport(f, scale, n, rows); err != nil {
+					return err
+				}
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

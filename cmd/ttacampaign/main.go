@@ -67,6 +67,7 @@ func run() (int, error) {
 		noReport    = flag.Bool("no-report", false, "suppress the final per-job report table")
 		cancelAfter = flag.Int("cancel-after", 0, "cancel the campaign gracefully after this many jobs finish (testing hook; 0: off)")
 		nodeLimit   = flag.Int("bdd-nodes", 0, "BDD node limit per job (0: default)")
+		reorder     = flag.Bool("reorder", false, "enable dynamic BDD variable reordering in symbolic jobs")
 		bmcDepth    = flag.Int("depth", 0, "bmc unrolling depth (0: 2·w_sup)")
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON file here (one lane per worker)")
 		spanlog     = flag.String("spanlog", "", "append one JSON line per finished span to this file")
@@ -130,7 +131,7 @@ func run() (int, error) {
 		FallbackBMC: *fallbackBMC,
 		Heartbeat:   *heartbeat,
 		Options: core.Options{
-			Symbolic: symbolic.Options{BDD: bdd.Config{NodeLimit: *nodeLimit}},
+			Symbolic: symbolic.Options{BDD: bdd.Config{NodeLimit: *nodeLimit, AutoReorder: *reorder}},
 			BMCDepth: *bmcDepth,
 			Obs:      scope,
 		},

@@ -72,6 +72,7 @@ func run() (err error) {
 		count      = flag.Bool("count", false, "report the exact reachable-state count")
 		timeout    = flag.Duration("timeout", 0, "per-lemma budget; exceeding it reports INCONCLUSIVE (deadline) (0: none)")
 		nodeLimit  = flag.Int("bdd-nodes", 0, "BDD node limit (0: default)")
+		reorder    = flag.Bool("reorder", false, "enable dynamic BDD variable reordering (pair-grouped sifting) in the symbolic engine")
 		lintMode   = flag.String("lint", "on", "static analysis gate: on (refuse error-level diagnostics), warn (also print warnings), off")
 		model      = flag.String("model", "hub", "topology: hub (star, central guardians) or bus (the paper's original design)")
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON file here (view in chrome://tracing or Perfetto)")
@@ -120,7 +121,7 @@ func run() (err error) {
 			return fmt.Errorf("-faulty-hub, -wcsup, -recovery, -count and -restartable apply to the hub model only")
 		}
 		return runBus(scope, *n, *faultyNode, *degree, *deltaInit, *lemmas,
-			*engine, *depth, *nodeLimit, *cex, *dumpModel, *lintMode, *timeout)
+			*engine, *depth, *nodeLimit, *reorder, *cex, *dumpModel, *lintMode, *timeout)
 	}
 	if *model != "hub" {
 		return fmt.Errorf("unknown -model %q (want hub or bus)", *model)
@@ -140,7 +141,7 @@ func run() (err error) {
 	cfg.RestartableNodes = *restart
 
 	opts := core.Options{
-		Symbolic:        symbolic.Options{BDD: bdd.Config{NodeLimit: *nodeLimit}},
+		Symbolic:        symbolic.Options{BDD: bdd.Config{NodeLimit: *nodeLimit, AutoReorder: *reorder}},
 		Explicit:        explicit.Options{},
 		BMCDepth:        *depth,
 		TimelinessBound: *bound,
@@ -321,7 +322,7 @@ func printResult(res *mc.Result) {
 // runBus checks the paper's original bus topology (internal/tta/original):
 // no guardians, so only the safety and liveness lemmas exist.
 func runBus(scope obs.Scope, n, faultyNode, degree, deltaInit int, lemmas, engine string,
-	depth, nodeLimit int, cex, dumpModel bool, lintMode string, timeout time.Duration) error {
+	depth, nodeLimit int, reorder, cex, dumpModel bool, lintMode string, timeout time.Duration) error {
 	cfg := original.Config{
 		N:           n,
 		FaultyNode:  faultyNode,
@@ -353,7 +354,7 @@ func runBus(scope obs.Scope, n, faultyNode, degree, deltaInit int, lemmas, engin
 		return err
 	}
 	opts := core.Options{
-		Symbolic: symbolic.Options{BDD: bdd.Config{NodeLimit: nodeLimit}},
+		Symbolic: symbolic.Options{BDD: bdd.Config{NodeLimit: nodeLimit, AutoReorder: reorder}},
 		BMCDepth: depth,
 		Obs:      scope,
 	}

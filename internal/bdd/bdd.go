@@ -26,7 +26,7 @@ const (
 var ErrNodeLimit = errors.New("bdd: node limit exceeded")
 
 type node struct {
-	level     int32 // variable index; terminals use level = nvars
+	level     int32 // position in the current order; terminals use level = nvars
 	low, high Ref
 	next      int32 // unique-table chain
 }
@@ -45,8 +45,10 @@ const (
 	opPermute
 )
 
-// Manager owns the node pool of a BDD universe with a fixed variable order:
-// variable i is at level i (0 is topmost).
+// Manager owns the node pool of a BDD universe. Variables start at level
+// i = variable index (0 is topmost); dynamic reordering (see reorder.go)
+// may move them, with var2level/level2var tracking the mapping. All public
+// APIs speak variable indices; node levels are internal.
 type Manager struct {
 	nvars   int32
 	nodes   []node
@@ -54,10 +56,27 @@ type Manager struct {
 	buckets []int32
 	cache   []cacheEntry
 
+	var2level []int32   // variable index -> level
+	level2var []int32   // level -> variable index
+	groups    [][]int32 // variable groups kept adjacent while sifting
+
 	roots     map[Ref]int // protected external references
 	nodeLimit int
 	gcCount   int
 	permEpoch int32 // distinguishes permutations in the op cache
+
+	// Dynamic-reordering state (reorder.go).
+	autoReorder      bool
+	reorderStart     int
+	reorderMaxGrowth float64
+	reorderThreshold int
+	reorderPending   bool
+	inReorder        bool
+	rs               *reorderState
+	reorders         int
+	reorderSwaps     int
+	reorderGain      int
+	reorderPause     time.Duration
 
 	// Stats: plain fields — the manager is single-threaded and the cache
 	// probe is the hottest path in the symbolic engine. PublishObs flushes
@@ -77,6 +96,20 @@ type Config struct {
 	// CacheSize is the operation-cache entry count, rounded up to a power
 	// of two (0 = default 1<<20).
 	CacheSize int
+	// AutoReorder arms dynamic variable reordering: once the node pool
+	// grows past the reorder threshold, the manager flags a reorder as
+	// pending, and the next safe point (ReorderIfPending, or a manual
+	// Reorder) runs pair-grouped sifting. Reordering has the same caller
+	// contract as GC: no unprotected intermediate results may be live.
+	AutoReorder bool
+	// ReorderStart is the live-node count that arms the first automatic
+	// reorder (0 = default 1<<14). After each reorder the threshold is
+	// doubled relative to the post-reorder pool so reordering amortises.
+	ReorderStart int
+	// ReorderMaxGrowth bounds transient growth while sifting: a block
+	// stops moving in a direction once the pool exceeds this factor of the
+	// best size seen (0 = default 1.2).
+	ReorderMaxGrowth float64
 }
 
 // New returns a manager with nvars boolean variables.
@@ -87,20 +120,36 @@ func New(nvars int, cfg Config) *Manager {
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 1 << 20
 	}
+	if cfg.ReorderStart == 0 {
+		cfg.ReorderStart = 1 << 14
+	}
+	if cfg.ReorderMaxGrowth == 0 {
+		cfg.ReorderMaxGrowth = 1.2
+	}
 	cacheSize := 1
 	for cacheSize < cfg.CacheSize {
 		cacheSize <<= 1
 	}
 	m := &Manager{
-		nvars:     int32(nvars),
-		nodes:     make([]node, 2, 1<<16),
-		buckets:   make([]int32, 1<<14),
-		cache:     make([]cacheEntry, cacheSize),
-		roots:     make(map[Ref]int),
-		nodeLimit: cfg.NodeLimit,
+		nvars:            int32(nvars),
+		nodes:            make([]node, 2, 1<<16),
+		buckets:          make([]int32, 1<<14),
+		cache:            make([]cacheEntry, cacheSize),
+		roots:            make(map[Ref]int),
+		nodeLimit:        cfg.NodeLimit,
+		var2level:        make([]int32, nvars),
+		level2var:        make([]int32, nvars),
+		autoReorder:      cfg.AutoReorder,
+		reorderStart:     cfg.ReorderStart,
+		reorderMaxGrowth: cfg.ReorderMaxGrowth,
+		reorderThreshold: cfg.ReorderStart,
 	}
 	for i := range m.buckets {
 		m.buckets[i] = -1
+	}
+	for i := 0; i < nvars; i++ {
+		m.var2level[i] = int32(i)
+		m.level2var[i] = int32(i)
 	}
 	m.nodes[False] = node{level: m.nvars, low: False, high: False, next: -1}
 	m.nodes[True] = node{level: m.nvars, low: True, high: True, next: -1}
@@ -114,9 +163,26 @@ func (m *Manager) NumVars() int { return int(m.nvars) }
 // including the two terminals.
 func (m *Manager) NumNodes() int { return len(m.nodes) - len(m.free) }
 
-// Level returns the level (variable index) labelling f, or NumVars for
-// terminals.
+// Level returns the level (position in the current variable order)
+// labelling f, or NumVars for terminals. Until a reorder has run, level
+// and variable index coincide; use VarLevel/VarAt to convert afterwards.
 func (m *Manager) Level(f Ref) int { return int(m.nodes[f].level) }
+
+// VarLevel returns the current level of variable i.
+func (m *Manager) VarLevel(i int) int { return int(m.var2level[i]) }
+
+// VarAt returns the variable index at the given level.
+func (m *Manager) VarAt(level int) int { return int(m.level2var[level]) }
+
+// VarOrder returns the current order as a level-indexed slice of variable
+// indices (a copy).
+func (m *Manager) VarOrder() []int {
+	out := make([]int, m.nvars)
+	for l, v := range m.level2var {
+		out[l] = int(v)
+	}
+	return out
+}
 
 // Low and High return the cofactors of a non-terminal node.
 func (m *Manager) Low(f Ref) Ref { return m.nodes[f].low }
@@ -126,12 +192,12 @@ func (m *Manager) High(f Ref) Ref { return m.nodes[f].high }
 
 // Var returns the BDD for variable i.
 func (m *Manager) Var(i int) Ref {
-	return m.mkNode(int32(i), False, True)
+	return m.mkNode(m.var2level[i], False, True)
 }
 
 // NVar returns the BDD for the negation of variable i.
 func (m *Manager) NVar(i int) Ref {
-	return m.mkNode(int32(i), True, False)
+	return m.mkNode(m.var2level[i], True, False)
 }
 
 func hash3(a, b, c int32) uint64 {
@@ -168,6 +234,9 @@ func (m *Manager) mkNode(level int32, low, high Ref) Ref {
 		r = Ref(len(m.nodes) - 1)
 	}
 	m.buckets[h] = int32(r)
+	if m.autoReorder && !m.reorderPending && m.NumNodes() >= m.reorderThreshold {
+		m.reorderPending = true
+	}
 	if m.NumNodes() > 2*len(m.buckets) {
 		m.rehash()
 	}
@@ -188,6 +257,9 @@ func (m *Manager) rehash() {
 			continue
 		}
 		n := &m.nodes[i]
+		if n.level < 0 { // freed during a reorder, not yet collected
+			continue
+		}
 		h := hash3(n.level, int32(n.low), int32(n.high)) & uint64(len(m.buckets)-1)
 		n.next = m.buckets[h]
 		m.buckets[h] = int32(i)

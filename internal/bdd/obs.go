@@ -20,6 +20,11 @@ type obsSinks struct {
 	nodesPeak  *obs.Gauge
 	uniqueSize *obs.Gauge
 
+	reorders     *obs.Counter
+	reorderSwaps *obs.Counter
+	reorderGain  *obs.Counter
+	reorderPause *obs.Histogram
+
 	lastHits, lastMisses int // high-water marks for delta flushing
 }
 
@@ -37,6 +42,11 @@ func (m *Manager) SetObs(scope obs.Scope) {
 		nodes:      scope.Reg.Gauge(obs.MBDDNodes),
 		nodesPeak:  scope.Reg.Gauge(obs.MBDDNodesPeak),
 		uniqueSize: scope.Reg.Gauge(obs.MBDDUniqueSize),
+
+		reorders:     scope.Reg.Counter(obs.MBDDReorders),
+		reorderSwaps: scope.Reg.Counter(obs.MBDDReorderSwaps),
+		reorderGain:  scope.Reg.Counter(obs.MBDDReorderGain),
+		reorderPause: scope.Reg.Histogram(obs.MBDDReorderPauseUS),
 	}
 }
 
@@ -63,26 +73,44 @@ func (m *Manager) publishGC(sp *obs.Span, pause time.Duration, freed int) {
 	sp.Attr("freed", freed).Attr("live", m.NumNodes()).End()
 }
 
+// publishReorder records one sifting pass: counters, the pause histogram,
+// and a span on the attached tracer.
+func (m *Manager) publishReorder(sp *obs.Span, st ReorderStats) {
+	m.obs.reorders.Inc()
+	m.obs.reorderSwaps.Add(int64(st.Swaps))
+	m.obs.reorderGain.Add(int64(st.NodesBefore - st.NodesAfter))
+	m.obs.reorderPause.Observe(st.Duration.Microseconds())
+	sp.Attr("before", st.NodesBefore).Attr("after", st.NodesAfter).Attr("swaps", st.Swaps).End()
+}
+
 // Stats is a point-in-time snapshot of the manager's internal counters.
 type Stats struct {
-	Nodes       int           // live nodes, terminals included
-	UniqueSize  int           // unique-table bucket count
-	CacheHits   int           // op-cache hits since creation
-	CacheMisses int           // op-cache misses since creation
-	GCs         int           // collections run
-	GCFreed     int           // nodes reclaimed across all collections
-	GCPause     time.Duration // total stop-the-world time across all collections
+	Nodes        int           // live nodes, terminals included
+	UniqueSize   int           // unique-table bucket count
+	CacheHits    int           // op-cache hits since creation
+	CacheMisses  int           // op-cache misses since creation
+	GCs          int           // collections run
+	GCFreed      int           // nodes reclaimed across all collections
+	GCPause      time.Duration // total stop-the-world time across all collections
+	Reorders     int           // sifting passes run
+	ReorderSwaps int           // adjacent-level swaps across all passes
+	ReorderGain  int           // live nodes shed by reordering (summed)
+	ReorderPause time.Duration // total wall time spent sifting
 }
 
 // SnapshotStats returns the current counter values.
 func (m *Manager) SnapshotStats() Stats {
 	return Stats{
-		Nodes:       m.NumNodes(),
-		UniqueSize:  len(m.buckets),
-		CacheHits:   m.cacheHits,
-		CacheMisses: m.cacheMisses,
-		GCs:         m.gcCount,
-		GCFreed:     m.gcFreed,
-		GCPause:     m.gcPause,
+		Nodes:        m.NumNodes(),
+		UniqueSize:   len(m.buckets),
+		CacheHits:    m.cacheHits,
+		CacheMisses:  m.cacheMisses,
+		GCs:          m.gcCount,
+		GCFreed:      m.gcFreed,
+		GCPause:      m.gcPause,
+		Reorders:     m.reorders,
+		ReorderSwaps: m.reorderSwaps,
+		ReorderGain:  m.reorderGain,
+		ReorderPause: m.reorderPause,
 	}
 }

@@ -8,12 +8,14 @@ import (
 // Cube builds the conjunction of the given variables (all positive), the
 // form quantification operations expect.
 func (m *Manager) Cube(vars []int) Ref {
-	sorted := make([]int, len(vars))
-	copy(sorted, vars)
-	sort.Ints(sorted)
+	levels := make([]int32, len(vars))
+	for i, v := range vars {
+		levels[i] = m.var2level[v]
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
 	r := True
-	for i := len(sorted) - 1; i >= 0; i-- {
-		r = m.mkNode(int32(sorted[i]), False, r)
+	for i := len(levels) - 1; i >= 0; i-- {
+		r = m.mkNode(levels[i], False, r)
 	}
 	return r
 }
@@ -139,7 +141,7 @@ func (m *Manager) permute(f Ref, p *Permutation) (Ref, int32) {
 		return r, m.nodes[r].level
 	}
 	n := &m.nodes[f]
-	newLevel := p.mp[n.level]
+	newLevel := m.var2level[p.mp[m.level2var[n.level]]]
 	r0, l0 := m.permute(n.low, p)
 	r1, l1 := m.permute(n.high, p)
 	if newLevel >= l0 || newLevel >= l1 {
@@ -159,7 +161,7 @@ func (m *Manager) permute(f Ref, p *Permutation) (Ref, int32) {
 func (m *Manager) SatCount(f Ref, vars []int) *big.Int {
 	sorted := make([]int32, len(vars))
 	for i, v := range vars {
-		sorted[i] = int32(v)
+		sorted[i] = m.var2level[v]
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	index := make(map[int32]int, len(sorted))
@@ -209,10 +211,10 @@ func (m *Manager) PickCube(f Ref) []int8 {
 	for f != True {
 		n := &m.nodes[f]
 		if n.low != False {
-			out[n.level] = 0
+			out[m.level2var[n.level]] = 0
 			f = n.low
 		} else {
-			out[n.level] = 1
+			out[m.level2var[n.level]] = 1
 			f = n.high
 		}
 	}
@@ -223,7 +225,7 @@ func (m *Manager) PickCube(f Ref) []int8 {
 func (m *Manager) Eval(f Ref, assign []bool) bool {
 	for f != False && f != True {
 		n := &m.nodes[f]
-		if assign[n.level] {
+		if assign[m.level2var[n.level]] {
 			f = n.high
 		} else {
 			f = n.low
@@ -250,7 +252,7 @@ func (m *Manager) Support(f Ref) []int {
 	walk(f)
 	out := make([]int, 0, len(vars))
 	for v := range vars {
-		out = append(out, int(v))
+		out = append(out, int(m.level2var[v]))
 	}
 	sort.Ints(out)
 	return out

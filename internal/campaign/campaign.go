@@ -299,6 +299,7 @@ type RecordStats struct {
 	Visited    int    `json:"visited,omitempty"`
 	Iterations int    `json:"iterations,omitempty"`
 	PeakNodes  int    `json:"peak_nodes,omitempty"`
+	Reorders   int    `json:"reorders,omitempty"`
 	Conflicts  int    `json:"conflicts,omitempty"`
 	// SAT-engine counters (bmc, induction, ic3).
 	SATQueries   int     `json:"sat_queries,omitempty"`

@@ -286,6 +286,7 @@ func fillResult(rec *Record, res *mc.Result, sys *gcl.System) {
 		Visited:      st.Visited,
 		Iterations:   st.Iterations,
 		PeakNodes:    st.PeakNodes,
+		Reorders:     st.Reorders,
 		Conflicts:    st.Conflicts,
 		SATQueries:   st.SATQueries,
 		Decisions:    st.Decisions,

@@ -1,0 +1,182 @@
+package gcl_test
+
+import (
+	"testing"
+
+	"ttastartup/internal/bdd"
+	"ttastartup/internal/circuit"
+	"ttastartup/internal/gcl"
+)
+
+// FuzzExprEval cross-checks the three semantics every verdict in this
+// repository rests on: the concrete AST interpreter (EvalIn), the compiled
+// AIG circuit (CompileExpr + EvalLit), and a BDD built from that circuit
+// with dynamic variable reordering enabled. The fuzzer builds a random
+// well-typed expression over a small fixed variable set with a
+// type-directed stack machine (so constructor panics like And-of-int can
+// never fire), then demands bit-identical truth values from all three
+// evaluators over every type-valid state — before a sifting pass, and
+// after one.
+
+// exprBuilder turns fuzz bytes into a well-typed boolean expression.
+type exprBuilder struct {
+	data  []byte
+	pos   int
+	bools []gcl.Expr
+	ints  []gcl.Expr
+}
+
+func (b *exprBuilder) byte() byte {
+	if b.pos >= len(b.data) {
+		return 0
+	}
+	c := b.data[b.pos]
+	b.pos++
+	return c
+}
+
+func (b *exprBuilder) pickBool() gcl.Expr { return b.bools[int(b.byte())%len(b.bools)] }
+func (b *exprBuilder) pickInt() gcl.Expr  { return b.ints[int(b.byte())%len(b.ints)] }
+
+func (b *exprBuilder) step() {
+	switch b.byte() % 10 {
+	case 0:
+		b.bools = append(b.bools, gcl.Eq(b.pickInt(), b.pickInt()))
+	case 1:
+		b.bools = append(b.bools, gcl.Ne(b.pickInt(), b.pickInt()))
+	case 2:
+		b.bools = append(b.bools, gcl.Lt(b.pickInt(), b.pickInt()))
+	case 3:
+		b.bools = append(b.bools, gcl.Le(b.pickInt(), b.pickInt()))
+	case 4:
+		b.bools = append(b.bools, gcl.And(b.pickBool(), b.pickBool()))
+	case 5:
+		b.bools = append(b.bools, gcl.Or(b.pickBool(), b.pickBool()))
+	case 6:
+		b.bools = append(b.bools, gcl.Not(b.pickBool()))
+	case 7:
+		b.bools = append(b.bools, gcl.Implies(b.pickBool(), b.pickBool()))
+	case 8:
+		// Ite over ints widens to the larger domain; over bools it stays
+		// boolean. Both are legal — alternate on the next byte.
+		if b.byte()%2 == 0 {
+			b.ints = append(b.ints, gcl.Ite(b.pickBool(), b.pickInt(), b.pickInt()))
+		} else {
+			b.bools = append(b.bools, gcl.Ite(b.pickBool(), b.pickBool(), b.pickBool()))
+		}
+	case 9:
+		a := b.pickInt()
+		k := int(b.byte())
+		if b.byte()%2 == 0 {
+			b.ints = append(b.ints, gcl.AddSat(a, k%a.Type().Card))
+		} else {
+			b.ints = append(b.ints, gcl.AddMod(a, k%a.Type().Card))
+		}
+	}
+}
+
+// circuitToBDD is the test's own AIG-to-BDD walk (mirroring the symbolic
+// engine's): input ID i becomes BDD variable i.
+func circuitToBDD(m *bdd.Manager, b *circuit.Builder, l circuit.Lit, cache map[circuit.Lit]bdd.Ref) bdd.Ref {
+	if r, ok := cache[l]; ok {
+		return r
+	}
+	var r bdd.Ref
+	switch {
+	case l == circuit.False:
+		r = bdd.False
+	case l == circuit.True:
+		r = bdd.True
+	case l.Complemented():
+		r = m.Not(circuitToBDD(m, b, l.Not(), cache))
+	default:
+		if id, ok := b.InputID(l); ok {
+			r = m.Var(id)
+		} else if x, y, ok := b.Fanins(l); ok {
+			r = m.And(circuitToBDD(m, b, x, cache), circuitToBDD(m, b, y, cache))
+		} else {
+			panic("fuzz: unrecognized circuit literal")
+		}
+	}
+	cache[l] = r
+	return r
+}
+
+func FuzzExprEval(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{4, 0, 0, 1, 2, 3, 6, 1, 5, 2, 2, 9, 0, 3, 1, 8, 0, 1, 2, 0, 4})
+	f.Add([]byte{9, 9, 9, 8, 8, 8, 2, 2, 2, 7, 7, 7, 255, 254, 253})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 96 {
+			return // cap expression size; depth comes from stack reuse
+		}
+		sys := gcl.NewSystem("fuzz")
+		mod := sys.Module("m")
+		b1 := mod.Bool("b1", gcl.InitAny())
+		b2 := mod.Bool("b2", gcl.InitAny())
+		x := mod.Var("x", gcl.IntType("tx", 5), gcl.InitAny())
+		y := mod.Var("y", gcl.IntType("ty", 7), gcl.InitAny())
+		z := mod.Var("z", gcl.IntType("tz", 4), gcl.InitAny())
+		mod.Cmd("idle", gcl.True())
+		sys.MustFinalize()
+
+		eb := &exprBuilder{
+			data:  data,
+			bools: []gcl.Expr{gcl.X(b1), gcl.X(b2), gcl.True(), gcl.False()},
+			ints: []gcl.Expr{
+				gcl.X(x), gcl.X(y), gcl.X(z),
+				gcl.C(x.Type, 0), gcl.C(y.Type, 3), gcl.C(z.Type, 2),
+			},
+		}
+		for eb.pos < len(eb.data) {
+			eb.step()
+		}
+		expr := eb.bools[len(eb.bools)-1]
+		if len(eb.ints) > 6 {
+			// Fold the last derived integer in so AddSat/AddMod/Ite results
+			// are exercised even when no later comparison consumed them.
+			expr = gcl.And(gcl.Or(expr, gcl.Eq(eb.ints[len(eb.ints)-1], eb.pickInt())), gcl.Not(gcl.And(expr, gcl.False())))
+		}
+
+		comp := sys.Compile()
+		lit := comp.CompileExpr(expr)
+
+		m := bdd.New(comp.NumInputs(), bdd.Config{AutoReorder: true, ReorderStart: 1 << 7, CacheSize: 1 << 10})
+		ref := m.Protect(circuitToBDD(m, comp.B, lit, make(map[circuit.Lit]bdd.Ref)))
+
+		vars := []*gcl.Var{b1, b2, x, y, z}
+		st := make(gcl.State, len(sys.Vars()))
+		assign := make([]bool, comp.NumInputs())
+		var walk func(i int)
+		checkState := func() {
+			t.Helper()
+			concrete := gcl.Holds(expr, st)
+			comp.EncodeState(st, gcl.RoleCur, assign)
+			if got := comp.EvalLit(lit, assign); got != concrete {
+				t.Fatalf("circuit disagrees with interpreter on %s: circuit %v, concrete %v (expr %s)",
+					sys.FormatState(st), got, concrete, expr)
+			}
+			if got := m.Eval(ref, assign); got != concrete {
+				t.Fatalf("BDD disagrees with interpreter on %s: bdd %v, concrete %v (expr %s)",
+					sys.FormatState(st), got, concrete, expr)
+			}
+		}
+		walk = func(i int) {
+			if i == len(vars) {
+				checkState()
+				return
+			}
+			for v := 0; v < vars[i].Type.Card; v++ {
+				st.Set(vars[i], v)
+				walk(i + 1)
+			}
+		}
+		walk(0)
+
+		// A sifting pass must be invisible: same ref, same truth values.
+		m.Reorder()
+		walk(0)
+		m.ReorderIfPending()
+	})
+}

@@ -3,10 +3,12 @@ package mc_test
 import (
 	"testing"
 
+	"ttastartup/internal/bdd"
 	"ttastartup/internal/gcl"
 	"ttastartup/internal/mc"
 	"ttastartup/internal/mc/explicit"
 	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/tta/original"
 )
 
 // ctlCheckBoth evaluates a CTL formula with both engines and requires
@@ -145,5 +147,64 @@ func TestCTLNestedRecoveryShape(t *testing.T) {
 	sysBad, fBad := build(false)
 	if got := ctlCheckBoth(t, sysBad, "AGAF-bad", fBad); got != mc.Violated {
 		t.Errorf("unrecoverable system: %v, want violated", got)
+	}
+}
+
+// TestCTLUnderReordering: the CTL fixpoint loops hit the engine's GC
+// safe points mid-iteration, which with AutoReorder enabled may also
+// trigger sifting. Nested AG/AF/EU formulas over the bus model must
+// produce identical verdicts with reordering off and on, and agree with
+// the explicit-state evaluator.
+func TestCTLUnderReordering(t *testing.T) {
+	m, err := original.Build(original.Config{N: 3, FaultyNode: 1, FaultDegree: 2, DeltaInit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := mc.CTLAtom(m.Safety().Pred)
+	live := mc.CTLAtom(m.Liveness().Pred)
+	formulas := []struct {
+		name string
+		f    *mc.CTLFormula
+	}{
+		{"AG-safe", mc.CTLAG(safe)},
+		{"AF-live", mc.CTLAF(live)},
+		{"AG-AF-live", mc.CTLAG(mc.CTLAF(live))},
+		{"EU-safe-live", mc.CTLEU(safe, live)},
+		{"And-EF", mc.CTLAnd(mc.CTLEF(live), mc.CTLAG(mc.CTLOr(safe, live)))},
+	}
+	reorders := 0
+	for _, fc := range formulas {
+		t.Run(fc.name, func(t *testing.T) {
+			expRes, err := explicit.CheckCTL(m.Sys, fc.name, fc.f, explicit.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cfg := range []struct {
+				name string
+				opts symbolic.Options
+			}{
+				{"reorder-off", symbolic.Options{}},
+				{"reorder-on", symbolic.Options{BDD: bdd.Config{AutoReorder: true, ReorderStart: 1 << 9}}},
+			} {
+				eng, err := symbolic.New(m.Sys.Compile(), cfg.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := eng.CheckCTL(fc.name, fc.f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Verdict != expRes.Verdict {
+					t.Errorf("%s: symbolic %v, explicit %v", cfg.name, res.Verdict, expRes.Verdict)
+				}
+				reorders += res.Stats.Reorders
+			}
+		})
+	}
+	// The aggressive threshold should have fired at least once across the
+	// suite; if it never did, the reorder-on legs silently degenerated
+	// into the reorder-off legs and the test lost its point.
+	if reorders == 0 {
+		t.Error("no reordering triggered in any reorder-on run; lower ReorderStart")
 	}
 }

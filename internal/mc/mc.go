@@ -121,6 +121,7 @@ type Stats struct {
 	Visited    int      // explicit engine: states visited
 	Iterations int      // symbolic engine: fixpoint iterations; BMC: depth reached; IC3: frames
 	PeakNodes  int      // symbolic engine: peak live BDD nodes
+	Reorders   int      // symbolic engine: BDD sifting passes run
 	Conflicts  int      // SAT engines: CDCL conflicts
 
 	// SAT-engine query accounting (BMC, k-induction, IC3), filled by

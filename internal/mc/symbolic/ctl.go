@@ -55,9 +55,17 @@ func (e *Engine) evalCTL(f *mc.CTLFormula, reach bdd.Ref) bdd.Ref {
 	case mc.CTLNotOp:
 		return m.Diff(reach, e.evalCTL(f.L, reach))
 	case mc.CTLAndOp:
-		return m.And(e.evalCTL(f.L, reach), e.evalCTL(f.R, reach))
+		// The left result must survive the right subformula's fixpoints,
+		// whose safe points may GC or reorder — protect it across the call.
+		l := m.Protect(e.evalCTL(f.L, reach))
+		r := e.evalCTL(f.R, reach)
+		m.Unprotect(l)
+		return m.And(l, r)
 	case mc.CTLOrOp:
-		return m.Or(e.evalCTL(f.L, reach), e.evalCTL(f.R, reach))
+		l := m.Protect(e.evalCTL(f.L, reach))
+		r := e.evalCTL(f.R, reach)
+		m.Unprotect(l)
+		return m.Or(l, r)
 	case mc.CTLEXOp:
 		return ex(e.evalCTL(f.L, reach))
 	case mc.CTLEFOp:
@@ -71,7 +79,7 @@ func (e *Engine) evalCTL(f *mc.CTLFormula, reach bdd.Ref) bdd.Ref {
 			}
 			m.Unprotect(z)
 			z = m.Protect(next)
-			e.maybeGC()
+			e.maybeGC(target)
 		}
 		m.Unprotect(z)
 		return z
@@ -86,7 +94,7 @@ func (e *Engine) evalCTL(f *mc.CTLFormula, reach bdd.Ref) bdd.Ref {
 			}
 			m.Unprotect(z)
 			z = m.Protect(next)
-			e.maybeGC()
+			e.maybeGC(target)
 		}
 		m.Unprotect(z)
 		return z
@@ -102,7 +110,7 @@ func (e *Engine) evalCTL(f *mc.CTLFormula, reach bdd.Ref) bdd.Ref {
 			}
 			m.Unprotect(z)
 			z = m.Protect(next)
-			e.maybeGC()
+			e.maybeGC(l, r)
 		}
 		m.Unprotect(z)
 		return z

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"sort"
 
 	"ttastartup/internal/bdd"
 	"ttastartup/internal/circuit"
@@ -166,6 +167,15 @@ func (e *Engine) build() {
 	}
 	e.curToNext = e.m.NewPermutation(permCN)
 	e.nextToCur = e.m.NewPermutation(permNC)
+
+	// Pair-group the order for dynamic reordering: each cur bit moves with
+	// its next bit, so the renamings above stay order-preserving however
+	// sifting rearranges the pairs. Choice variables sift alone.
+	groups := make([][]int, 0, len(e.curVars))
+	for _, c := range e.curVars {
+		groups = append(groups, []int{c, c + 1})
+	}
+	e.m.SetGroups(groups)
 
 	// Compile circuit cones to BDDs.
 	cache := make(map[circuit.Lit]bdd.Ref)
@@ -341,11 +351,17 @@ func (e *Engine) ReachableCtx(ctx context.Context) (bdd.Ref, error) {
 	return e.reach, nil
 }
 
+// maybeGC is the engine's safe point: no unprotected intermediate results
+// are live here except the extra roots, so both garbage collection and
+// dynamic reordering (which starts and ends with a GC) may run.
 func (e *Engine) maybeGC(extra ...bdd.Ref) {
 	if e.m.NumNodes() > e.peakNodes {
 		e.peakNodes = e.m.NumNodes()
 	}
 	e.m.PublishObs()
+	if _, ran := e.m.ReorderIfPending(extra...); ran {
+		return
+	}
 	if e.m.ShouldGC() {
 		e.m.GC(extra...)
 	}
@@ -380,6 +396,7 @@ func (e *Engine) fillStats(st *mc.Stats) {
 	st.BDDVars = e.comp.NumInputs()
 	st.Iterations = e.iters
 	st.PeakNodes = e.peakNodes
+	st.Reorders = e.m.SnapshotStats().Reorders
 }
 
 // CheckInvariant checks G(pred) symbolically.
@@ -535,13 +552,14 @@ func (e *Engine) cubeOf(vars []int) bdd.Ref { return e.m.Cube(vars) }
 
 // StateBDD encodes a concrete state as a BDD over current variables.
 func (e *Engine) StateBDD(st gcl.State) bdd.Ref {
+	// Conjoin from the bottom of the (possibly reordered) order upward so
+	// the intermediate results stay linear in size.
+	ids := make([]int, 0, len(e.curVars))
+	ids = append(ids, e.curVars...)
+	sort.Slice(ids, func(a, b int) bool { return e.m.VarLevel(ids[a]) > e.m.VarLevel(ids[b]) })
 	r := bdd.True
-	// Conjoin from the bottom of the order upward for linear-size result.
-	for i := len(e.comp.Bits) - 1; i >= 0; i-- {
+	for _, i := range ids {
 		info := e.comp.Bits[i]
-		if info.Role != gcl.RoleCur {
-			continue
-		}
 		bitSet := st[info.Var.ID()]&(1<<info.Bit) != 0
 		if bitSet {
 			r = e.m.And(e.m.Var(i), r)

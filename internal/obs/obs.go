@@ -48,6 +48,12 @@ const (
 	MBDDGCFreed     = "bdd.gc.freed"     // counter: nodes reclaimed across all GCs
 	MBDDGCPauseUS   = "bdd.gc.pause_us"  // histogram: stop-the-world pause per GC
 
+	// BDD dynamic reordering (pair-grouped sifting).
+	MBDDReorders       = "bdd.reorder.count"    // counter: sifting passes run
+	MBDDReorderSwaps   = "bdd.reorder.swaps"    // counter: adjacent-level swaps across all passes
+	MBDDReorderGain    = "bdd.reorder.gain"     // counter: live nodes shed (before-after, summed)
+	MBDDReorderPauseUS = "bdd.reorder.pause_us" // histogram: wall time per sifting pass
+
 	// Engines.
 	MExplicitVisited  = "explicit.visited"    // gauge: states visited so far
 	MExplicitFrontier = "explicit.frontier"   // gauge: size of the current BFS layer
