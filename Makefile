@@ -14,9 +14,13 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# go vet plus the repo's own analyzers (cmd/ttavet): *Ctx parameter
+# convention, obs nil-receiver discipline, wall-clock ban in the
+# deterministic kernels.
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/ttavet .
 
 .PHONY: build
 build:

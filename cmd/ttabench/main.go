@@ -35,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		expName  = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6a, fig6b, fig6c, fig6d, baseline, feedback, bigbang, wcsup, campaign, restart, ablation, ic3, order, all")
+		expName  = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6a, fig6b, fig6c, fig6d, baseline, feedback, bigbang, wcsup, campaign, restart, ablation, ic3, order, opt, all")
 		full     = flag.Bool("full", false, "use the paper's full parameters (slow; quick scale is the default)")
 		nsFlag   = flag.String("n", "", "comma-separated cluster sizes (default per experiment)")
 		measure  = flag.Bool("measure", true, "measure reachable-state counts where applicable")
@@ -44,6 +44,7 @@ func run() error {
 		jsonOut  = flag.Bool("json", false, "emit campaign-store JSONL records instead of tables (fig4, fig6a-d only)")
 		obsOut   = flag.String("obs-out", "", "write the final metrics registry as JSON to this file (default BENCH_obs.json with -json, off otherwise)")
 		orderOut = flag.String("order-out", "BENCH_order.json", "write the order experiment's rows as JSON to this file (empty: table only)")
+		optOut   = flag.String("opt-out", "BENCH_opt.json", "write the opt experiment's rows as JSON to this file (empty: table only)")
 	)
 	flag.Parse()
 
@@ -262,6 +263,29 @@ func run() error {
 					return err
 				}
 			}
+		case "opt":
+			n := 3
+			if scale == exp.Full {
+				n = 4
+			}
+			if len(ns) == 1 {
+				n = ns[0]
+			}
+			rows, table, err := exp.OptCompare(scale, n)
+			if err != nil {
+				return err
+			}
+			fmt.Println(table)
+			if *optOut != "" {
+				f, err := os.Create(*optOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := exp.WriteOptReport(f, scale, n, rows); err != nil {
+					return err
+				}
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -278,7 +302,7 @@ func run() error {
 	}
 
 	if *expName == "all" {
-		for _, name := range []string{"fig3", "fig5", "baseline", "campaign", "restart", "ablation", "bigbang", "wcsup", "feedback", "ic3", "fig4", "fig6a", "fig6c", "fig6d", "fig6b"} {
+		for _, name := range []string{"fig3", "fig5", "baseline", "campaign", "restart", "ablation", "bigbang", "wcsup", "feedback", "ic3", "opt", "fig4", "fig6a", "fig6c", "fig6d", "fig6b"} {
 			if err := timedRun(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

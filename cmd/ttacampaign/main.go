@@ -68,6 +68,7 @@ func run() (int, error) {
 		cancelAfter = flag.Int("cancel-after", 0, "cancel the campaign gracefully after this many jobs finish (testing hook; 0: off)")
 		nodeLimit   = flag.Int("bdd-nodes", 0, "BDD node limit per job (0: default)")
 		reorder     = flag.Bool("reorder", false, "enable dynamic BDD variable reordering in symbolic jobs")
+		optimize    = flag.Bool("opt", true, "run the static model-optimization pipeline per job (COI slicing, constant propagation, range narrowing); counterexamples are inflated back to the full model")
 		bmcDepth    = flag.Int("depth", 0, "bmc unrolling depth (0: 2·w_sup)")
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON file here (one lane per worker)")
 		spanlog     = flag.String("spanlog", "", "append one JSON line per finished span to this file")
@@ -133,6 +134,7 @@ func run() (int, error) {
 		Options: core.Options{
 			Symbolic: symbolic.Options{BDD: bdd.Config{NodeLimit: *nodeLimit, AutoReorder: *reorder}},
 			BMCDepth: *bmcDepth,
+			Opt:      *optimize,
 			Obs:      scope,
 		},
 	}

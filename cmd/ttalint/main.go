@@ -24,6 +24,7 @@ import (
 	"ttastartup/internal/campaign"
 	"ttastartup/internal/gcl"
 	"ttastartup/internal/gcl/lint"
+	"ttastartup/internal/mc"
 	"ttastartup/internal/tta/original"
 	"ttastartup/internal/tta/startup"
 )
@@ -54,32 +55,38 @@ func run() error {
 	)
 	flag.Parse()
 
-	opts := lint.Options{BDD: bdd.Config{NodeLimit: *nodeLimit}}
-
-	var systems []*gcl.System
+	var targets []target
 	if *all {
 		var err error
-		systems, err = allSystems(*n)
+		targets, err = allTargets(*n)
 		if err != nil {
 			return err
 		}
 	} else {
-		sys, err := oneSystem(*topology, startupConfig(*n, *faultyNode, *faultyHub, *degree, *deltaInit,
+		tg, err := oneTarget(*topology, startupConfig(*n, *faultyNode, *faultyHub, *degree, *deltaInit,
 			*noFeedback, *noBigBang, *noILinks, *restart), *faultyNode, *degree, *deltaInit)
 		if err != nil {
 			return err
 		}
-		systems = []*gcl.System{sys}
+		targets = []target{tg}
 	}
 
 	// Lint on a bounded pool (each model gets its own analyzer and BDD
 	// manager, so runs are independent); reports land at their input index,
-	// keeping the output order deterministic regardless of -j.
-	reports := make([]*lint.Report, len(systems))
-	err := campaign.ForEach(context.Background(), *workers, len(systems), func(ctx context.Context, i int) error {
-		rep, lerr := lint.Run(systems[i], opts)
+	// keeping the output order deterministic regardless of -j. Every check
+	// on a system shares one compiled context, and the model's lemma
+	// predicates feed the cone-of-influence pass (GCL011).
+	reports := make([]*lint.Report, len(targets))
+	err := campaign.ForEach(context.Background(), *workers, len(targets), func(ctx context.Context, i int) error {
+		tg := targets[i]
+		opts := lint.Options{
+			BDD:      bdd.Config{NodeLimit: *nodeLimit},
+			Preds:    tg.preds,
+			Compiled: tg.sys.Compile(),
+		}
+		rep, lerr := lint.Run(tg.sys, opts)
 		if lerr != nil {
-			return fmt.Errorf("%s: %w", systems[i].Name, lerr)
+			return fmt.Errorf("%s: %w", tg.sys.Name, lerr)
 		}
 		reports[i] = rep
 		return nil
@@ -124,14 +131,37 @@ func startupConfig(n, faultyNode, faultyHub, degree, deltaInit int, noFeedback, 
 	return cfg
 }
 
-func oneSystem(topology string, cfg startup.Config, faultyNode, degree, deltaInit int) (*gcl.System, error) {
+// A target pairs a model's system with the lemma predicates checked
+// against it, so the linter knows the properties' cones of influence.
+type target struct {
+	sys   *gcl.System
+	preds []gcl.Expr
+}
+
+func hubTarget(m *startup.Model) target {
+	bound := m.P.WorstCaseStartup() + m.P.Round()
+	var preds []gcl.Expr
+	for _, p := range []mc.Property{
+		m.Safety(), m.Liveness(), m.Timeliness(bound),
+		m.NoError(), m.HubsAgree(), m.NodeHubAgree(), m.LocksOnlyFaulty(),
+	} {
+		preds = append(preds, p.Pred)
+	}
+	return target{sys: m.Sys, preds: preds}
+}
+
+func busTarget(m *original.Model) target {
+	return target{sys: m.Sys, preds: []gcl.Expr{m.Safety().Pred, m.Liveness().Pred}}
+}
+
+func oneTarget(topology string, cfg startup.Config, faultyNode, degree, deltaInit int) (target, error) {
 	switch topology {
 	case "hub":
 		m, err := startup.Build(cfg)
 		if err != nil {
-			return nil, err
+			return target{}, err
 		}
-		return m.Sys, nil
+		return hubTarget(m), nil
 	case "bus":
 		ocfg := original.DefaultConfig(cfg.N)
 		ocfg.FaultyNode = faultyNode
@@ -141,20 +171,20 @@ func oneSystem(topology string, cfg startup.Config, faultyNode, degree, deltaIni
 		ocfg.DeltaInit = deltaInit
 		m, err := original.Build(ocfg)
 		if err != nil {
-			return nil, err
+			return target{}, err
 		}
-		return m.Sys, nil
+		return busTarget(m), nil
 	default:
-		return nil, fmt.Errorf("unknown topology %q (want hub or bus)", topology)
+		return target{}, fmt.Errorf("unknown topology %q (want hub or bus)", topology)
 	}
 }
 
-// allSystems builds the sweep the regression gate runs: the hub-topology
+// allTargets builds the sweep the regression gate runs: the hub-topology
 // model with big-bang on and off, fault-free, with a faulty hub, and with a
 // faulty node at every degree 1..6; plus the bus-topology baseline
 // fault-free and at every degree 1..3.
-func allSystems(n int) ([]*gcl.System, error) {
-	var systems []*gcl.System
+func allTargets(n int) ([]target, error) {
+	var targets []target
 	for _, bigBang := range []bool{true, false} {
 		add := func(cfg startup.Config) error {
 			cfg.DisableBigBang = !bigBang
@@ -162,7 +192,7 @@ func allSystems(n int) ([]*gcl.System, error) {
 			if err != nil {
 				return err
 			}
-			systems = append(systems, m.Sys)
+			targets = append(targets, hubTarget(m))
 			return nil
 		}
 		if err := add(startup.DefaultConfig(n)); err != nil {
@@ -184,7 +214,7 @@ func allSystems(n int) ([]*gcl.System, error) {
 		if err != nil {
 			return err
 		}
-		systems = append(systems, m.Sys)
+		targets = append(targets, busTarget(m))
 		return nil
 	}
 	if err := addBus(original.DefaultConfig(n)); err != nil {
@@ -198,5 +228,5 @@ func allSystems(n int) ([]*gcl.System, error) {
 			return nil, err
 		}
 	}
-	return systems, nil
+	return targets, nil
 }

@@ -29,6 +29,7 @@ import (
 	"ttastartup/internal/core"
 	"ttastartup/internal/gcl"
 	"ttastartup/internal/gcl/lint"
+	"ttastartup/internal/gcl/opt"
 	"ttastartup/internal/mc"
 	"ttastartup/internal/mc/bmc"
 	"ttastartup/internal/mc/explicit"
@@ -73,6 +74,7 @@ func run() (err error) {
 		timeout    = flag.Duration("timeout", 0, "per-lemma budget; exceeding it reports INCONCLUSIVE (deadline) (0: none)")
 		nodeLimit  = flag.Int("bdd-nodes", 0, "BDD node limit (0: default)")
 		reorder    = flag.Bool("reorder", false, "enable dynamic BDD variable reordering (pair-grouped sifting) in the symbolic engine")
+		optimize   = flag.Bool("opt", false, "run the static model-optimization pipeline (COI slicing, constant propagation, range narrowing) before checking; counterexamples are inflated back to the full model")
 		lintMode   = flag.String("lint", "on", "static analysis gate: on (refuse error-level diagnostics), warn (also print warnings), off")
 		model      = flag.String("model", "hub", "topology: hub (star, central guardians) or bus (the paper's original design)")
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON file here (view in chrome://tracing or Perfetto)")
@@ -121,7 +123,7 @@ func run() (err error) {
 			return fmt.Errorf("-faulty-hub, -wcsup, -recovery, -count and -restartable apply to the hub model only")
 		}
 		return runBus(scope, *n, *faultyNode, *degree, *deltaInit, *lemmas,
-			*engine, *depth, *nodeLimit, *reorder, *cex, *dumpModel, *lintMode, *timeout)
+			*engine, *depth, *nodeLimit, *reorder, *optimize, *cex, *dumpModel, *lintMode, *timeout)
 	}
 	if *model != "hub" {
 		return fmt.Errorf("unknown -model %q (want hub or bus)", *model)
@@ -145,6 +147,7 @@ func run() (err error) {
 		Explicit:        explicit.Options{},
 		BMCDepth:        *depth,
 		TimelinessBound: *bound,
+		Opt:             *optimize,
 		Obs:             scope,
 	}
 	suite, err := core.NewSuite(cfg, opts)
@@ -155,7 +158,13 @@ func run() (err error) {
 		suite.Model.Sys.Name, cfg.FaultyNode, cfg.FaultyHub, cfg.FaultDegree,
 		cfg.DeltaInit, !cfg.DisableBigBang, cfg.Feedback)
 
-	if err := lintGate(suite.Model.Sys, *lintMode, *nodeLimit); err != nil {
+	var lintPreds []gcl.Expr
+	for _, l := range append(core.AllLemmas(), core.SanityLemmas()...) {
+		if p, perr := suite.Property(l); perr == nil {
+			lintPreds = append(lintPreds, p.Pred)
+		}
+	}
+	if err := lintGate(suite.Model.Sys, lintPreds, suite.Compiled(), *lintMode, *nodeLimit); err != nil {
 		return err
 	}
 
@@ -188,11 +197,11 @@ func run() (err error) {
 	}
 
 	if *recovery {
-		eng, err := suite.Symbolic()
-		if err != nil {
-			return err
+		ctlEng := core.EngineSymbolic
+		if *engine == "explicit" {
+			ctlEng = core.EngineExplicit
 		}
-		res, err := eng.CheckCTL("recovery AG(AF all-active)", suite.Model.Recovery())
+		res, err := suite.CheckRecovery(ctlEng)
 		if err != nil {
 			return err
 		}
@@ -264,9 +273,12 @@ func run() (err error) {
 // lintGate refuses to model check a system that the static analyzer flags
 // with error-level diagnostics: verifying lemmas against a model with
 // unreachable commands or out-of-domain updates proves nothing about the
-// algorithm. -lint=warn additionally prints warning-level findings;
-// -lint=off bypasses the gate.
-func lintGate(sys *gcl.System, mode string, nodeLimit int) error {
+// algorithm. The lemma predicates feed the cone-of-influence check
+// (GCL011), and the caller's compiled context is shared so the lint pass
+// and the model-checking run lower the system to boolean form exactly
+// once. -lint=warn additionally prints warning-level findings; -lint=off
+// bypasses the gate.
+func lintGate(sys *gcl.System, preds []gcl.Expr, comp *gcl.Compiled, mode string, nodeLimit int) error {
 	switch mode {
 	case "off":
 		return nil
@@ -274,7 +286,7 @@ func lintGate(sys *gcl.System, mode string, nodeLimit int) error {
 	default:
 		return fmt.Errorf("unknown -lint mode %q (want on, warn, or off)", mode)
 	}
-	rep, err := lint.Run(sys, lint.Options{BDD: bdd.Config{NodeLimit: nodeLimit}})
+	rep, err := lint.Run(sys, lint.Options{BDD: bdd.Config{NodeLimit: nodeLimit}, Preds: preds, Compiled: comp})
 	if err != nil {
 		return err
 	}
@@ -315,6 +327,10 @@ func printResult(res *mc.Result) {
 		extra += fmt.Sprintf("  conflicts=%d propagations=%d depth=%d",
 			stats.Conflicts, stats.Propagations, stats.Iterations)
 	}
+	if stats.OptBitsSaved > 0 {
+		extra += fmt.Sprintf("  opt(-%d vars -%d cmds -%d bits)",
+			stats.OptVarsDropped, stats.OptCmdsDropped, stats.OptBitsSaved)
+	}
 	fmt.Printf("%-14s [%s] %-18s cpu=%v%s\n",
 		res.Property.Name, stats.Engine, res.Verdict, stats.Duration.Round(1000000), extra)
 }
@@ -322,7 +338,7 @@ func printResult(res *mc.Result) {
 // runBus checks the paper's original bus topology (internal/tta/original):
 // no guardians, so only the safety and liveness lemmas exist.
 func runBus(scope obs.Scope, n, faultyNode, degree, deltaInit int, lemmas, engine string,
-	depth, nodeLimit int, reorder, cex, dumpModel bool, lintMode string, timeout time.Duration) error {
+	depth, nodeLimit int, reorder, optimize, cex, dumpModel bool, lintMode string, timeout time.Duration) error {
 	cfg := original.Config{
 		N:           n,
 		FaultyNode:  faultyNode,
@@ -338,7 +354,11 @@ func runBus(scope obs.Scope, n, faultyNode, degree, deltaInit int, lemmas, engin
 	}
 	fmt.Printf("model: %s  (faulty-node=%d degree=%d δ_init=%d)\n",
 		m.Sys.Name, cfg.FaultyNode, cfg.FaultDegree, cfg.DeltaInit)
-	if err := lintGate(m.Sys, lintMode, nodeLimit); err != nil {
+	var comp *gcl.Compiled
+	if lintMode != "off" {
+		comp = m.Sys.Compile()
+	}
+	if err := lintGate(m.Sys, []gcl.Expr{m.Safety().Pred, m.Liveness().Pred}, comp, lintMode, nodeLimit); err != nil {
 		return err
 	}
 	if dumpModel {
@@ -356,6 +376,7 @@ func runBus(scope obs.Scope, n, faultyNode, degree, deltaInit int, lemmas, engin
 	opts := core.Options{
 		Symbolic: symbolic.Options{BDD: bdd.Config{NodeLimit: nodeLimit, AutoReorder: reorder}},
 		BMCDepth: depth,
+		Opt:      optimize,
 		Obs:      scope,
 	}
 	opts.Normalize()
@@ -379,7 +400,7 @@ func runBus(scope obs.Scope, n, faultyNode, degree, deltaInit int, lemmas, engin
 		if timeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, timeout)
 		}
-		res, err := checkBusProp(ctx, m, prop, eng, opts)
+		res, err := checkBusProp(ctx, m, comp, prop, eng, opts)
 		if cancel != nil {
 			cancel()
 		}
@@ -405,41 +426,80 @@ func runBus(scope obs.Scope, n, faultyNode, degree, deltaInit int, lemmas, engin
 	return nil
 }
 
-// checkBusProp dispatches one bus-model property to the chosen engine.
-func checkBusProp(ctx context.Context, m *original.Model, prop mc.Property, eng core.Engine, opts core.Options) (*mc.Result, error) {
+// checkBusProp dispatches one bus-model property to the chosen engine,
+// optionally through the per-property optimized system (traces come back
+// inflated to full bus-model states). comp, when non-nil, is the caller's
+// compilation of m.Sys (shared with the lint gate); the optimized system
+// always gets a fresh compilation of its own.
+func checkBusProp(ctx context.Context, m *original.Model, comp *gcl.Compiled, prop mc.Property, eng core.Engine, opts core.Options) (*mc.Result, error) {
+	sys := m.Sys
+	var oo *opt.Optimized
+	if opts.Opt {
+		var oprop mc.Property
+		var err error
+		oo, oprop, err = core.OptimizeProp(m.Sys, prop)
+		if err != nil {
+			return nil, err
+		}
+		sys = oo.Sys
+		prop = oprop
+		comp = nil
+	}
+	compile := func() *gcl.Compiled {
+		if comp == nil {
+			comp = sys.Compile()
+		}
+		return comp
+	}
+
+	var res *mc.Result
+	var err error
 	switch eng {
 	case core.EngineSymbolic:
-		s, err := symbolic.New(m.Sys.Compile(), opts.Symbolic)
+		var s *symbolic.Engine
+		s, err = symbolic.New(compile(), opts.Symbolic)
 		if err != nil {
 			return nil, err
 		}
 		if prop.Kind == mc.Eventually {
-			return s.CheckEventuallyCtx(ctx, prop)
+			res, err = s.CheckEventuallyCtx(ctx, prop)
+		} else {
+			res, err = s.CheckInvariantCtx(ctx, prop)
 		}
-		return s.CheckInvariantCtx(ctx, prop)
 	case core.EngineExplicit:
 		if prop.Kind == mc.Eventually {
-			return explicit.CheckEventuallyCtx(ctx, m.Sys, prop, opts.Explicit)
+			res, err = explicit.CheckEventuallyCtx(ctx, sys, prop, opts.Explicit)
+		} else {
+			res, err = explicit.CheckInvariantCtx(ctx, sys, prop, opts.Explicit)
 		}
-		return explicit.CheckInvariantCtx(ctx, m.Sys, prop, opts.Explicit)
 	case core.EngineBMC:
 		bopts := bmc.Options{MaxDepth: opts.BMCDepth, Obs: opts.Obs}
 		if prop.Kind == mc.Eventually {
-			return bmc.CheckEventuallyRefuteCtx(ctx, m.Sys.Compile(), prop, bopts)
+			res, err = bmc.CheckEventuallyRefuteCtx(ctx, compile(), prop, bopts)
+		} else {
+			res, err = bmc.CheckInvariantCtx(ctx, compile(), prop, bopts)
 		}
-		return bmc.CheckInvariantCtx(ctx, m.Sys.Compile(), prop, bopts)
 	case core.EngineInduction:
 		if prop.Kind == mc.Eventually {
 			return nil, fmt.Errorf("k-induction cannot prove liveness")
 		}
-		return bmc.CheckInvariantInductionCtx(ctx, m.Sys.Compile(), prop,
+		res, err = bmc.CheckInvariantInductionCtx(ctx, compile(), prop,
 			bmc.InductionOptions{MaxK: opts.BMCDepth, Obs: opts.Obs})
 	case core.EngineIC3:
 		if prop.Kind == mc.Eventually {
 			return nil, fmt.Errorf("ic3 cannot prove liveness")
 		}
-		return ic3.CheckInvariantCtx(ctx, m.Sys.Compile(), prop, opts.IC3)
+		res, err = ic3.CheckInvariantCtx(ctx, compile(), prop, opts.IC3)
 	default:
 		return nil, fmt.Errorf("unknown engine %v", eng)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if oo != nil {
+		if err := core.FinishOpt(res, oo, opts.Obs); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }

@@ -1,0 +1,52 @@
+// Command ttavet runs the repo's own Go static checks (internal/analysis)
+// over the module: conventions ordinary go vet cannot see, like the *Ctx
+// naming contract, the obs nil-receiver discipline, and the wall-clock ban
+// in the deterministic kernels. Built on the standard library's go/ast so
+// the module stays dependency-free.
+//
+// Usage:
+//
+//	ttavet            vet the module rooted at the working directory
+//	ttavet ./path     vet the tree rooted at path
+//	ttavet -list      print the analyzers and exit
+//
+// Findings print as "path:line:col: [analyzer] message"; the exit status
+// is 1 when there is at least one finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ttastartup/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	diags, err := analysis.Run(root, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttavet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ttavet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,154 @@
+// Package analysis holds the repo's own static checks for Go source,
+// modeled on the go/analysis Analyzer shape but built on the standard
+// library alone (go/ast, go/parser, go/token) so the module keeps its
+// zero-dependency policy. cmd/ttavet is the driver; `make vet` runs it
+// over the whole module.
+//
+// The three analyzers encode repo conventions that ordinary go vet cannot
+// see:
+//
+//   - ctxfirst: a function or method named *Ctx takes a context.Context as
+//     its first parameter (the core/mc engine convention).
+//   - obsnil: the nil-safe observability types (obs.Registry, Counter,
+//     Gauge, Tracer, ...) guard the receiver against nil before the first
+//     dereference, so a disabled Scope stays a no-op.
+//   - notimenow: the deterministic kernels (internal/gcl, internal/circuit,
+//     internal/sat) never read the wall clock; timing belongs to the obs
+//     layer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a package's syntax trees.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, e.g. "ctxfirst".
+	Name string
+	// Doc is the one-paragraph description shown by ttavet -help.
+	Doc string
+	// Applies reports whether the analyzer runs on the package at the
+	// given module-relative directory (slash-separated, e.g.
+	// "internal/gcl/opt"). A nil Applies means every package.
+	Applies func(rel string) bool
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one package's parsed files to an analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	// Rel is the package directory relative to the module root,
+	// slash-separated ("." for the root).
+	Rel string
+	// Files holds the package's non-test files, file name order.
+	Files []*ast.File
+
+	report func(Diagnostic)
+}
+
+// Report records one finding.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: p.Fset.Position(pos), Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the repo's analyzers in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{CtxFirst, ObsNil, NoTimeNow}
+}
+
+// Run parses every package under root (skipping testdata, hidden
+// directories, and _test.go files) and applies the analyzers, returning
+// the findings sorted by position. Parse errors are returned, not
+// reported: the build must be green before style checks mean anything.
+func Run(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	pkgs := map[string][]*ast.File{} // rel dir -> files
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		rel, rerr := filepath.Rel(root, filepath.Dir(path))
+		if rerr != nil {
+			return rerr
+		}
+		rel = filepath.ToSlash(rel)
+		pkgs[rel] = append(pkgs[rel], f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rels := make([]string, 0, len(pkgs))
+	for rel := range pkgs {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+
+	var diags []Diagnostic
+	for _, rel := range rels {
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(rel) {
+				continue
+			}
+			pass := &Pass{Fset: fset, Rel: rel, Files: pkgs[rel]}
+			name := a.Name
+			pass.report = func(d Diagnostic) {
+				d.Analyzer = name
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", rel, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// under reports whether rel is dir or inside it.
+func under(rel, dir string) bool {
+	return rel == dir || strings.HasPrefix(rel, dir+"/")
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runOn parses src as a single file of a package at rel and applies a,
+// returning the findings.
+func runOn(t *testing.T, a *Analyzer, rel, src string) []Diagnostic {
+	t.Helper()
+	if a.Applies != nil && !a.Applies(rel) {
+		t.Fatalf("analyzer %s does not apply to %s", a.Name, rel)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, rel+"/x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	pass := &Pass{Fset: fset, Rel: rel, Files: []*ast.File{f}}
+	pass.report = func(d Diagnostic) {
+		d.Analyzer = a.Name
+		diags = append(diags, d)
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func wantFindings(t *testing.T, diags []Diagnostic, substrs ...string) {
+	t.Helper()
+	if len(diags) != len(substrs) {
+		t.Fatalf("got %d finding(s) %v, want %d", len(diags), diags, len(substrs))
+	}
+	for i, want := range substrs {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("finding %d = %q, want substring %q", i, diags[i].Message, want)
+		}
+	}
+}
+
+func TestCtxFirst(t *testing.T) {
+	diags := runOn(t, CtxFirst, "internal/demo", `package demo
+
+import "context"
+
+func GoodCtx(ctx context.Context, n int) {}
+
+func (s *Suite) FineCtx(ctx context.Context) {}
+
+func BadCtx(n int, ctx context.Context) {}
+
+func MissingCtx(n int) {}
+
+type Suite struct{}
+
+func (s *Suite) WorseCtx() {}
+`)
+	wantFindings(t, diags,
+		"BadCtx is named *Ctx but its first parameter is not a context.Context",
+		"MissingCtx is named *Ctx but its first parameter is not a context.Context",
+		"WorseCtx is named *Ctx but its first parameter is not a context.Context")
+}
+
+func TestCtxFirstIgnoresPlainNames(t *testing.T) {
+	diags := runOn(t, CtxFirst, "internal/demo", `package demo
+
+func Check(n int) {}
+func Context(n int) {}
+`)
+	wantFindings(t, diags)
+}
+
+func TestObsNil(t *testing.T) {
+	diags := runOn(t, ObsNil, "internal/obs", `package obs
+
+type Counter struct{ v int64 }
+
+// Guarded before the dereference: fine.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Dereferences without any guard: flagged.
+func (c *Counter) Add(n int64) {
+	c.v += n
+}
+
+type Registry struct{ m map[string]*Counter }
+
+// Calls a method on the receiver only: fine, the callee guards itself.
+func (r *Registry) Touch() { r.Reset() }
+
+// Guard comes after the dereference: flagged.
+func (r *Registry) Reset() {
+	n := len(r.m)
+	if r == nil || n == 0 {
+		return
+	}
+	r.m = nil
+}
+
+// Unexported methods are outside the contract.
+func (r *Registry) reset() { r.m = nil }
+
+// Value receivers are outside the contract.
+type Scope struct{ Reg *Registry }
+
+func (s Scope) Enabled() bool { return s.Reg != nil }
+`)
+	wantFindings(t, diags,
+		"Counter.Add dereferences receiver c before checking it against nil",
+		"Registry.Reset dereferences receiver r before checking it against nil")
+}
+
+func TestNoTimeNow(t *testing.T) {
+	src := `package gcl
+
+import "time"
+
+func stamp() time.Time { return time.Now() }
+
+func dur(d time.Duration) time.Duration { return d }
+`
+	wantFindings(t, runOn(t, NoTimeNow, "internal/gcl/opt", src),
+		"time.Now in a deterministic kernel package (internal/gcl/opt)")
+	wantFindings(t, runOn(t, NoTimeNow, "internal/sat", strings.Replace(src, "package gcl", "package sat", 1)),
+		"time.Now in a deterministic kernel package (internal/sat)")
+}
+
+func TestNoTimeNowAllowsRenamedAndShadowed(t *testing.T) {
+	diags := runOn(t, NoTimeNow, "internal/circuit", `package circuit
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+func tick() int {
+	var time fakeClock
+	return time.Now()
+}
+`)
+	wantFindings(t, diags)
+}
+
+func TestNoTimeNowZones(t *testing.T) {
+	for _, rel := range []string{"internal/gcl", "internal/gcl/lint", "internal/circuit", "internal/sat"} {
+		if !NoTimeNow.Applies(rel) {
+			t.Errorf("notimenow should apply to %s", rel)
+		}
+	}
+	for _, rel := range []string{"internal/obs", "internal/mc/bmc", "cmd/ttamc", "internal/gclx"} {
+		if NoTimeNow.Applies(rel) {
+			t.Errorf("notimenow should not apply to %s", rel)
+		}
+	}
+}
+
+// TestRunOnModule runs the full driver over the repo: the tree must be
+// clean, which is exactly what `make vet` enforces in CI.
+func TestRunOnModule(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Skip("module root not found:", err)
+	}
+	diags, err := Run(root, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

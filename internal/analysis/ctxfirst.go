@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxFirst enforces the engine-layer naming convention: a function or
+// method whose name ends in "Ctx" is the context-aware variant of an
+// operation, and its first parameter must be a context.Context so call
+// sites read uniformly and cancellation always threads through the first
+// argument.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "functions named *Ctx must take a context.Context as their first parameter",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !strings.HasSuffix(fn.Name.Name, "Ctx") || fn.Name.Name == "Ctx" {
+					continue
+				}
+				params := fn.Type.Params
+				if params == nil || len(params.List) == 0 || !isContextContext(params.List[0].Type) {
+					pass.Report(fn.Pos(), "%s is named *Ctx but its first parameter is not a context.Context", fn.Name.Name)
+					continue
+				}
+				// The convention also fixes the spelling: one context,
+				// first position, not bundled with later params.
+				if len(params.List[0].Names) > 1 {
+					pass.Report(fn.Pos(), "%s bundles the context with other parameters; declare it alone and first", fn.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// isContextContext matches the syntactic form context.Context. Without
+// type information an aliased import would evade it, but the repo imports
+// context unrenamed everywhere.
+func isContextContext(t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context"
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// timeForbiddenZones are the deterministic kernels: the guarded-command
+// layer (including its compiler, linter, and optimizer), the circuit
+// builder, and the SAT solver. Reading the wall clock there would make
+// state exploration, proofs, and replayable traces depend on scheduling;
+// all timing lives in the obs layer, injected as a clock where needed.
+var timeForbiddenZones = []string{
+	"internal/gcl",
+	"internal/circuit",
+	"internal/sat",
+}
+
+// NoTimeNow rejects time.Now in the deterministic kernels.
+var NoTimeNow = &Analyzer{
+	Name: "notimenow",
+	Doc:  "the deterministic kernels (internal/gcl, internal/circuit, internal/sat) must not read the wall clock",
+	Applies: func(rel string) bool {
+		for _, zone := range timeForbiddenZones {
+			if under(rel, zone) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			if !importsTime(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Now" {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" && id.Obj == nil {
+					pass.Report(sel.Pos(), "time.Now in a deterministic kernel package (%s); inject a clock or move timing to internal/obs", pass.Rel)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// importsTime reports whether the file imports the time package under its
+// default name (a renamed import keeps the `time` identifier free, and
+// id.Obj != nil above catches local shadowing).
+func importsTime(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"time"` && (imp.Name == nil || imp.Name.Name == "time") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// obsNilSafeTypes are the observability types whose package contract says
+// every method is a safe no-op on a nil receiver (see the internal/obs
+// package comment): a disabled Scope hands out nil pointers and the hot
+// paths pay one branch, never a panic.
+var obsNilSafeTypes = map[string]bool{
+	"Registry":  true,
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Tracer":    true,
+	"Span":      true,
+}
+
+// ObsNil enforces that contract structurally: an exported pointer-receiver
+// method on a nil-safe obs type must check the receiver against nil before
+// the first receiver dereference. Calling another method on the receiver
+// is fine (that method guards itself); reading a field is not.
+var ObsNil = &Analyzer{
+	Name:    "obsnil",
+	Doc:     "exported methods on nil-safe obs types must nil-check the receiver before dereferencing it",
+	Applies: func(rel string) bool { return under(rel, "internal/obs") },
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+					continue
+				}
+				recv := fn.Recv.List[0]
+				tname, ptr := recvType(recv.Type)
+				if !ptr || !obsNilSafeTypes[tname] || len(recv.Names) == 0 {
+					continue
+				}
+				rname := recv.Names[0].Name
+				if rname == "_" {
+					continue
+				}
+				deref := firstDeref(fn.Body, rname)
+				if !deref.IsValid() {
+					continue // never touches receiver state directly
+				}
+				guard := firstNilCheck(fn.Body, rname)
+				if !guard.IsValid() || guard > deref {
+					pass.Report(deref, "method %s.%s dereferences receiver %s before checking it against nil (obs types must be nil-safe)",
+						tname, fn.Name.Name, rname)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// recvType unwraps a receiver type to its base identifier, reporting
+// whether it was a pointer.
+func recvType(t ast.Expr) (name string, ptr bool) {
+	star, ok := t.(*ast.StarExpr)
+	if !ok {
+		return "", false
+	}
+	switch b := star.X.(type) {
+	case *ast.Ident:
+		return b.Name, true
+	case *ast.IndexExpr: // generic receiver *T[P]
+		if id, ok := b.X.(*ast.Ident); ok {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+// firstDeref returns the position of the first field selection on the
+// receiver. A selector that is directly the callee of a call expression
+// (recv.Method(...)) does not count: methods guard themselves.
+func firstDeref(body *ast.BlockStmt, recv string) token.Pos {
+	first := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if first.IsValid() {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if ok {
+			// Descend into arguments and into the callee's own base, but
+			// skip the callee selector itself when it hangs directly off
+			// the receiver.
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+					for _, arg := range call.Args {
+						ast.Inspect(arg, func(m ast.Node) bool {
+							if first.IsValid() {
+								return false
+							}
+							if p := selOnRecv(m, recv); p.IsValid() {
+								first = p
+							}
+							return true
+						})
+					}
+					return false
+				}
+			}
+			return true
+		}
+		if p := selOnRecv(n, recv); p.IsValid() {
+			first = p
+		}
+		return true
+	})
+	return first
+}
+
+func selOnRecv(n ast.Node, recv string) token.Pos {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok {
+		return token.NoPos
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+		return sel.Pos()
+	}
+	return token.NoPos
+}
+
+// firstNilCheck returns the position of the first `recv == nil` or
+// `recv != nil` comparison in the body.
+func firstNilCheck(body *ast.BlockStmt, recv string) token.Pos {
+	first := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if first.IsValid() {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if isIdent(bin.X, recv) && isIdent(bin.Y, "nil") ||
+			isIdent(bin.X, "nil") && isIdent(bin.Y, recv) {
+			first = bin.Pos()
+			return false
+		}
+		return true
+	})
+	return first
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

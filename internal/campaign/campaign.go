@@ -308,6 +308,10 @@ type RecordStats struct {
 	Restarts     int     `json:"restarts,omitempty"`
 	Obligations  int     `json:"obligations,omitempty"`
 	CoreShrink   float64 `json:"core_shrink,omitempty"`
+	// Static-optimizer reductions (present when the job ran with -opt).
+	OptVarsDropped int `json:"opt_vars_dropped,omitempty"`
+	OptCmdsDropped int `json:"opt_cmds_dropped,omitempty"`
+	OptBitsSaved   int `json:"opt_bits_saved,omitempty"`
 }
 
 // Wall returns the recorded wall time as a duration.

@@ -13,6 +13,7 @@ import (
 
 	"ttastartup/internal/core"
 	"ttastartup/internal/gcl"
+	"ttastartup/internal/gcl/opt"
 	"ttastartup/internal/mc"
 	"ttastartup/internal/mc/bmc"
 	"ttastartup/internal/mc/explicit"
@@ -294,6 +295,10 @@ func fillResult(rec *Record, res *mc.Result, sys *gcl.System) {
 		Restarts:     st.Restarts,
 		Obligations:  st.Obligations,
 		CoreShrink:   st.CoreShrink,
+
+		OptVarsDropped: st.OptVarsDropped,
+		OptCmdsDropped: st.OptCmdsDropped,
+		OptBitsSaved:   st.OptBitsSaved,
 	}
 	if st.Reachable != nil {
 		rec.Stats.Reachable = st.Reachable.String()
@@ -387,10 +392,25 @@ func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 		depth = 2 * (tta.Params{N: job.N}).WorstCaseStartup()
 	}
 
+	// With -opt the engines run on the per-property optimized system; the
+	// trace (and its digest) are computed on the inflated full-model states
+	// by FinishOpt below, so records stay comparable across opt settings.
+	sys := m.Sys
+	var oo *opt.Optimized
+	if o.Opt {
+		var oprop mc.Property
+		oo, oprop, err = core.OptimizeProp(m.Sys, prop)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys = oo.Sys
+		prop = oprop
+	}
+
 	var res *mc.Result
 	switch engine {
 	case "symbolic":
-		eng, err := symbolic.New(m.Sys.Compile(), o.Symbolic)
+		eng, err := symbolic.New(sys.Compile(), o.Symbolic)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -404,18 +424,18 @@ func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 		}
 	case "explicit":
 		if prop.Kind == mc.Eventually {
-			res, err = explicit.CheckEventuallyCtx(ctx, m.Sys, prop, o.Explicit)
+			res, err = explicit.CheckEventuallyCtx(ctx, sys, prop, o.Explicit)
 		} else {
-			res, err = explicit.CheckInvariantCtx(ctx, m.Sys, prop, o.Explicit)
+			res, err = explicit.CheckInvariantCtx(ctx, sys, prop, o.Explicit)
 		}
 		if err != nil {
 			return nil, nil, err
 		}
 	case "bmc":
 		if prop.Kind == mc.Eventually {
-			res, err = bmc.CheckEventuallyRefuteCtx(ctx, m.Sys.Compile(), prop, bmc.Options{MaxDepth: depth, Obs: o.Obs})
+			res, err = bmc.CheckEventuallyRefuteCtx(ctx, sys.Compile(), prop, bmc.Options{MaxDepth: depth, Obs: o.Obs})
 		} else {
-			res, err = bmc.CheckInvariantCtx(ctx, m.Sys.Compile(), prop, bmc.Options{MaxDepth: depth, Obs: o.Obs})
+			res, err = bmc.CheckInvariantCtx(ctx, sys.Compile(), prop, bmc.Options{MaxDepth: depth, Obs: o.Obs})
 		}
 		if err != nil {
 			return nil, nil, err
@@ -424,7 +444,7 @@ func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 		if prop.Kind == mc.Eventually {
 			return nil, nil, fmt.Errorf("campaign: k-induction cannot prove liveness")
 		}
-		res, err = bmc.CheckInvariantInductionCtx(ctx, m.Sys.Compile(), prop, bmc.InductionOptions{MaxK: depth, Obs: o.Obs})
+		res, err = bmc.CheckInvariantInductionCtx(ctx, sys.Compile(), prop, bmc.InductionOptions{MaxK: depth, Obs: o.Obs})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -432,12 +452,17 @@ func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 		if prop.Kind == mc.Eventually {
 			return nil, nil, fmt.Errorf("campaign: ic3 cannot prove liveness")
 		}
-		res, err = ic3.CheckInvariantCtx(ctx, m.Sys.Compile(), prop, o.IC3)
+		res, err = ic3.CheckInvariantCtx(ctx, sys.Compile(), prop, o.IC3)
 		if err != nil {
 			return nil, nil, err
 		}
 	default:
 		return nil, nil, fmt.Errorf("campaign: unknown engine %q", engine)
+	}
+	if oo != nil {
+		if err := core.FinishOpt(res, oo, o.Obs); err != nil {
+			return nil, nil, err
+		}
 	}
 	return res, m.Sys, nil
 }

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/gcl/opt"
+	"ttastartup/internal/mc"
+	"ttastartup/internal/mc/bmc"
+	"ttastartup/internal/mc/explicit"
+	"ttastartup/internal/mc/ic3"
+	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/obs"
+)
+
+// optEntry caches one lemma's optimized system together with the rewritten
+// property and the lazily built engine state. The cone of influence is
+// per-property, so nothing here is shared between lemmas — in exchange each
+// lemma's engines run on the smallest sound model.
+type optEntry struct {
+	o    *opt.Optimized
+	prop mc.Property
+
+	comp *gcl.Compiled
+	sym  *symbolic.Engine
+}
+
+func (e *optEntry) compiled() *gcl.Compiled {
+	if e.comp == nil {
+		e.comp = e.o.Sys.Compile()
+	}
+	return e.comp
+}
+
+func (e *optEntry) symbolic(opts symbolic.Options) (*symbolic.Engine, error) {
+	if e.sym == nil {
+		eng, err := symbolic.New(e.compiled(), opts)
+		if err != nil {
+			return nil, err
+		}
+		e.sym = eng
+	}
+	return e.sym, nil
+}
+
+// OptimizeProp runs the optimization pipeline for a single property over
+// any finalized system and returns the handle plus the property rewritten
+// onto the optimized system's variables. This is the entry point used by
+// the suite, the campaign's bus jobs, and ttamc's bus path.
+func OptimizeProp(sys *gcl.System, prop mc.Property) (*opt.Optimized, mc.Property, error) {
+	o, err := opt.Optimize(sys, opt.Options{Preds: []gcl.Expr{prop.Pred}})
+	if err != nil {
+		return nil, mc.Property{}, err
+	}
+	return o, mc.Property{Name: prop.Name, Kind: prop.Kind, Pred: o.Preds[0]}, nil
+}
+
+// FinishOpt post-processes an engine result obtained on an optimized
+// system: it stamps the reduction counts into the run's stats, publishes
+// the optimizer counters, and inflates any counterexample trace back to
+// full source-model states so callers render and replay traces of the
+// system they asked about.
+func FinishOpt(res *mc.Result, o *opt.Optimized, scope obs.Scope) error {
+	res.Stats.OptVarsDropped = o.Report.VarsDropped()
+	res.Stats.OptCmdsDropped = o.Report.CmdsDropped()
+	res.Stats.OptBitsSaved = o.Report.BitsSaved()
+	if scope.Reg != nil {
+		scope.Reg.Counter(obs.MOptRuns).Inc()
+		scope.Reg.Counter(obs.MOptVarsDropped).Add(int64(o.Report.VarsDropped()))
+		scope.Reg.Counter(obs.MOptCmdsDropped).Add(int64(o.Report.CmdsDropped()))
+		scope.Reg.Counter(obs.MOptBitsSaved).Add(int64(o.Report.BitsSaved()))
+	}
+	if res.Trace == nil {
+		return nil
+	}
+	states, loopsTo, err := o.InflateStates(res.Trace.States, res.Trace.LoopsTo)
+	if err != nil {
+		return fmt.Errorf("core: inflating %s counterexample: %w", res.Property.Name, err)
+	}
+	res.Trace = &mc.Trace{States: states, LoopsTo: loopsTo}
+	return nil
+}
+
+// optimized returns (building and caching on first use) the optimized
+// system for a lemma.
+func (s *Suite) optimized(l Lemma) (*optEntry, error) {
+	if e, ok := s.optCache[l]; ok {
+		return e, nil
+	}
+	prop, err := s.Property(l)
+	if err != nil {
+		return nil, err
+	}
+	o, oprop, err := OptimizeProp(s.Model.Sys, prop)
+	if err != nil {
+		return nil, err
+	}
+	e := &optEntry{o: o, prop: oprop}
+	if s.optCache == nil {
+		s.optCache = map[Lemma]*optEntry{}
+	}
+	s.optCache[l] = e
+	return e, nil
+}
+
+// checkOptCtx is CheckCtx's routing when Options.Opt is set: the same
+// five-engine dispatch, run against the lemma's optimized system, with the
+// result lifted back to the source model by FinishOpt.
+func (s *Suite) checkOptCtx(ctx context.Context, l Lemma, e Engine) (*mc.Result, error) {
+	ent, err := s.optimized(l)
+	if err != nil {
+		return nil, err
+	}
+	prop := ent.prop
+	var res *mc.Result
+	switch e {
+	case EngineSymbolic:
+		eng, err := ent.symbolic(s.opts.Symbolic)
+		if err != nil {
+			return nil, err
+		}
+		if prop.Kind == mc.Eventually {
+			res, err = eng.CheckEventuallyCtx(ctx, prop)
+		} else {
+			res, err = eng.CheckInvariantCtx(ctx, prop)
+		}
+		if err != nil {
+			return nil, err
+		}
+	case EngineExplicit:
+		if prop.Kind == mc.Eventually {
+			res, err = explicit.CheckEventuallyCtx(ctx, ent.o.Sys, prop, s.opts.Explicit)
+		} else {
+			res, err = explicit.CheckInvariantCtx(ctx, ent.o.Sys, prop, s.opts.Explicit)
+		}
+		if err != nil {
+			return nil, err
+		}
+	case EngineBMC:
+		depth := s.opts.BMCDepth
+		if depth == 0 {
+			depth = 2 * s.Model.P.WorstCaseStartup()
+		}
+		if prop.Kind == mc.Eventually {
+			res, err = bmc.CheckEventuallyRefuteCtx(ctx, ent.compiled(), prop, bmc.Options{MaxDepth: depth, Obs: s.opts.Obs})
+		} else {
+			res, err = bmc.CheckInvariantCtx(ctx, ent.compiled(), prop, bmc.Options{MaxDepth: depth, Obs: s.opts.Obs})
+		}
+		if err != nil {
+			return nil, err
+		}
+	case EngineInduction:
+		if prop.Kind == mc.Eventually {
+			return nil, fmt.Errorf("core: k-induction cannot prove liveness lemma %v", l)
+		}
+		depth := s.opts.BMCDepth
+		if depth == 0 {
+			depth = 2 * s.Model.P.WorstCaseStartup()
+		}
+		res, err = bmc.CheckInvariantInductionCtx(ctx, ent.compiled(), prop, bmc.InductionOptions{MaxK: depth, Obs: s.opts.Obs})
+		if err != nil {
+			return nil, err
+		}
+	case EngineIC3:
+		if prop.Kind == mc.Eventually {
+			return nil, fmt.Errorf("core: ic3 cannot prove liveness lemma %v", l)
+		}
+		res, err = ic3.CheckInvariantCtx(ctx, ent.compiled(), prop, s.opts.IC3)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown engine %v", e)
+	}
+	if err := FinishOpt(res, ent.o, s.opts.Obs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// OptReport returns the optimizer's reduction report for a lemma, running
+// the pipeline if this suite has not optimized that lemma yet. It works
+// whether or not Options.Opt is set, so callers can inspect reductions
+// without routing checks through the optimized system.
+func (s *Suite) OptReport(l Lemma) (opt.Report, error) {
+	ent, err := s.optimized(l)
+	if err != nil {
+		return opt.Report{}, err
+	}
+	return ent.o.Report, nil
+}
+
+// ctlAtoms appends f's atom predicates in a fixed left-to-right order.
+func ctlAtoms(f *mc.CTLFormula, out []gcl.Expr) []gcl.Expr {
+	if f == nil {
+		return out
+	}
+	if f.Op == mc.CTLAtomOp {
+		return append(out, f.Pred)
+	}
+	out = ctlAtoms(f.L, out)
+	return ctlAtoms(f.R, out)
+}
+
+// ctlRewrite rebuilds f with its atoms replaced in the same left-to-right
+// order ctlAtoms produced them.
+func ctlRewrite(f *mc.CTLFormula, preds []gcl.Expr, idx *int) *mc.CTLFormula {
+	if f == nil {
+		return nil
+	}
+	if f.Op == mc.CTLAtomOp {
+		p := preds[*idx]
+		*idx++
+		return mc.CTLAtom(p)
+	}
+	g := *f
+	g.L = ctlRewrite(f.L, preds, idx)
+	g.R = ctlRewrite(f.R, preds, idx)
+	return &g
+}
+
+// recoveryName is the display name of the CTL stabilisation property.
+const recoveryName = "recovery AG(AF all-active)"
+
+// CheckRecovery verifies the CTL stabilisation property AG(AF all-active)
+// with the symbolic or explicit engine (the two with CTL evaluators). With
+// Options.Opt set, the formula's atoms are rewritten onto a system
+// optimized for their union cone — sound for full CTL because the slice is
+// a bisimulation quotient with respect to the atom predicates.
+func (s *Suite) CheckRecovery(e Engine) (*mc.Result, error) {
+	f := s.Model.Recovery()
+	if !s.opts.Opt {
+		switch e {
+		case EngineSymbolic:
+			eng, err := s.Symbolic()
+			if err != nil {
+				return nil, err
+			}
+			return eng.CheckCTL(recoveryName, f)
+		case EngineExplicit:
+			return explicit.CheckCTL(s.Model.Sys, recoveryName, f, s.opts.Explicit)
+		default:
+			return nil, fmt.Errorf("core: engine %v has no CTL evaluator", e)
+		}
+	}
+
+	if s.optRecovery == nil {
+		atoms := ctlAtoms(f, nil)
+		o, err := opt.Optimize(s.Model.Sys, opt.Options{Preds: atoms})
+		if err != nil {
+			return nil, err
+		}
+		s.optRecovery = &optEntry{o: o}
+	}
+	ent := s.optRecovery
+	idx := 0
+	of := ctlRewrite(f, ent.o.Preds, &idx)
+
+	var res *mc.Result
+	var err error
+	switch e {
+	case EngineSymbolic:
+		eng, serr := ent.symbolic(s.opts.Symbolic)
+		if serr != nil {
+			return nil, serr
+		}
+		res, err = eng.CheckCTL(recoveryName, of)
+	case EngineExplicit:
+		res, err = explicit.CheckCTL(ent.o.Sys, recoveryName, of, s.opts.Explicit)
+	default:
+		return nil, fmt.Errorf("core: engine %v has no CTL evaluator", e)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := FinishOpt(res, ent.o, s.opts.Obs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

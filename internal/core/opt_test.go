@@ -1,0 +1,331 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/mc"
+	"ttastartup/internal/mc/bmc"
+	"ttastartup/internal/mc/explicit"
+	"ttastartup/internal/mc/ic3"
+	"ttastartup/internal/mc/symbolic"
+	"ttastartup/internal/obs"
+	"ttastartup/internal/tta/original"
+	"ttastartup/internal/tta/startup"
+)
+
+// replayTrace checks that a (possibly lasso) trace is a real execution of
+// sys: it starts in an initial state, every consecutive pair is a
+// transition, and a lasso's back edge is a transition too. Used on traces
+// inflated from optimized-system counterexamples, where every step must
+// correspond to a concrete source-model transition.
+func replayTrace(t *testing.T, sys *gcl.System, tr *mc.Trace) {
+	t.Helper()
+	if tr == nil || tr.Len() == 0 {
+		t.Fatal("missing counterexample trace")
+	}
+	stepper := gcl.NewStepper(sys)
+	vars := sys.StateVars()
+
+	first := gcl.Key(tr.States[0], vars)
+	found := false
+	stepper.InitStates(func(st gcl.State) bool {
+		if gcl.Key(st, vars) == first {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Errorf("inflated trace does not start in an initial state: %s", sys.FormatState(tr.States[0]))
+	}
+
+	step := func(i, j int) {
+		want := gcl.Key(tr.States[j], vars)
+		ok := false
+		stepper.Successors(tr.States[i], func(next gcl.State) bool {
+			if gcl.Key(next, vars) == want {
+				ok = true
+				return false
+			}
+			return true
+		})
+		if !ok {
+			t.Errorf("inflated trace has no transition from step %d to step %d", i, j)
+		}
+	}
+	for i := 0; i+1 < tr.Len(); i++ {
+		step(i, i+1)
+	}
+	if tr.LoopsTo >= 0 {
+		step(tr.Len()-1, tr.LoopsTo)
+	}
+}
+
+// exactEngines get bit-identical verdict comparison between baseline and
+// optimized runs; induction and IC3 verdict *strength* may legitimately
+// shift (narrowing and slicing change the transition structure on
+// unreachable states, and both engines generalize over unreachable
+// states), so for them only Holds()-agreement is required and a Violated
+// on a true lemma remains an error on either side.
+func exactEngine(e Engine) bool {
+	return e == EngineSymbolic || e == EngineExplicit || e == EngineBMC
+}
+
+// TestOptVerdictMatrixHub is the hub half of the verdict-agreement matrix
+// on the n=3 startup model, with and without the optimizer: safety and
+// liveness on the exact engines, and — because full-model unbounded SAT
+// proofs of hub safety take minutes — the no-error lemma on the two
+// inductive proof engines (the same tractable invariant the existing
+// induction test uses).
+func TestOptVerdictMatrixHub(t *testing.T) {
+	cfg := startup.DefaultConfig(3)
+	cfg.DeltaInit = 3
+	base, err := NewSuite(cfg, Options{BMCDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optd, err := NewSuite(cfg, Options{BMCDepth: 10, Opt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type cell struct {
+		e Engine
+		l Lemma
+	}
+	var cells []cell
+	for _, e := range []Engine{EngineSymbolic, EngineExplicit, EngineBMC} {
+		cells = append(cells, cell{e, LemmaSafety}, cell{e, LemmaLiveness})
+	}
+	cells = append(cells, cell{EngineInduction, LemmaNoError}, cell{EngineIC3, LemmaNoError})
+
+	for _, c := range cells {
+		t.Run(c.e.String()+"/"+c.l.String(), func(t *testing.T) {
+			rb, err := base.Check(c.l, c.e)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			ro, err := optd.Check(c.l, c.e)
+			if err != nil {
+				t.Fatalf("optimized: %v", err)
+			}
+			if exactEngine(c.e) {
+				if rb.Verdict != ro.Verdict {
+					t.Errorf("baseline %v, optimized %v", rb.Verdict, ro.Verdict)
+				}
+			} else if rb.Holds() != ro.Holds() {
+				t.Errorf("baseline holds=%v, optimized holds=%v", rb.Holds(), ro.Holds())
+			}
+			if rb.Verdict == mc.Violated || ro.Verdict == mc.Violated {
+				t.Errorf("violation of a true lemma (baseline %v, optimized %v)", rb.Verdict, ro.Verdict)
+			}
+			if ro.Stats.OptBitsSaved <= 0 {
+				t.Errorf("optimized run reports no bits saved")
+			}
+			if rb.Stats.OptBitsSaved != 0 {
+				t.Errorf("baseline run carries opt stats")
+			}
+		})
+	}
+}
+
+// runDirect dispatches one engine on an arbitrary system the way ttamc's
+// bus path and the campaign's bus jobs do — without a Suite.
+func runDirect(t *testing.T, e Engine, sys *gcl.System, prop mc.Property, depth int) *mc.Result {
+	t.Helper()
+	ctx := context.Background()
+	var res *mc.Result
+	var err error
+	switch e {
+	case EngineSymbolic:
+		var eng *symbolic.Engine
+		eng, err = symbolic.New(sys.Compile(), symbolic.Options{})
+		if err == nil {
+			if prop.Kind == mc.Eventually {
+				res, err = eng.CheckEventuallyCtx(ctx, prop)
+			} else {
+				res, err = eng.CheckInvariantCtx(ctx, prop)
+			}
+		}
+	case EngineExplicit:
+		if prop.Kind == mc.Eventually {
+			res, err = explicit.CheckEventuallyCtx(ctx, sys, prop, explicit.Options{})
+		} else {
+			res, err = explicit.CheckInvariantCtx(ctx, sys, prop, explicit.Options{})
+		}
+	case EngineBMC:
+		if prop.Kind == mc.Eventually {
+			res, err = bmc.CheckEventuallyRefuteCtx(ctx, sys.Compile(), prop, bmc.Options{MaxDepth: depth})
+		} else {
+			res, err = bmc.CheckInvariantCtx(ctx, sys.Compile(), prop, bmc.Options{MaxDepth: depth})
+		}
+	case EngineInduction:
+		res, err = bmc.CheckInvariantInductionCtx(ctx, sys.Compile(), prop, bmc.InductionOptions{MaxK: depth})
+	case EngineIC3:
+		res, err = ic3.CheckInvariantCtx(ctx, sys.Compile(), prop, ic3.Options{})
+	}
+	if err != nil {
+		t.Fatalf("%v on %s: %v", e, prop.Name, err)
+	}
+	return res
+}
+
+// TestOptVerdictMatrixBus is the bus half of the matrix: the original TTA
+// bus-topology model through the OptimizeProp/FinishOpt path the campaign
+// uses, compared engine by engine against the unoptimized system.
+func TestOptVerdictMatrixBus(t *testing.T) {
+	m, err := original.Build(original.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prop := range []mc.Property{m.Safety(), m.Liveness()} {
+		o, oprop, err := OptimizeProp(m.Sys, prop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Report.BitsSaved() < 0 {
+			t.Fatalf("%s: negative bit savings %d", prop.Name, o.Report.BitsSaved())
+		}
+		for _, e := range AllEngines() {
+			if prop.Kind == mc.Eventually && (e == EngineInduction || e == EngineIC3) {
+				continue
+			}
+			rb := runDirect(t, e, m.Sys, prop, 10)
+			ro := runDirect(t, e, o.Sys, oprop, 10)
+			if err := FinishOpt(ro, o, obs.Scope{}); err != nil {
+				t.Fatalf("%v/%s: %v", e, prop.Name, err)
+			}
+			if exactEngine(e) {
+				if rb.Verdict != ro.Verdict {
+					t.Errorf("%v/%s: baseline %v, optimized %v", e, prop.Name, rb.Verdict, ro.Verdict)
+				}
+			} else if rb.Holds() != ro.Holds() {
+				t.Errorf("%v/%s: baseline holds=%v, optimized holds=%v", e, prop.Name, rb.Holds(), ro.Holds())
+			}
+			if ro.Trace != nil {
+				replayTrace(t, m.Sys, ro.Trace)
+			}
+		}
+	}
+}
+
+// TestOptRecoveryCTL compares the CTL stabilisation property with and
+// without the optimizer on both CTL-capable engines.
+func TestOptRecoveryCTL(t *testing.T) {
+	cfg := startup.DefaultConfig(3)
+	cfg.DeltaInit = 3
+	base, err := NewSuite(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optd, err := NewSuite(cfg, Options{Opt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []Engine{EngineSymbolic, EngineExplicit} {
+		rb, err := base.CheckRecovery(e)
+		if err != nil {
+			t.Fatalf("%v baseline: %v", e, err)
+		}
+		ro, err := optd.CheckRecovery(e)
+		if err != nil {
+			t.Fatalf("%v optimized: %v", e, err)
+		}
+		if rb.Verdict != ro.Verdict {
+			t.Errorf("%v: baseline %v, optimized %v", e, rb.Verdict, ro.Verdict)
+		}
+		if ro.Stats.OptBitsSaved <= 0 {
+			t.Errorf("%v: optimized recovery run reports no bits saved", e)
+		}
+	}
+	if _, err := base.CheckRecovery(EngineBMC); err == nil {
+		t.Error("BMC accepted a CTL formula")
+	}
+	if _, err := optd.CheckRecovery(EngineBMC); err == nil {
+		t.Error("BMC accepted a CTL formula under -opt")
+	}
+}
+
+// TestOptInflatesInvariantTrace breaks safety (big-bang disabled, faulty
+// hub — the paper's design-exploration counterexample) and demands that
+// the optimized run's counterexample replays step for step on the full
+// source model and ends in a state violating the source predicate.
+func TestOptInflatesInvariantTrace(t *testing.T) {
+	cfg := startup.DefaultConfig(3).WithFaultyHub(0)
+	cfg.DeltaInit = 6
+	cfg.DisableBigBang = true
+	s, err := NewSuite(cfg, Options{Opt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Check(LemmaSafety, EngineSymbolic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Violated {
+		t.Fatalf("safety with big-bang disabled: %v, want violated", res.Verdict)
+	}
+	replayTrace(t, s.Model.Sys, res.Trace)
+
+	prop, err := s.Property(LemmaSafety)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Trace.States[res.Trace.Len()-1]
+	if gcl.Holds(prop.Pred, last) {
+		t.Error("inflated trace's final state satisfies the source-model safety predicate")
+	}
+}
+
+// TestOptInflatesLassoTrace reproduces the paper's headline finding — the
+// original bus-topology algorithm fails to start up with a degree-2 faulty
+// node — through the optimizer, and checks the inflated lasso is a real
+// source-model execution (including the loop's back edge) whose loop never
+// reaches the liveness predicate.
+func TestOptInflatesLassoTrace(t *testing.T) {
+	m, err := original.Build(original.Config{N: 3, FaultyNode: 0, FaultDegree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := m.Liveness()
+	o, oprop, err := OptimizeProp(m.Sys, prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runDirect(t, EngineSymbolic, o.Sys, oprop, 10)
+	if err := FinishOpt(res, o, obs.Scope{}); err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mc.Violated {
+		t.Fatalf("bus liveness under a degree-2 faulty node: %v, want violated", res.Verdict)
+	}
+	if res.Trace.LoopsTo < 0 {
+		t.Fatal("liveness counterexample is not a lasso")
+	}
+	replayTrace(t, m.Sys, res.Trace)
+
+	for i := res.Trace.LoopsTo; i < res.Trace.Len(); i++ {
+		if gcl.Holds(prop.Pred, res.Trace.States[i]) {
+			t.Errorf("lasso state %d satisfies the source-model liveness predicate", i)
+		}
+	}
+}
+
+// TestOptReportWithoutRouting: OptReport exposes the reductions even when
+// checks are not routed through the optimizer.
+func TestOptReportWithoutRouting(t *testing.T) {
+	s := quick(t, startup.DefaultConfig(3))
+	rep, err := s.OptReport(LemmaSafety)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BitsSaved() <= 0 {
+		t.Errorf("expected bit savings on the hub safety cone, got %d (summary %s)",
+			rep.BitsSaved(), rep.Summary())
+	}
+	if rep.VarsAfter >= rep.VarsBefore {
+		t.Errorf("expected variable reduction: %s", rep.Summary())
+	}
+}

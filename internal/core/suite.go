@@ -205,6 +205,11 @@ type Options struct {
 	TimelinessBound int
 	// IC3 configures the IC3/PDR engine.
 	IC3 ic3.Options
+	// Opt routes every check through the static model-optimization pipeline
+	// (internal/gcl/opt): the lemma is verified against its per-property
+	// optimized system and counterexample traces are inflated back to the
+	// source model before they are returned.
+	Opt bool
 	// Obs is inherited by every engine whose own Obs is unset, so one scope
 	// instruments the whole suite. The zero value disables instrumentation.
 	Obs obs.Scope
@@ -236,6 +241,9 @@ type Suite struct {
 
 	comp *gcl.Compiled
 	sym  *symbolic.Engine
+
+	optCache    map[Lemma]*optEntry // per-lemma optimized systems (opt.go)
+	optRecovery *optEntry           // optimized system for the CTL recovery property
 }
 
 // NewSuite builds the model for cfg and prepares a verification suite.
@@ -313,6 +321,9 @@ func (s *Suite) Check(l Lemma, e Engine) (*mc.Result, error) {
 // or cancellation propagates into the engine's hot loop (BFS frontier,
 // symbolic fixpoint, or SAT search) and surfaces as ctx.Err().
 func (s *Suite) CheckCtx(ctx context.Context, l Lemma, e Engine) (*mc.Result, error) {
+	if s.opts.Opt {
+		return s.checkOptCtx(ctx, l, e)
+	}
 	prop, err := s.Property(l)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"ttastartup/internal/bdd"
 	"ttastartup/internal/circuit"
 	"ttastartup/internal/gcl"
+	"ttastartup/internal/gcl/opt"
 )
 
 // FuzzExprEval cross-checks the three semantics every verdict in this
@@ -139,6 +140,15 @@ func FuzzExprEval(f *testing.F) {
 			expr = gcl.And(gcl.Or(expr, gcl.Eq(eb.ints[len(eb.ints)-1], eb.pickInt())), gcl.Not(gcl.And(expr, gcl.False())))
 		}
 
+		// Differential hook for the optimizer's expression layer: folding
+		// must be semantics-preserving on every state, and the interval
+		// analysis must bound the observed truth value.
+		folded := opt.Fold(expr)
+		lo, hi := opt.Bounds(expr)
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Fatalf("opt.Bounds returned non-boolean interval [%d,%d] for %s", lo, hi, expr)
+		}
+
 		comp := sys.Compile()
 		lit := comp.CompileExpr(expr)
 
@@ -160,6 +170,18 @@ func FuzzExprEval(f *testing.F) {
 			if got := m.Eval(ref, assign); got != concrete {
 				t.Fatalf("BDD disagrees with interpreter on %s: bdd %v, concrete %v (expr %s)",
 					sys.FormatState(st), got, concrete, expr)
+			}
+			if got := gcl.Holds(folded, st); got != concrete {
+				t.Fatalf("opt.Fold disagrees with interpreter on %s: folded %v, concrete %v (expr %s)",
+					sys.FormatState(st), got, concrete, expr)
+			}
+			cv := 0
+			if concrete {
+				cv = 1
+			}
+			if cv < lo || cv > hi {
+				t.Fatalf("opt.Bounds [%d,%d] excludes observed value %d on %s (expr %s)",
+					lo, hi, cv, sys.FormatState(st), expr)
 			}
 		}
 		walk = func(i int) {

@@ -26,10 +26,13 @@ type checker struct {
 	choiceCube bdd.Ref // all choice inputs, for quantification
 }
 
-func newChecker(sys *gcl.System, cfg bdd.Config) (*checker, error) {
+func newChecker(sys *gcl.System, comp *gcl.Compiled, cfg bdd.Config) (*checker, error) {
+	if comp == nil {
+		comp = sys.Compile()
+	}
 	c := &checker{
 		sys:  sys,
-		comp: sys.Compile(),
+		comp: comp,
 		cone: make(map[circuit.Lit]bdd.Ref),
 	}
 	c.m = bdd.New(c.comp.NumInputs(), cfg)

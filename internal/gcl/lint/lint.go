@@ -96,6 +96,15 @@ const (
 	// CodeDeadFallback: a module's normal guards form a tautology, so its
 	// fallback can never fire.
 	CodeDeadFallback Code = "GCL010"
+	// CodeOutsideCones: a state variable lies outside the cone of influence
+	// of every supplied property predicate, so no checked lemma can ever
+	// observe it (the optimizer's slicing pass would drop it).
+	CodeOutsideCones Code = "GCL011"
+	// CodeDeadAfterConstProp: a command's guard folds to false once
+	// constant propagation pins the variables that are provably frozen at
+	// their initial values — unreachable for a reason GCL001's per-state
+	// check cannot see.
+	CodeDeadAfterConstProp Code = "GCL012"
 )
 
 // Diag is one diagnostic.
@@ -209,6 +218,15 @@ type Options struct {
 	BDD bdd.Config
 	// Disable suppresses the listed diagnostic codes.
 	Disable []Code
+	// Preds are the property predicates of the lemmas the caller intends
+	// to check; GCL011 reports state variables outside the union of their
+	// cones of influence. Empty disables that check (without predicates
+	// every variable would be "outside").
+	Preds []gcl.Expr
+	// Compiled, when non-nil, is a pre-built boolean compilation of the
+	// system to share with the BDD-backed checks (callers like ttamc have
+	// already compiled the model for their engines). Nil: compile here.
+	Compiled *gcl.Compiled
 }
 
 // Run lints a finalized system. The only error conditions are an
@@ -218,7 +236,7 @@ func Run(sys *gcl.System, opts Options) (*Report, error) {
 	if !sys.Finalized() {
 		return nil, fmt.Errorf("lint: system %q is not finalized", sys.Name)
 	}
-	c, err := newChecker(sys, opts.BDD)
+	c, err := newChecker(sys, opts.Compiled, opts.BDD)
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +253,10 @@ func Run(sys *gcl.System, opts Options) (*Report, error) {
 	}
 	diags = append(diags, deadVarDiags(sys)...)
 	diags = append(diags, constCmpDiags(sys)...)
+	if len(opts.Preds) > 0 {
+		diags = append(diags, coneDiags(sys, opts.Preds)...)
+	}
+	diags = append(diags, deadConstDiags(sys)...)
 
 	disabled := make(map[Code]bool, len(opts.Disable))
 	for _, code := range opts.Disable {

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/gcl/opt"
+)
+
+// coneDiags reports every state variable outside the union of the supplied
+// property predicates' cones of influence (GCL011). Such a variable can
+// never change a verdict of any of those properties: the optimizer's
+// slicing pass proves the quotient without it is bisimilar with respect to
+// the predicates.
+func coneDiags(sys *gcl.System, preds []gcl.Expr) []Diag {
+	cone := opt.ConeVars(sys, preds...)
+	var diags []Diag
+	for mi, m := range sys.Modules() {
+		for _, v := range m.Vars() {
+			if v.Kind != gcl.KindState || cone[v] {
+				continue
+			}
+			diags = append(diags, Diag{
+				Code:     CodeOutsideCones,
+				Severity: Info,
+				Module:   m.Name,
+				Var:      v.Name,
+				Message: fmt.Sprintf("state variable %s lies outside every checked property's cone of influence (%d predicate(s)); no checked lemma can observe it",
+					v, len(preds)),
+				mod: mi, cmd: cmdNone, vr: v.ID(),
+			})
+		}
+	}
+	return diags
+}
+
+// deadConstDiags reports commands whose guards fold to false under
+// constant propagation of provably frozen variables (GCL012), with the
+// pinned valuation as witness.
+func deadConstDiags(sys *gcl.System) []Diag {
+	dead := opt.DeadAfterConstProp(sys)
+	if len(dead) == 0 {
+		return nil
+	}
+	modIdx := map[string]int{}
+	cmdIdx := map[string]int{}
+	for mi, m := range sys.Modules() {
+		modIdx[m.Name] = mi
+		for ci, c := range m.Commands() {
+			cmdIdx[m.Name+"."+c.Name] = ci
+		}
+	}
+	var diags []Diag
+	for _, dc := range dead {
+		diags = append(diags, Diag{
+			Code:     CodeDeadAfterConstProp,
+			Severity: Warning,
+			Module:   dc.Module,
+			Command:  dc.Command,
+			Message:  "command is dead after constant propagation: its guard folds to false once the frozen variables are pinned to their initial values",
+			Witness:  dc.Witness,
+			mod:      modIdx[dc.Module],
+			cmd:      cmdIdx[dc.Module+"."+dc.Command],
+		})
+	}
+	return diags
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/mc"
+	"ttastartup/internal/tta/original"
+	"ttastartup/internal/tta/startup"
+)
+
+// coneSystem: two independent counters; a property over x leaves y's
+// module outside the cone.
+func coneSystem() (*gcl.System, gcl.Expr) {
+	sys := gcl.NewSystem("cone")
+	typ := gcl.IntType("t", 4)
+	a := sys.Module("a")
+	x := a.Var("x", typ, gcl.InitConst(0))
+	a.Cmd("inc", gcl.Lt(gcl.X(x), gcl.C(typ, 3)), gcl.Set(x, gcl.AddSat(gcl.X(x), 1)))
+	a.Fallback("idle")
+	b := sys.Module("b")
+	y := b.Var("y", typ, gcl.InitConst(0))
+	b.Cmd("inc", gcl.Lt(gcl.X(y), gcl.C(typ, 3)), gcl.Set(y, gcl.AddSat(gcl.X(y), 1)))
+	b.Fallback("idle")
+	return sys, gcl.Le(gcl.X(x), gcl.C(typ, 3))
+}
+
+func TestOutsideConeDiag(t *testing.T) {
+	sys, pred := coneSystem()
+	sys.MustFinalize()
+	rep, err := Run(sys, Options{Preds: []gcl.Expr{pred}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := find(rep, CodeOutsideCones)
+	if len(ds) != 1 || ds[0].Module != "b" || ds[0].Var != "y" || ds[0].Severity != Info {
+		t.Fatalf("GCL011 diags = %+v, want one info on b.y", ds)
+	}
+}
+
+func TestOutsideConeNeedsPreds(t *testing.T) {
+	sys, _ := coneSystem()
+	rep := mustRun(t, sys) // no Preds
+	if ds := find(rep, CodeOutsideCones); len(ds) != 0 {
+		t.Fatalf("GCL011 fired without property predicates: %+v", ds)
+	}
+}
+
+func TestDeadAfterConstPropDiag(t *testing.T) {
+	sys := gcl.NewSystem("deadconst")
+	typ := gcl.IntType("t", 4)
+	m := sys.Module("m")
+	// frozen stays 2 forever: its only command keeps it. The guard
+	// frozen==3 is satisfiable per GCL001's state-local check (3 is in the
+	// type's domain) but dead once constant propagation pins frozen=2.
+	frozen := m.Var("frozen", typ, gcl.InitConst(2))
+	x := m.Var("x", typ, gcl.InitConst(0))
+	m.Cmd("keep", gcl.True(), gcl.Set(frozen, gcl.X(frozen)))
+	m.Cmd("dead", gcl.Eq(gcl.X(frozen), gcl.C(typ, 3)), gcl.Set(x, gcl.C(typ, 1)))
+	m.Fallback("idle")
+	sys.MustFinalize()
+
+	rep, err := Run(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := find(rep, CodeDeadAfterConstProp)
+	if len(ds) != 1 || ds[0].Module != "m" || ds[0].Command != "dead" || ds[0].Severity != Warning {
+		t.Fatalf("GCL012 diags = %+v, want one warning on m.dead", ds)
+	}
+	if !strings.Contains(ds[0].Witness, "frozen=2") {
+		t.Errorf("witness %q should name the pinned valuation", ds[0].Witness)
+	}
+}
+
+// TestShippedModelOptCodes pins the GCL011/GCL012 findings on the shipped
+// models: on the fault-free hub model the relay modules' src bookkeeping is
+// outside every lemma's cone, and nothing is dead after constant
+// propagation; the bus model is clean on both codes. A model edit that
+// grows or shrinks these sets fails here loudly.
+func TestShippedModelOptCodes(t *testing.T) {
+	cfg := startup.DefaultConfig(3)
+	cfg.DeltaInit = 4
+	m, err := startup.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := m.P.WorstCaseStartup() + m.P.Round()
+	var preds []gcl.Expr
+	for _, p := range []mc.Property{
+		m.Safety(), m.Liveness(), m.Timeliness(bound),
+		m.NoError(), m.HubsAgree(), m.NodeHubAgree(), m.LocksOnlyFaulty(),
+	} {
+		preds = append(preds, p.Pred)
+	}
+	rep, err := Run(m.Sys, Options{Preds: preds, Compiled: m.Sys.Compile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range find(rep, CodeOutsideCones) {
+		got = append(got, d.Module+"."+d.Var)
+	}
+	want := []string{"relay0.src", "relay1.src"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("hub GCL011 = %v, want %v", got, want)
+	}
+	if ds := find(rep, CodeDeadAfterConstProp); len(ds) != 0 {
+		t.Errorf("hub GCL012 = %+v, want none", ds)
+	}
+
+	bm, err := original.Build(original.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	brep, err := Run(bm.Sys, Options{Preds: []gcl.Expr{bm.Safety().Pred, bm.Liveness().Pred}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := find(brep, CodeOutsideCones); len(ds) != 0 {
+		t.Errorf("bus GCL011 = %+v, want none", ds)
+	}
+	if ds := find(brep, CodeDeadAfterConstProp); len(ds) != 0 {
+		t.Errorf("bus GCL012 = %+v, want none", ds)
+	}
+}

@@ -1,0 +1,161 @@
+package opt
+
+import "ttastartup/internal/gcl"
+
+// slice computes the cone of influence of the work's predicates and
+// removes everything outside it: modules owning no cone variable are
+// dropped wholesale when that is provably sound, and kept modules lose
+// their updates to out-of-cone variables (the frame semantics make the
+// dropped updates invisible to the cone).
+//
+// Soundness: the kept system is a bisimulation of the source system with
+// respect to any labelling over cone variables. The cone closure ensures
+// kept guards and kept update right-hand sides read only cone variables
+// (plus module-local choice variables), so both the firing decisions of
+// kept modules and the values they assign to cone variables are fully
+// determined by cone variables. A module is dropped only when it is
+// provably non-blocking (it has a fallback, or the disjunction of its
+// normal guards folds to true), so deadlock states are preserved exactly;
+// a potentially blocking module outside every cone is force-kept and its
+// guard supports join the cone. Bisimulation preserves invariants,
+// eventualities (including lasso counterexamples, by finite-branching
+// path lifting), and full CTL over cone-variable atoms.
+//
+// Reports whether the IR changed.
+func (w *work) slice() bool {
+	cone := map[*gcl.Var]bool{}
+	for _, p := range w.preds {
+		stateVars(p, cone)
+	}
+
+	// kept[i] ⇔ module i owns a cone variable or must be kept for its
+	// blocking behaviour. Closure: kept modules contribute their guard
+	// supports and the supports of updates to cone variables.
+	kept := make([]bool, len(w.mods))
+	for {
+		changed := false
+		for i, wm := range w.mods {
+			if !wm.kept {
+				continue
+			}
+			if !kept[i] {
+				keep := !wm.nonBlocking // dropping could (un)block the step
+				if !keep {
+					for _, v := range wm.src.Vars() {
+						if v.Kind == gcl.KindState && cone[v] {
+							keep = true
+							break
+						}
+					}
+				}
+				if keep {
+					kept[i] = true
+					changed = true
+				}
+			}
+			if !kept[i] {
+				continue
+			}
+			for _, c := range wm.cmds {
+				if stateVars(c.guard, cone) {
+					changed = true
+				}
+				for _, u := range c.updates {
+					if cone[u.Var] && stateVars(u.Expr, cone) {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	mutated := false
+	for i, wm := range w.mods {
+		if !wm.kept {
+			continue
+		}
+		if !kept[i] {
+			wm.kept = false
+			mutated = true
+			continue
+		}
+		for _, c := range wm.cmds {
+			ups := c.updates[:0]
+			for _, u := range c.updates {
+				if !cone[u.Var] {
+					mutated = true
+					continue
+				}
+				ups = append(ups, u)
+			}
+			c.updates = ups
+		}
+	}
+	w.cone = cone
+	return mutated
+}
+
+// keptStateVar reports whether v survives the pipeline so far: not pinned
+// to a constant and (if slicing ran) inside the cone.
+func (w *work) keptStateVar(v *gcl.Var) bool {
+	if _, pin := w.pinned[v]; pin {
+		return false
+	}
+	if w.cone != nil {
+		return w.cone[v]
+	}
+	// Without slicing, variables of dropped modules cannot exist (nothing
+	// drops modules but slicing), so everything unpinned is kept.
+	return true
+}
+
+// ConeVars computes the pure cone of influence of preds over sys — the
+// module-granular transitive read/write closure used by the slicing pass,
+// without constant propagation — and returns the set of state variables
+// inside it. Exported for the GCL011 lint check.
+func ConeVars(sys *gcl.System, preds ...gcl.Expr) map[*gcl.Var]bool {
+	w := newWork(sys, preds)
+	w.slice()
+	return w.cone
+}
+
+// DeadCommand identifies a command deleted by constant propagation,
+// with a human-readable witness of the pinned assignment that kills it.
+type DeadCommand struct {
+	Module  string
+	Command string
+	Witness string
+}
+
+// DeadAfterConstProp runs constant propagation alone over sys and returns
+// the commands whose guards fold to false under the propagated constants.
+// Exported for the GCL012 lint check.
+func DeadAfterConstProp(sys *gcl.System) []DeadCommand {
+	w := newWork(sys, nil)
+	w.constProp()
+	var out []DeadCommand
+	witness := "pinned: " + joinNames(w.constVars)
+	for _, name := range w.deadCmds {
+		for i := 0; i < len(name); i++ {
+			if name[i] == '.' {
+				out = append(out, DeadCommand{Module: name[:i], Command: name[i+1:], Witness: witness})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func joinNames(names []string) string {
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package opt_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/gcl/opt"
+	"ttastartup/internal/mc"
+	"ttastartup/internal/tta/original"
+	"ttastartup/internal/tta/startup"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden COI slice files")
+
+// goldenCase is one (model, lemma) pair whose exact slice — the surviving
+// variable and command sets — is pinned in testdata. A model edit that
+// silently grows a cone fails here loudly.
+type goldenCase struct {
+	name string
+	sys  *gcl.System
+	prop mc.Property
+}
+
+func goldenCases(t *testing.T) []goldenCase {
+	t.Helper()
+	var out []goldenCase
+
+	hubFF := startup.DefaultConfig(3)
+	hubFF.DeltaInit = 4
+	mFF, err := startup.Build(hubFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := mFF.P.WorstCaseStartup() + mFF.P.Round()
+	for _, prop := range []mc.Property{
+		mFF.Safety(), mFF.Liveness(), mFF.Timeliness(bound),
+		mFF.NoError(), mFF.HubsAgree(), mFF.NodeHubAgree(),
+	} {
+		out = append(out, goldenCase{"hub_ff_" + sanitize(prop.Name), mFF.Sys, prop})
+	}
+
+	hubFN := startup.DefaultConfig(3).WithFaultyNode(1)
+	hubFN.DeltaInit = 4
+	mFN, err := startup.Build(hubFN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prop := range []mc.Property{mFN.Safety(), mFN.Liveness(), mFN.LocksOnlyFaulty()} {
+		out = append(out, goldenCase{"hub_fn1_" + sanitize(prop.Name), mFN.Sys, prop})
+	}
+
+	bus, err := original.Build(original.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prop := range []mc.Property{bus.Safety(), bus.Liveness()} {
+		out = append(out, goldenCase{"bus_ff_" + sanitize(prop.Name), bus.Sys, prop})
+	}
+	return out
+}
+
+func sanitize(name string) string {
+	name = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	return strings.Trim(name, "_")
+}
+
+func renderSlice(o *opt.Optimized) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "summary: %s\n", o.Report.Summary())
+	b.WriteString("vars:\n")
+	for _, v := range o.KeptVars() {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	b.WriteString("cmds:\n")
+	for _, c := range o.KeptCommands() {
+		fmt.Fprintf(&b, "  %s\n", c)
+	}
+	return b.String()
+}
+
+func TestGoldenCOISlices(t *testing.T) {
+	for _, gc := range goldenCases(t) {
+		t.Run(gc.name, func(t *testing.T) {
+			o, err := opt.Optimize(gc.sys, opt.Options{Preds: []gcl.Expr{gc.prop.Pred}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderSlice(o)
+			path := filepath.Join("testdata", gc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("COI slice changed for %s.\nGot:\n%s\nWant:\n%s\nRun go test ./internal/gcl/opt -update if intended.",
+					gc.name, got, want)
+			}
+		})
+	}
+}

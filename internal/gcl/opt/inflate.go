@@ -1,0 +1,124 @@
+package opt
+
+import (
+	"fmt"
+
+	"ttastartup/internal/gcl"
+)
+
+// inflateCap bounds the lasso-completion walk; hitting it means the
+// optimized trace is not a projection of any source execution, i.e. the
+// pipeline is broken — better a loud error than an endless search.
+const inflateCap = 1 << 17
+
+// InflateStates lifts a counterexample of the optimized system back to a
+// counterexample of the source system, using the concrete interpreter.
+// states are optimized-system states (indexed by optimized variable IDs);
+// loopsTo < 0 means a finite trace, otherwise the trace is a lasso whose
+// last state steps back to states[loopsTo].
+//
+// Slicing is a bisimulation over the kept variables, so every optimized
+// execution has at least one source execution projecting onto it; the walk
+// reconstructs one deterministically by taking, at each step, the first
+// enumerated source successor whose projection matches the next optimized
+// state. For lassos the matching source path need not close after one
+// tour of the optimized loop, so the walk keeps circling the loop states;
+// by pigeonhole over (loop position, source state) it must revisit a pair,
+// and the trace closes there.
+func (o *Optimized) InflateStates(states []gcl.State, loopsTo int) ([]gcl.State, int, error) {
+	if len(states) == 0 {
+		return nil, loopsTo, nil
+	}
+	svars := o.src.StateVars()
+	stepper := gcl.NewStepper(o.src)
+
+	// Initial state: kept variables from the trace, dropped variables at
+	// their first declared init value (init sets are per-variable
+	// products, so any member completes a valid initial state).
+	full := make([]gcl.State, 1, len(states))
+	st := make(gcl.State, len(o.src.Vars()))
+	for _, v := range svars {
+		if nv, ok := o.newOf[v]; ok {
+			st.Set(v, states[0].Get(nv))
+		} else if init := v.InitValues(); len(init) > 0 {
+			st.Set(v, init[0])
+		}
+	}
+	full[0] = st
+
+	step := func(cur gcl.State, target gcl.State) (gcl.State, error) {
+		var found gcl.State
+		stepper.Successors(cur, func(s gcl.State) bool {
+			if !o.projectionMatches(s, target) {
+				return true
+			}
+			// Normalize: keep only state-variable entries so trace states
+			// compare and render cleanly.
+			found = make(gcl.State, len(s))
+			for _, v := range svars {
+				found.Set(v, s.Get(v))
+			}
+			return false
+		})
+		if found == nil {
+			return nil, fmt.Errorf("opt: no source successor projects onto optimized state %s",
+				o.Sys.FormatState(target))
+		}
+		return found, nil
+	}
+
+	for i := 1; i < len(states); i++ {
+		next, err := step(full[i-1], states[i])
+		if err != nil {
+			return nil, 0, err
+		}
+		full = append(full, next)
+	}
+	if loopsTo < 0 {
+		return full, loopsTo, nil
+	}
+
+	// Lasso completion: keep walking the optimized loop until the source
+	// trace revisits a (loop position, source state) pair.
+	n := len(states)
+	type posKey struct {
+		pos int
+		key string
+	}
+	seen := map[posKey]int{}
+	for i := loopsTo; i < n; i++ {
+		seen[posKey{i, gcl.Key(full[i], svars)}] = i
+	}
+	cur, pos := full[n-1], n-1
+	for iter := 0; ; iter++ {
+		if iter >= inflateCap {
+			return nil, 0, fmt.Errorf("opt: lasso inflation did not close within %d steps", inflateCap)
+		}
+		nextPos := pos + 1
+		if nextPos == n {
+			nextPos = loopsTo
+		}
+		succ, err := step(cur, states[nextPos])
+		if err != nil {
+			return nil, 0, err
+		}
+		k := posKey{nextPos, gcl.Key(succ, svars)}
+		if j, ok := seen[k]; ok {
+			return full, j, nil
+		}
+		seen[k] = len(full)
+		full = append(full, succ)
+		cur, pos = succ, nextPos
+	}
+}
+
+// projectionMatches reports whether the kept-variable projection of the
+// source state equals the optimized state.
+func (o *Optimized) projectionMatches(src gcl.State, dst gcl.State) bool {
+	for _, v := range o.keptState {
+		if src.Get(v) != dst.Get(o.newOf[v]) {
+			return false
+		}
+	}
+	return true
+}

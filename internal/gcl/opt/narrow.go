@@ -1,0 +1,206 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"ttastartup/internal/gcl"
+)
+
+// narrow computes, for each surviving state variable, an interval of the
+// values it can ever hold, and proposes a narrowed cardinality
+// (iv.hi + 1) for variables whose interval stays below their declared
+// domain. The narrowed cardinalities are applied at materialization; this
+// pass only decides them.
+//
+// Soundness: the interval fixpoint starts from the init hull and closes
+// under every surviving update, with right-hand sides bounded through the
+// current environment refined by the update's guard (pure, Add-free
+// conjuncts only — see refineGuard). Primed and unprimed reads both
+// resolve through the fixpoint intervals; choice variables keep their full
+// domain. A variable's value therefore stays inside its interval on every
+// reachable state, so shrinking the declared domain to [0, hi] removes
+// only unreachable valuations and verdicts over reachable behaviour are
+// untouched. Two type-sensitive constructs need extra care:
+//
+//   - AddSat/AddMod clamp or wrap at their operand's type cardinality.
+//     After narrowing, an Add whose operand type changed would clamp or
+//     wrap at a different point. The demotion loop below walks every Add
+//     node in its command's guard-refined environment; wherever the
+//     operand's structural cardinality changes and the analysis cannot
+//     prove the sum stays strictly below both the old and new boundary,
+//     every narrowed variable in the operand's support is demoted back to
+//     its declared type, and the scan repeats (cardinalities only grow
+//     back toward the declared ones, so this terminates). Refining only
+//     by Add-free conjuncts keeps this non-circular: outside the refined
+//     region some pure conjunct is false in both systems, so a guard
+//     whose Add nodes pass the check evaluates identically on every
+//     shared state that can matter.
+//
+//   - Constants keep their original types through every rewrite, so they
+//     are never re-typed against a narrowed domain.
+func (w *work) narrow() (env ivEnv, newCard map[*gcl.Var]int, notes []string) {
+	env = ivEnv{base: map[*gcl.Var]interval{}}
+	for _, v := range w.src.StateVars() {
+		if !w.keptStateVar(v) {
+			continue
+		}
+		init := v.InitValues()
+		if len(init) == 0 {
+			env.base[v] = interval{0, v.Type.Card - 1}
+			continue
+		}
+		iv := singleton(init[0])
+		for _, x := range init[1:] {
+			iv = iv.union(singleton(x))
+		}
+		env.base[v] = iv
+	}
+
+	for {
+		changed := false
+		for _, wm := range w.mods {
+			if !wm.kept {
+				continue
+			}
+			for _, c := range wm.cmds {
+				renv := env
+				if !c.fallback {
+					var sat bool
+					if renv, sat = refineGuard(c.guard, env); !sat {
+						continue // guard unsatisfiable on reachable states
+					}
+				}
+				for _, u := range c.updates {
+					b := boundsIn(u.Expr, renv)
+					card := u.Var.Type.Card
+					// A right-hand side that can leave the declared domain
+					// is a broken model (GCL008 territory); stay sound for
+					// the compiled engines by clamping to the domain.
+					if b.lo < 0 {
+						b.lo = 0
+					}
+					if b.hi > card-1 {
+						b.hi = card - 1
+					}
+					nv := env.base[u.Var].union(b)
+					if nv != env.base[u.Var] {
+						env.base[u.Var] = nv
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	newCard = map[*gcl.Var]int{}
+	for v, iv := range env.base {
+		// Boolean variables are never narrowed: the boolean operators
+		// (And, Not, Ite conditions, ...) require the shared bool type by
+		// identity, so a bool[<1] re-type would break every guard reading
+		// the variable — and it could only save a variable pinned to false,
+		// which costs one bit.
+		if v.Type == gcl.BoolType() {
+			continue
+		}
+		if c := iv.hi + 1; c < v.Type.Card {
+			newCard[v] = c
+		}
+	}
+
+	// Add-safety demotion loop.
+	for len(newCard) > 0 {
+		demoted := false
+		var scan func(e gcl.Expr, scope ivEnv)
+		scan = func(e gcl.Expr, scope ivEnv) {
+			if gcl.Op(e) == gcl.OpAdd {
+				op := gcl.Operands(e)[0]
+				k, _, _ := gcl.AddOf(e)
+				oldC := op.Type().Card
+				nc := newCardOf(op, newCard)
+				if nc != oldC {
+					limit := oldC
+					if nc < limit {
+						limit = nc
+					}
+					if boundsIn(op, scope).hi+k > limit-1 {
+						gcl.VisitVars(op, func(v *gcl.Var, _ bool) {
+							if _, ok := newCard[v]; ok {
+								delete(newCard, v)
+								demoted = true
+							}
+						})
+					}
+				}
+			}
+			for _, o := range gcl.Operands(e) {
+				scan(o, scope)
+			}
+		}
+		for _, wm := range w.mods {
+			if !wm.kept {
+				continue
+			}
+			for _, c := range wm.cmds {
+				renv := env
+				if !c.fallback {
+					var sat bool
+					if renv, sat = refineGuard(c.guard, env); !sat {
+						continue // guard false in both systems everywhere
+					}
+				}
+				scan(c.guard, renv)
+				for _, u := range c.updates {
+					scan(u.Expr, renv)
+				}
+			}
+		}
+		// Property predicates are evaluated at every reachable state: no
+		// guard context, base environment only.
+		for _, p := range w.preds {
+			scan(p, env)
+		}
+		if !demoted {
+			break
+		}
+	}
+
+	for v, c := range newCard {
+		notes = append(notes, fmt.Sprintf("%s:%d→%d", v.Name, v.Type.Card, c))
+	}
+	sort.Strings(notes)
+	return env, newCard, notes
+}
+
+// newCardOf computes the cardinality an expression's type will have after
+// materialization under the proposed narrowing, mirroring the type rules
+// of the gcl constructors (Ite takes the wider branch; Add keeps its
+// operand's type; boolean operators yield booleans; constants keep their
+// declared types).
+func newCardOf(e gcl.Expr, newCard map[*gcl.Var]int) int {
+	switch gcl.Op(e) {
+	case gcl.OpConst:
+		return e.Type().Card
+	case gcl.OpVar:
+		v, _, _ := gcl.VarRef(e)
+		if c, ok := newCard[v]; ok {
+			return c
+		}
+		return v.Type.Card
+	case gcl.OpCmp, gcl.OpNot, gcl.OpAnd, gcl.OpOr:
+		return 2
+	case gcl.OpIte:
+		ops := gcl.Operands(e)
+		t, f := newCardOf(ops[1], newCard), newCardOf(ops[2], newCard)
+		if t >= f {
+			return t
+		}
+		return f
+	case gcl.OpAdd:
+		return newCardOf(gcl.Operands(e)[0], newCard)
+	}
+	panic("opt: newCardOf of unknown expression kind")
+}

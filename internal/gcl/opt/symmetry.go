@@ -1,0 +1,154 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ttastartup/internal/gcl"
+)
+
+// interchangeable partitions the system's modules into structural
+// interchangeability classes and returns the classes of size ≥ 2, each
+// sorted by module name. Two modules land in one class when their
+// variables (kind, cardinality, init) and commands (guards, updates,
+// fallback flags) are identical up to renaming own variables by local
+// index and foreign variables by (owner class, index in owner).
+//
+// This is partition refinement in the style of automaton minimization:
+// start with one class, split by signature until stable. The report is a
+// sound structural symmetry candidate — the stepping stone toward counter
+// abstraction — not a verified permutation group: cross-references are
+// matched by class, not by a consistent module bijection, so downstream
+// users must still pick and check a concrete permutation.
+func interchangeable(sys *gcl.System) [][]string {
+	mods := sys.Modules()
+	if len(mods) < 2 {
+		return nil
+	}
+	ownerIdx := map[*gcl.Var]int{}
+	owner := map[*gcl.Var]*gcl.Module{}
+	for _, m := range mods {
+		for i, v := range m.Vars() {
+			ownerIdx[v] = i
+			owner[v] = m
+		}
+	}
+	class := map[*gcl.Module]int{}
+	numClasses := 1
+	for {
+		sigs := map[string]int{}
+		next := map[*gcl.Module]int{}
+		for _, m := range mods {
+			s := moduleSig(m, class, owner, ownerIdx)
+			id, ok := sigs[s]
+			if !ok {
+				id = len(sigs)
+				sigs[s] = id
+			}
+			next[m] = id
+		}
+		if len(sigs) == numClasses {
+			class = next
+			break
+		}
+		numClasses = len(sigs)
+		class = next
+	}
+
+	byClass := map[int][]string{}
+	for _, m := range mods {
+		byClass[class[m]] = append(byClass[class[m]], m.Name)
+	}
+	var out [][]string
+	for _, names := range byClass {
+		if len(names) < 2 {
+			continue
+		}
+		sort.Strings(names)
+		out = append(out, names)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func moduleSig(m *gcl.Module, class map[*gcl.Module]int, owner map[*gcl.Var]*gcl.Module, ownerIdx map[*gcl.Var]int) string {
+	var b strings.Builder
+	for i, v := range m.Vars() {
+		fmt.Fprintf(&b, "v%d k%d c%d i%v;", i, v.Kind, v.Type.Card, v.InitValues())
+	}
+	var sig func(e gcl.Expr)
+	sig = func(e gcl.Expr) {
+		switch gcl.Op(e) {
+		case gcl.OpConst:
+			v, _ := constOf(e)
+			fmt.Fprintf(&b, "#%d/%d", v, e.Type().Card)
+		case gcl.OpVar:
+			v, primed, _ := gcl.VarRef(e)
+			mark := ""
+			if primed {
+				mark = "'"
+			}
+			if owner[v] == m {
+				fmt.Fprintf(&b, "v%d%s", ownerIdx[v], mark)
+			} else {
+				fmt.Fprintf(&b, "M%d.v%d%s", class[owner[v]], ownerIdx[v], mark)
+			}
+		case gcl.OpCmp:
+			k, _ := gcl.CmpOf(e)
+			ops := gcl.Operands(e)
+			b.WriteByte('(')
+			sig(ops[0])
+			fmt.Fprintf(&b, " cmp%d ", k)
+			sig(ops[1])
+			b.WriteByte(')')
+		case gcl.OpNot:
+			b.WriteString("!(")
+			sig(gcl.Operands(e)[0])
+			b.WriteByte(')')
+		case gcl.OpAnd, gcl.OpOr:
+			op := "&"
+			if gcl.Op(e) == gcl.OpOr {
+				op = "|"
+			}
+			b.WriteByte('(')
+			for i, o := range gcl.Operands(e) {
+				if i > 0 {
+					b.WriteString(op)
+				}
+				sig(o)
+			}
+			b.WriteByte(')')
+		case gcl.OpIte:
+			ops := gcl.Operands(e)
+			b.WriteString("ite(")
+			sig(ops[0])
+			b.WriteByte(',')
+			sig(ops[1])
+			b.WriteByte(',')
+			sig(ops[2])
+			b.WriteByte(')')
+		case gcl.OpAdd:
+			k, modular, _ := gcl.AddOf(e)
+			mode := "sat"
+			if modular {
+				mode = "mod"
+			}
+			fmt.Fprintf(&b, "add%s%d(", mode, k)
+			sig(gcl.Operands(e)[0])
+			b.WriteByte(')')
+		}
+	}
+	for _, c := range m.Commands() {
+		fmt.Fprintf(&b, "cmd fb=%v g=", c.Fallback)
+		sig(c.Guard)
+		b.WriteByte(' ')
+		for _, u := range c.Updates {
+			fmt.Fprintf(&b, "v%d:=", ownerIdx[u.Var])
+			sig(u.Expr)
+			b.WriteByte(';')
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}

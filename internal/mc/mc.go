@@ -132,6 +132,12 @@ type Stats struct {
 	Restarts     int     // CDCL Luby restarts
 	Obligations  int     // IC3: proof obligations discharged
 	CoreShrink   float64 // IC3: mean fraction of cube literals kept by assumption cores
+
+	// Static-optimizer accounting (internal/gcl/opt), filled by core.Suite
+	// when the run checked an optimized system instead of the source model.
+	OptVarsDropped int // state variables eliminated by the pipeline
+	OptCmdsDropped int // commands eliminated by the pipeline
+	OptBitsSaved   int // state-encoding bits removed per frame
 }
 
 // Result is the outcome of checking one property with one engine.

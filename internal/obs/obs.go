@@ -70,6 +70,14 @@ const (
 	MRunMS    = "engine.run_ms"     // histogram: wall time per check, milliseconds
 	MRunIters = "engine.iterations" // gauge (max): layers/iterations/frames of the last deepest run
 
+	// Static model optimizer (internal/gcl/opt), published by core.Suite
+	// and the campaign's bus jobs when -opt routes a check through the
+	// optimized system.
+	MOptRuns        = "opt.runs"         // counter: optimizer pipeline runs
+	MOptVarsDropped = "opt.vars.dropped" // counter: state variables eliminated, summed over runs
+	MOptCmdsDropped = "opt.cmds.dropped" // counter: commands eliminated, summed over runs
+	MOptBitsSaved   = "opt.bits.saved"   // counter: state-encoding bits removed, summed over runs
+
 	// Campaign runner.
 	MCampaignJobs    = "campaign.jobs.done" // counter: jobs completed
 	MCampaignBusyMS  = "campaign.busy_ms"   // counter: summed per-job wall time (utilisation numerator)
