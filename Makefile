@@ -5,7 +5,7 @@ GO ?= go
 # model configuration, the campaign, IC3, and observability smoke tests,
 # and a short run of both fuzz harnesses.
 .PHONY: check
-check: fmt vet build race lint-models campaign-smoke ic3-smoke obs-smoke fuzz-smoke
+check: fmt vet build race lint-models campaign-smoke ic3-smoke obs-smoke fuzz-smoke sim-smoke
 
 .PHONY: fmt
 fmt:
@@ -75,6 +75,23 @@ ic3-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzBDDOps$$' -fuzztime 10s ./internal/bdd
 	$(GO) test -run '^$$' -fuzz '^FuzzExprEval$$' -fuzztime 10s ./internal/gcl
+
+# Simulation-campaign smoke test: pause a Monte-Carlo fault-injection
+# campaign after three batches, resume it on a different worker count, run
+# the same spec fresh, and require the two reports to be byte-identical —
+# the mcfi determinism contract end to end, including the replay pass.
+SIM_SMOKE_DIR := .sim-smoke
+.PHONY: sim-smoke
+sim-smoke:
+	@rm -rf $(SIM_SMOKE_DIR); mkdir -p $(SIM_SMOKE_DIR)
+	$(GO) run ./cmd/ttasimfuzz -n 4 -samples 3000 -batch 500 -seed 7 -j 2 \
+		-out $(SIM_SMOKE_DIR)/campaign.jsonl -stop-after-batches 3 -replay=false >/dev/null
+	$(GO) run ./cmd/ttasimfuzz -n 4 -samples 3000 -batch 500 -seed 7 -j 4 \
+		-out $(SIM_SMOKE_DIR)/campaign.jsonl -resume -report $(SIM_SMOKE_DIR)/resumed.json >/dev/null
+	$(GO) run ./cmd/ttasimfuzz -n 4 -samples 3000 -batch 500 -seed 7 -j 1 \
+		-out $(SIM_SMOKE_DIR)/fresh.jsonl -report $(SIM_SMOKE_DIR)/fresh.json >/dev/null
+	cmp $(SIM_SMOKE_DIR)/resumed.json $(SIM_SMOKE_DIR)/fresh.json
+	@rm -rf $(SIM_SMOKE_DIR)
 
 # Observability smoke test: record a Chrome trace of an unbounded IC3 proof
 # on the bus model, then validate it with ttatrace — the trace must parse,

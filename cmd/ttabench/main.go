@@ -35,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		expName  = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6a, fig6b, fig6c, fig6d, baseline, feedback, bigbang, wcsup, campaign, restart, ablation, ic3, order, opt, all")
+		expName  = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6a, fig6b, fig6c, fig6d, baseline, feedback, bigbang, wcsup, campaign, restart, ablation, ic3, order, opt, sim, all")
 		full     = flag.Bool("full", false, "use the paper's full parameters (slow; quick scale is the default)")
 		nsFlag   = flag.String("n", "", "comma-separated cluster sizes (default per experiment)")
 		measure  = flag.Bool("measure", true, "measure reachable-state counts where applicable")
@@ -45,6 +45,7 @@ func run() error {
 		obsOut   = flag.String("obs-out", "", "write the final metrics registry as JSON to this file (default BENCH_obs.json with -json, off otherwise)")
 		orderOut = flag.String("order-out", "BENCH_order.json", "write the order experiment's rows as JSON to this file (empty: table only)")
 		optOut   = flag.String("opt-out", "BENCH_opt.json", "write the opt experiment's rows as JSON to this file (empty: table only)")
+		simOut   = flag.String("sim-out", "BENCH_sim.json", "write the sim experiment's report as JSON to this file (empty: table only)")
 	)
 	flag.Parse()
 
@@ -286,6 +287,22 @@ func run() error {
 					return err
 				}
 			}
+		case "sim":
+			rep, table, err := exp.SimFuzz(context.Background(), scale, *workers)
+			if err != nil {
+				return err
+			}
+			fmt.Println(table)
+			if *simOut != "" {
+				f, err := os.Create(*simOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := exp.WriteSimReport(f, rep); err != nil {
+					return err
+				}
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -302,7 +319,7 @@ func run() error {
 	}
 
 	if *expName == "all" {
-		for _, name := range []string{"fig3", "fig5", "baseline", "campaign", "restart", "ablation", "bigbang", "wcsup", "feedback", "ic3", "opt", "fig4", "fig6a", "fig6c", "fig6d", "fig6b"} {
+		for _, name := range []string{"fig3", "fig5", "baseline", "campaign", "sim", "restart", "ablation", "bigbang", "wcsup", "feedback", "ic3", "opt", "fig4", "fig6a", "fig6c", "fig6d", "fig6b"} {
 			if err := timedRun(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,18 +1,25 @@
 // Command ttasim runs concrete simulations of the TTA startup algorithm:
 // single traced runs or Monte-Carlo fault-injection campaigns.
 //
+// Seed derivation is shared with the campaign engines (sim.DeriveSeed):
+// campaign run k expands from DeriveSeed(-seed, k), and a single run is
+// exactly run -index of that campaign. `ttasim -seed 7 -index 3` therefore
+// reproduces, with a full trace, the third run of `ttasim -campaign -seed 7`
+// — and of any ttasimfuzz campaign with the same spec.
+//
 // Examples:
 //
 //	ttasim -n 4                                     one traced fault-free run
 //	ttasim -n 4 -faulty-node 1 -degree 6 -seed 7    one traced faulty run
+//	ttasim -n 4 -seed 7 -index 3 -json              reproduce campaign run 3
 //	ttasim -n 4 -campaign -runs 10000 -faulty-node 1
-//	ttasim -n 5 -campaign -runs 5000 -faulty-hub 0
+//	ttasim -n 5 -campaign -runs 5000 -faulty-hub 0 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"sort"
 
@@ -33,12 +40,14 @@ func run() error {
 		faultyNode = flag.Int("faulty-node", -1, "faulty node id (-1: none)")
 		faultyHub  = flag.Int("faulty-hub", -1, "faulty hub channel (-1: none)")
 		degree     = flag.Int("degree", 6, "fault degree for the faulty node (1..6)")
-		seed       = flag.Int64("seed", 1, "random seed")
+		seed       = flag.Int64("seed", 1, "campaign seed; run k uses sim.DeriveSeed(seed, k)")
+		index      = flag.Uint64("index", 0, "which campaign run a single (non-campaign) invocation reproduces")
 		maxSlots   = flag.Int("max-slots", 0, "slot budget per run (0: 20·round)")
 		campaign   = flag.Bool("campaign", false, "run a Monte-Carlo fault-injection campaign")
 		runs       = flag.Int("runs", 1000, "campaign runs")
 		deltaInit  = flag.Int("delta-init", 0, "power-on window (0: 8·round)")
 		noBigBang  = flag.Bool("no-big-bang", false, "disable the big-bang mechanism (Section 5.2 variant)")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON on stdout (single runs stay untraced)")
 	)
 	flag.Parse()
 
@@ -51,15 +60,24 @@ func run() error {
 		budget = 20 * p.Round()
 	}
 
+	cc := sim.CampaignConfig{
+		N: *n, Runs: *runs, Seed: *seed,
+		FaultyNode: *faultyNode, FaultDegree: *degree,
+		FaultyHub: *faultyHub, DeltaInit: *deltaInit, MaxSlots: budget,
+	}
+
 	if *campaign {
-		cc := sim.CampaignConfig{
-			N: *n, Runs: *runs, Seed: *seed,
-			FaultyNode: *faultyNode, FaultDegree: *degree,
-			FaultyHub: *faultyHub, DeltaInit: *deltaInit, MaxSlots: budget,
-		}
 		res, err := sim.RunCampaign(cc)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			return writeJSON(campaignJSON{
+				N: *n, Runs: res.Runs, Seed: *seed,
+				Synchronized: res.Synchronized, AgreementOK: res.AgreementOK,
+				WorstStartup: res.WorstStartup, MeanStartup: res.MeanStartup(),
+				Bound: p.WorstCaseStartup(), StartupCounts: res.StartupCounts,
+			})
 		}
 		fmt.Println(res)
 		keys := make([]int, 0, len(res.StartupCounts))
@@ -75,35 +93,70 @@ func run() error {
 		return nil
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	di := *deltaInit
-	if di == 0 {
-		di = p.DefaultDeltaInit()
-	}
-	cfg := sim.DefaultConfig(*n)
-	cfg.DisableBigBang = *noBigBang
-	for i := range cfg.NodeDelay {
-		cfg.NodeDelay[i] = 1 + rng.Intn(di)
-	}
-	cfg.HubDelay[1] = rng.Intn(di)
-	switch {
-	case *faultyNode >= 0:
-		cfg.FaultyNode = *faultyNode
-		cfg.Injector = &sim.RandomNodeInjector{N: *n, ID: *faultyNode, Degree: *degree, Rng: rng}
-	case *faultyHub >= 0:
-		cfg.FaultyHub = *faultyHub
-		cfg.Injector = &sim.RandomHubInjector{N: *n, Rng: rng}
-	}
-	c, err := sim.New(cfg)
+	// A single run is run -index of the equivalent campaign: expand the
+	// scenario through the same generator and derivation the campaign and
+	// mcfi paths use, so any campaign run reproduces here with a trace.
+	g, err := cc.GenParams()
 	if err != nil {
 		return err
 	}
-	c.Log = func(line string) { fmt.Println(line) }
+	g.DisableBigBang = *noBigBang
+	campaignSeed := *seed
+	if campaignSeed == 0 {
+		campaignSeed = 1
+	}
+	s := sim.GenScenario(g, campaignSeed, *index)
+	c, err := sim.New(s.Config())
+	if err != nil {
+		return err
+	}
+	if !*jsonOut {
+		fmt.Printf("scenario %d (%s), derived seed %d\n", *index, s.Describe(), s.Seed)
+		c.Log = func(line string) { fmt.Println(line) }
+	}
 	synced := c.Run(budget)
+	if *jsonOut {
+		return writeJSON(runJSON{
+			N: *n, Index: *index, Seed: campaignSeed, DerivedSeed: s.Seed,
+			Scenario: s.Describe(), Synced: synced, Agreement: c.Agreement(),
+			Startup: c.StartupTime(), Slots: c.Slot(), Bound: p.WorstCaseStartup(),
+		})
+	}
 	fmt.Printf("synchronized=%v agreement=%v startup-time=%d slots\n",
 		synced, c.Agreement(), c.StartupTime())
 	if !synced {
 		return fmt.Errorf("cluster failed to synchronize within %d slots", budget)
 	}
 	return nil
+}
+
+type runJSON struct {
+	N           int    `json:"n"`
+	Index       uint64 `json:"index"`
+	Seed        int64  `json:"seed"`
+	DerivedSeed int64  `json:"derived_seed"`
+	Scenario    string `json:"scenario"`
+	Synced      bool   `json:"synced"`
+	Agreement   bool   `json:"agreement"`
+	Startup     int    `json:"startup"`
+	Slots       int    `json:"slots"`
+	Bound       int    `json:"bound"`
+}
+
+type campaignJSON struct {
+	N             int         `json:"n"`
+	Runs          int         `json:"runs"`
+	Seed          int64       `json:"seed"`
+	Synchronized  int         `json:"synchronized"`
+	AgreementOK   int         `json:"agreement_ok"`
+	WorstStartup  int         `json:"worst_startup"`
+	MeanStartup   float64     `json:"mean_startup"`
+	Bound         int         `json:"bound"`
+	StartupCounts map[int]int `json:"startup_counts"`
+}
+
+func writeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

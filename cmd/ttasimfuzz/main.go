@@ -1,0 +1,295 @@
+// Command ttasimfuzz runs Monte-Carlo fault-injection campaigns over the
+// TTA startup simulator (internal/sim/mcfi): millions of randomized
+// scenarios on a share-nothing worker pool, with crash-safe JSONL
+// checkpointing, a deduplicated corpus of interesting runs, abstract-state
+// coverage accounting, and differential replay of violating traces
+// through the verified gcl model.
+//
+// The campaign is pure data: scenario k expands deterministically from
+// (seed, k), so the final report is byte-identical regardless of -j, and a
+// killed campaign resumed with -resume converges to the same bytes.
+//
+// Examples:
+//
+//	ttasimfuzz -n 4 -samples 100000 -out campaign.jsonl -report report.json
+//	ttasimfuzz -n 4 -samples 100000 -out campaign.jsonl -resume      (after a kill)
+//	ttasimfuzz -spec spec.json -out campaign.jsonl -j 8
+//	ttasimfuzz -n 3 -delta-init 2 -degree 2 -mix 'fault-free:1,faulty-node:2' -cover
+//	ttasimfuzz -n 4 -samples 50000 -budget 1000000                   (slot-budget slice)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"ttastartup/internal/obs"
+	"ttastartup/internal/sim/mcfi"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttasimfuzz:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	var (
+		n          = flag.Int("n", 4, "cluster size")
+		samples    = flag.Int("samples", 100000, "number of scenarios")
+		seed       = flag.Int64("seed", 1, "campaign seed (scenario k uses DeriveSeed(seed, k))")
+		batch      = flag.Int("batch", 0, "scenarios per checkpointed batch (0: 1000)")
+		deltaInit  = flag.Int("delta-init", 0, "power-on window (0: 8·round)")
+		maxSlots   = flag.Int("max-slots", 0, "slot budget per run (0: 20·round)")
+		degree     = flag.Int("degree", 0, "pin every faulty node's fault degree (0: uniform 1..6 per node)")
+		near       = flag.Int("near", 0, "near-violation margin under w_sup (0: 2)")
+		corpusCap  = flag.Int("corpus-cap", 0, "corpus entries per (kind, reason) bucket (0: 32)")
+		mix        = flag.String("mix", "", "scenario mix as kind:weight,... (empty: the default mix)")
+		noBigBang  = flag.Bool("no-big-bang", false, "disable the big-bang mechanism (Section 5.2 variant)")
+		specPath   = flag.String("spec", "", "read the campaign spec from this JSON file instead of the flags above")
+		out        = flag.String("out", "", "JSONL checkpoint path (empty: in-memory only)")
+		resume     = flag.Bool("resume", false, "resume from the intact prefix of -out")
+		reportPath = flag.String("report", "", "write the JSON report here (text report always goes to stdout)")
+		workers    = flag.Int("j", 0, "worker goroutines (0: GOMAXPROCS)")
+		budget     = flag.Int64("budget", 0, "pause after this many simulated slots (0: run to completion)")
+		stopAfter  = flag.Int("stop-after-batches", 0, "pause after this many total batches (testing hook; 0: off)")
+		cover      = flag.Bool("cover", false, "compare visited abstract states against the verified model's reachable set (in-hypothesis mixes at small scopes; requires -out)")
+		replay     = flag.Bool("replay", true, "differentially replay violating/near-violating corpus entries through the gcl model")
+		replayAll  = flag.Bool("replay-all", false, "replay the entire corpus, not just violating/near entries")
+		corpusOut  = flag.String("corpus", "", "write the corpus as JSONL to this path")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON file here")
+		spanlog    = flag.String("spanlog", "", "append one JSON line per finished span to this file")
+		metrics    = flag.Bool("metrics", false, "dump the metrics registry at exit")
+		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and /metricsz on this address (e.g. :6060)")
+	)
+	flag.Parse()
+
+	scope, obsDone, err := obs.Setup(obs.SetupOptions{
+		TracePath: *tracePath,
+		SpanLog:   *spanlog,
+		Metrics:   *metrics,
+		PprofAddr: *pprofAddr,
+		MetricsW:  os.Stderr,
+	})
+	if err != nil {
+		return 1, err
+	}
+	defer func() {
+		if derr := obsDone(); derr != nil {
+			fmt.Fprintln(os.Stderr, "ttasimfuzz: obs:", derr)
+		}
+	}()
+
+	var sp mcfi.Spec
+	if *specPath != "" {
+		raw, err := os.ReadFile(*specPath)
+		if err != nil {
+			return 2, err
+		}
+		if err := json.Unmarshal(raw, &sp); err != nil {
+			return 2, fmt.Errorf("-spec %s: %w", *specPath, err)
+		}
+	} else {
+		sp = mcfi.Spec{
+			N: *n, Samples: *samples, Seed: *seed, Batch: *batch,
+			DeltaInit: *deltaInit, MaxSlots: *maxSlots, Degree: *degree,
+			NearMargin: *near, CorpusPerBucket: *corpusCap, DisableBigBang: *noBigBang,
+		}
+		if *mix != "" {
+			if sp.Mix, err = parseMix(*mix); err != nil {
+				return 2, fmt.Errorf("-mix: %w", err)
+			}
+		}
+	}
+	sp = sp.Normalize()
+	if err := sp.Validate(); err != nil {
+		return 2, err
+	}
+	if *resume && *out == "" {
+		return 2, errors.New("-resume requires -out")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := mcfi.Run(ctx, sp, mcfi.RunOptions{
+		Workers:          *workers,
+		Checkpoint:       *out,
+		Resume:           *resume,
+		StopAfterBatches: *stopAfter,
+		BudgetSlots:      *budget,
+		Scope:            scope,
+	})
+	if errors.Is(err, context.Canceled) {
+		return 1, errors.New("campaign interrupted (resume with -resume)")
+	}
+	if err != nil {
+		return 1, err
+	}
+
+	fmt.Print(rep.String())
+	if !rep.Completed {
+		fmt.Printf("campaign paused at %d/%d batches; continue with -resume\n", rep.Batches, mustBatches(sp))
+	}
+	if *reportPath != "" {
+		if err := writeReport(rep, *reportPath); err != nil {
+			return 1, err
+		}
+	}
+	if *corpusOut != "" {
+		if err := writeCorpus(rep, *corpusOut); err != nil {
+			return 1, err
+		}
+	}
+
+	if *cover && rep.Completed {
+		if *out == "" {
+			return 2, errors.New("-cover requires -out (the visited-state set is reduced from the checkpoint)")
+		}
+		if err := printCoverage(sp, *out, rep); err != nil {
+			return 1, err
+		}
+	}
+
+	if (*replay || *replayAll) && rep.Completed {
+		failures, err := runReplay(ctx, sp, rep, *replayAll, *workers, scope)
+		if err != nil {
+			return 1, err
+		}
+		if failures > 0 {
+			return 1, fmt.Errorf("%d corpus entr(ies) failed differential replay", failures)
+		}
+	}
+	return 0, nil
+}
+
+func mustBatches(sp mcfi.Spec) int { return sp.Batches() }
+
+func writeReport(rep *mcfi.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeCorpus(rep *mcfi.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, e := range rep.Corpus {
+		if err := enc.Encode(e); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func printCoverage(sp mcfi.Spec, checkpoint string, rep *mcfi.Report) error {
+	cfgs, err := sp.ModelConfigs()
+	if err != nil {
+		return err
+	}
+	visited, err := mcfi.VisitedStates(checkpoint, sp)
+	if err != nil {
+		return err
+	}
+	union, detail, err := mcfi.ModelAbstractUnion(cfgs, 0)
+	if err != nil {
+		return err
+	}
+	outside := 0
+	for code := range visited {
+		if _, ok := union[code]; !ok {
+			outside++
+		}
+	}
+	fmt.Printf("model coverage reference (explicit reachability, delta_init=%d):\n", sp.DeltaInit)
+	for _, d := range detail {
+		fmt.Printf("  %-16s %8d reachable states, %4d abstract\n", d.Name, d.Reachable, d.AbstractStates)
+	}
+	fmt.Printf("simulation visited %d/%d model abstract states (%.1f%%), %d outside the model\n",
+		len(visited)-outside, len(union), 100*float64(len(visited)-outside)/float64(len(union)), outside)
+	if outside > 0 {
+		return fmt.Errorf("%d visited abstract states are unreachable in the model — conformance broken", outside)
+	}
+	return nil
+}
+
+func runReplay(ctx context.Context, sp mcfi.Spec, rep *mcfi.Report, all bool, workers int, scope obs.Scope) (int, error) {
+	var entries []mcfi.CorpusEntry
+	for _, e := range rep.Corpus {
+		if all || e.Violation || hasReason(e, mcfi.ReasonNear) {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) == 0 {
+		fmt.Println("replay: no violating or near-violating corpus entries")
+		return 0, nil
+	}
+	results, err := mcfi.ReplayCorpusCtx(ctx, sp, entries, workers, scope)
+	if err != nil {
+		return 0, err
+	}
+	failures := 0
+	for _, r := range results {
+		if !r.OK {
+			failures++
+			fmt.Printf("replay FAIL: index=%d kind=%s det=%v conformant=%v (slot %d) agree=%v active=%v timely=%v\n",
+				r.Index, r.Kind, r.Deterministic, r.Conformant, r.FailSlot, r.AgreementMatch, r.ActiveMatch, r.TimelinessMatch)
+		}
+	}
+	fmt.Printf("replay: %d/%d entries cross-checked OK\n", len(results)-failures, len(results))
+	return failures, nil
+}
+
+func hasReason(e mcfi.CorpusEntry, reason string) bool {
+	for _, r := range e.Reasons {
+		if r == reason {
+			return true
+		}
+	}
+	return false
+}
+
+func parseMix(s string) (map[string]int, error) {
+	mix := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, weight, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("want kind:weight, got %q", part)
+		}
+		w, err := strconv.Atoi(weight)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight in %q", part)
+		}
+		mix[strings.TrimSpace(kind)] = w
+	}
+	if len(mix) == 0 {
+		return nil, errors.New("empty mix")
+	}
+	return mix, nil
+}

@@ -82,6 +82,21 @@ const (
 	MCampaignJobs    = "campaign.jobs.done" // counter: jobs completed
 	MCampaignBusyMS  = "campaign.busy_ms"   // counter: summed per-job wall time (utilisation numerator)
 	MCampaignWorkers = "campaign.workers"   // gauge: worker-pool size
+
+	// Monte-Carlo fault-injection campaigns (internal/sim/mcfi and the
+	// legacy sim.RunCampaign wrapper).
+	MSimRuns        = "sim.runs"            // counter: scenarios executed
+	MSimSlots       = "sim.slots"           // counter: simulator slots stepped, summed over runs
+	MSimUnsynced    = "sim.unsynced"        // counter: runs that never synchronised within the bound
+	MSimViolations  = "sim.violations"      // counter: agreement/timeliness violations (in-hypothesis)
+	MSimNear        = "sim.near"            // counter: near-violations (startup close to the bound)
+	MSimBatches     = "sim.batches.done"    // counter: batches checkpointed
+	MSimCorpusSize  = "sim.corpus.size"     // gauge: corpus entries retained
+	MSimCoverEdges  = "sim.coverage.edges"  // gauge: distinct abstract transitions seen
+	MSimCoverStates = "sim.coverage.states" // gauge: distinct abstract states seen
+	MSimReplays     = "sim.replays"         // counter: differential replays performed
+	MSimReplayFails = "sim.replays.failed"  // counter: replays that diverged from the model
+	MSimWorkers     = "sim.workers"         // gauge: campaign worker-pool size
 )
 
 // Span categories. The Chrome trace viewer groups and colors by "cat";
@@ -93,4 +108,5 @@ const (
 	CatFrame    = "frame"
 	CatBDD      = "bdd"
 	CatCampaign = "campaign"
+	CatSim      = "sim"
 )

@@ -1,0 +1,192 @@
+package mcfi
+
+// Crash-safe campaign checkpointing. The checkpoint is a JSONL file: a
+// header line binding the file to a spec digest, then one record per
+// completed batch, each fsynced before the worker pool hands out more
+// work. Batches are recorded in index order (the reducer consumes results
+// strictly in order regardless of worker scheduling), so a resumed
+// campaign only needs the intact prefix: everything after the first torn
+// or corrupt line is dropped and re-simulated. Because scenario expansion
+// is a pure function of (campaign seed, index), re-simulated batches are
+// byte-identical to the lost ones, and the final report of an interrupted-
+// then-resumed campaign equals an uninterrupted run's.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// storeHeader is the first line of a checkpoint file.
+type storeHeader struct {
+	MCFI   string `json:"mcfi"` // format tag, "v1"
+	Digest string `json:"digest"`
+	Spec   Spec   `json:"spec"`
+}
+
+// Candidate is a corpus candidate surfaced by a batch: a run that
+// violated, nearly violated, exceeded beyond-hypothesis expectations, or
+// was the batch-locally first to exercise a coverage edge. The reducer
+// re-checks coverage candidates against the campaign-global edge set, so
+// flagging too many here is harmless.
+type Candidate struct {
+	Index      uint64   `json:"index"`
+	Seed       int64    `json:"seed"`
+	Kind       string   `json:"kind"`
+	Violations []string `json:"violations,omitempty"`
+	Exceeds    []string `json:"exceeds,omitempty"`
+	Near       bool     `json:"near,omitempty"`
+	Startup    int      `json:"startup"`
+	Slots      int      `json:"slots"`
+	// Edges lists the coverage edges this run was the first in its batch
+	// to exercise.
+	Edges []uint32 `json:"edges,omitempty"`
+	Desc  string   `json:"desc"`
+}
+
+// BatchRecord is one completed batch: aggregate statistics plus the batch-
+// local coverage union and corpus candidates. Records carry everything the
+// reducer needs, so resume never re-simulates a checkpointed batch.
+type BatchRecord struct {
+	Batch int    `json:"batch"`
+	First uint64 `json:"first"`
+	Count int    `json:"count"`
+	// Kinds aggregates per-scenario-kind statistics for the batch.
+	Kinds map[string]*KindStats `json:"kinds"`
+	// States and Edges are the batch-local coverage unions (sorted).
+	States []uint64 `json:"states"`
+	Edges  []uint32 `json:"edges"`
+	// Candidates are the batch's corpus candidates in index order.
+	Candidates []Candidate `json:"candidates,omitempty"`
+}
+
+// Store is the durable batch log.
+type Store struct {
+	f      *os.File
+	path   string
+	digest string
+	// Done is the intact checkpointed prefix, batches 0..len(Done)-1.
+	Done []BatchRecord
+}
+
+// OpenStore opens (or creates) the checkpoint at path for a campaign with
+// the given spec. With resume true the intact prefix of an existing file
+// is loaded — after verifying its header digest matches, so a checkpoint
+// can never silently resume a different campaign — and any torn tail is
+// truncated away. Without resume the file is truncated and a fresh header
+// written.
+func OpenStore(path string, sp Spec, resume bool) (*Store, error) {
+	digest := sp.Digest()
+	flags := os.O_RDWR | os.O_CREATE
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, path: path, digest: digest}
+	if resume {
+		if err := s.load(sp); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return s, nil
+	}
+	if err := s.writeHeader(sp); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) writeHeader(sp Spec) error {
+	line, err := json.Marshal(storeHeader{MCFI: "v1", Digest: s.digest, Spec: sp})
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// load reads the header and the intact batch prefix, truncating any torn
+// tail. An empty file (crash before the header landed) is rewritten fresh.
+func (s *Store) load(sp Spec) error {
+	if _, err := s.f.Seek(0, 0); err != nil {
+		return err
+	}
+	r := bufio.NewReader(s.f)
+	first, err := r.ReadBytes('\n')
+	if err != nil {
+		// No complete header line: nothing recoverable, start fresh.
+		if err := s.f.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := s.f.Seek(0, 0); err != nil {
+			return err
+		}
+		return s.writeHeader(sp)
+	}
+	var hdr storeHeader
+	if err := json.Unmarshal(first, &hdr); err != nil || hdr.MCFI != "v1" {
+		return fmt.Errorf("mcfi: %s is not a v1 checkpoint", s.path)
+	}
+	if hdr.Digest != s.digest {
+		return fmt.Errorf("mcfi: checkpoint %s was written for spec %s, this campaign is %s",
+			s.path, hdr.Digest, s.digest)
+	}
+	valid := int64(len(first))
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// Torn trailing write: drop it.
+			break
+		}
+		var rec BatchRecord
+		if jerr := json.Unmarshal(line, &rec); jerr != nil || rec.Kinds == nil {
+			break
+		}
+		if rec.Batch != len(s.Done) {
+			// Out-of-order record — everything from here on is suspect.
+			break
+		}
+		s.Done = append(s.Done, rec)
+		valid += int64(len(line))
+	}
+	if err := s.f.Truncate(valid); err != nil {
+		return fmt.Errorf("mcfi: truncating torn checkpoint tail: %w", err)
+	}
+	if _, err := s.f.Seek(valid, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Append durably records one batch. Records must arrive in batch order;
+// after Append returns the batch survives a crash.
+func (s *Store) Append(rec BatchRecord) error {
+	if rec.Batch != len(s.Done) {
+		return fmt.Errorf("mcfi: batch %d appended out of order (have %d)", rec.Batch, len(s.Done))
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.Done = append(s.Done, rec)
+	return nil
+}
+
+// Path returns the checkpoint's file path.
+func (s *Store) Path() string { return s.path }
+
+// Close closes the underlying file.
+func (s *Store) Close() error { return s.f.Close() }

@@ -1,9 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
+	"ttastartup/internal/obs"
 	"ttastartup/internal/tta"
 )
 
@@ -11,25 +12,54 @@ import (
 // many randomized runs with random power-on patterns and random fault
 // behaviour, collecting startup statistics — the statistical counterpart
 // of the paper's exhaustive fault simulation.
+//
+// This is the legacy single-configuration interface; internal/sim/mcfi
+// layers mixed-scenario campaigns, checkpointing, a trace corpus, and
+// differential replay on top of the same scenario engine.
 type CampaignConfig struct {
 	// N is the cluster size.
 	N int
 	// Runs is the number of randomized simulations.
 	Runs int
-	// Seed seeds the campaign's randomness (0 picks 1).
+	// Seed seeds the campaign's randomness (0 picks 1). Run k uses
+	// DeriveSeed(Seed, k) — the same derivation as mcfi campaigns and the
+	// ttasim single-run path, so any run is individually reproducible.
 	Seed int64
-	// FaultyNode injects a random faulty node with the given fault degree
-	// when >= 0.
+	// FaultyNode injects the given faulty node in every run when >= 0.
 	FaultyNode int
-	// FaultDegree is δ_failure for the injected node (1..6).
+	// FaultDegree is δ_failure for the injected node (1..6; 0 draws a
+	// fresh degree per run).
 	FaultDegree int
-	// FaultyHub injects a random faulty hub when >= 0.
+	// FaultyHub injects the given faulty hub in every run when >= 0.
 	FaultyHub int
 	// DeltaInit is the power-on window for random wake times
 	// (0: the paper's 8·round).
 	DeltaInit int
 	// MaxSlots bounds each run (0: 20·round).
 	MaxSlots int
+}
+
+// GenParams maps the legacy configuration onto the scenario generator: a
+// single-kind mix with the faulty component and degree pinned.
+func (cc CampaignConfig) GenParams() (GenParams, error) {
+	g := GenParams{N: cc.N, DeltaInit: cc.DeltaInit, MaxSlots: cc.MaxSlots}
+	switch {
+	// FaultyNode wins over FaultyHub, matching the historical switch
+	// order (a zero-value CampaignConfig injects a fail-silent node 0).
+	case cc.FaultyNode >= 0:
+		g.Mix.Weights[ScenFaultyNode] = 1
+		fn := cc.FaultyNode
+		g.FixedFaultyNode = &fn
+		g.FixedDegree = max(cc.FaultDegree, 1)
+	case cc.FaultyHub >= 0:
+		g.Mix.Weights[ScenFaultyHub] = 1
+		fh := cc.FaultyHub
+		g.FixedFaultyHub = &fh
+	default:
+		g.Mix.Weights[ScenFaultFree] = 1
+	}
+	g = g.Normalize()
+	return g, g.Validate()
 }
 
 // CampaignResult aggregates a campaign.
@@ -56,69 +86,54 @@ func (r *CampaignResult) String() string {
 		r.Runs, r.Synchronized, r.AgreementOK, r.WorstStartup, r.MeanStartup())
 }
 
-// RunCampaign executes the Monte-Carlo campaign.
+// RunCampaign executes the Monte-Carlo campaign without cancellation or
+// instrumentation.
 func RunCampaign(cc CampaignConfig) (*CampaignResult, error) {
-	p := tta.Params{N: cc.N}
-	if err := p.Validate(); err != nil {
+	return RunCampaignCtx(context.Background(), cc, obs.Scope{})
+}
+
+// RunCampaignCtx executes the Monte-Carlo campaign, checking ctx between
+// runs and publishing sim.* counters to scope. Results depend only on the
+// configuration: run k is expanded from DeriveSeed(Seed, k) alone.
+func RunCampaignCtx(ctx context.Context, cc CampaignConfig, scope obs.Scope) (*CampaignResult, error) {
+	if err := (tta.Params{N: cc.N}).Validate(); err != nil {
+		return nil, err
+	}
+	g, err := cc.GenParams()
+	if err != nil {
 		return nil, err
 	}
 	seed := cc.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	deltaInit := cc.DeltaInit
-	if deltaInit == 0 {
-		deltaInit = p.DefaultDeltaInit()
-	}
-	maxSlots := cc.MaxSlots
-	if maxSlots == 0 {
-		maxSlots = 20 * p.Round()
-	}
-	rng := rand.New(rand.NewSource(seed))
 
 	res := &CampaignResult{Runs: cc.Runs, StartupCounts: make(map[int]int)}
-	for range cc.Runs {
-		cfg := DefaultConfig(cc.N)
-		for i := range cfg.NodeDelay {
-			cfg.NodeDelay[i] = 1 + rng.Intn(deltaInit)
+	for k := range cc.Runs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		switch {
-		case cc.FaultyNode >= 0:
-			cfg.FaultyNode = cc.FaultyNode
-			cfg.HubDelay[1] = rng.Intn(deltaInit)
-			cfg.Injector = &RandomNodeInjector{
-				N: cc.N, ID: cc.FaultyNode, Degree: cc.FaultDegree,
-				Rng: rand.New(rand.NewSource(rng.Int63())),
-			}
-		case cc.FaultyHub >= 0:
-			// The paper's power-on assumption: the CORRECT guardian runs
-			// before the nodes (randomising its delay here reproducibly
-			// breaks agreement — the assumption is load-bearing). Only
-			// the faulty hub's behaviour, including its delay, is free.
-			cfg.FaultyHub = cc.FaultyHub
-			cfg.HubDelay[cc.FaultyHub] = rng.Intn(deltaInit)
-			cfg.Injector = &RandomHubInjector{
-				N: cc.N, Rng: rand.New(rand.NewSource(rng.Int63())),
-			}
-		default:
-			cfg.HubDelay[1] = rng.Intn(deltaInit)
-		}
-		c, err := New(cfg)
+		s := GenScenario(g, seed, uint64(k))
+		out, err := s.Execute(nil)
 		if err != nil {
 			return nil, err
 		}
-		synced := c.Run(maxSlots)
-		if synced {
+		scope.Reg.Counter(obs.MSimRuns).Add(1)
+		scope.Reg.Counter(obs.MSimSlots).Add(int64(out.Slots))
+		if out.Synced {
 			res.Synchronized++
-			st := c.StartupTime()
-			res.StartupCounts[st]++
-			res.TotalStartup += st
-			if st > res.WorstStartup {
-				res.WorstStartup = st
+			res.StartupCounts[out.Startup]++
+			res.TotalStartup += out.Startup
+			if out.Startup > res.WorstStartup {
+				res.WorstStartup = out.Startup
 			}
+		} else {
+			scope.Reg.Counter(obs.MSimUnsynced).Add(1)
 		}
-		if c.Agreement() {
+		if out.Agreement {
 			res.AgreementOK++
+		} else {
+			scope.Reg.Counter(obs.MSimViolations).Add(1)
 		}
 	}
 	return res, nil

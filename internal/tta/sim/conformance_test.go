@@ -8,99 +8,12 @@ import (
 	"ttastartup/internal/tta/startup"
 )
 
-// mapState encodes the simulator's post-step state as a gcl state of the
-// verified model. The clock variable is excluded from comparison (the
-// simulator observes after the node phase; the model's observer reads
-// latched values — a one-slot bookkeeping difference).
-func mapState(c *Cluster, m *startup.Model) gcl.State {
-	st := make(gcl.State, len(m.Sys.Vars()))
-	for i, nd := range m.Nodes {
-		if nd == nil {
-			continue
-		}
-		sn := c.nodes[i]
-		st.Set(nd.State, int(sn.state))
-		st.Set(nd.Counter, sn.counter)
-		st.Set(nd.Pos, sn.pos)
-		if sn.state == NodeInit {
-			st.Set(nd.Msg, int(Quiet))
-			st.Set(nd.Time, 0)
-		} else {
-			st.Set(nd.Msg, int(sn.out.Kind))
-			st.Set(nd.Time, sn.out.Time)
-		}
-		if sn.bigBang {
-			st.Set(nd.BigBang, 1)
-		}
-	}
-	if m.Faulty != nil {
-		for ch := range 2 {
-			st.Set(m.Faulty.Msg[ch], int(c.favail[ch].Kind))
-			st.Set(m.Faulty.Time[ch], c.favail[ch].Time)
-		}
-	}
-	for ch := range 2 {
-		r := m.Relays[ch]
-		if r.Faulty {
-			for j := range c.cfg.N {
-				st.Set(r.MsgTo[j], int(c.in[ch][j].Kind))
-			}
-			st.Set(r.FTime, c.in[ch][0].Time)
-			// Interlink values are read by the correct hub within the
-			// step; reconstructing them exactly requires the injector's
-			// choice, which the successor search below enumerates anyway.
-			continue
-		}
-		h := c.hubs[ch]
-		st.Set(r.Msg, int(h.relayed.Kind))
-		st.Set(r.Time, h.relayed.Time)
-		src := h.src
-		if src < 0 {
-			src = c.cfg.N
-		}
-		st.Set(r.Src, src)
-	}
-	for ch := range 2 {
-		ctrl := m.Ctrls[ch]
-		if ctrl == nil {
-			continue
-		}
-		h := c.hubs[ch]
-		st.Set(ctrl.State, int(h.state))
-		st.Set(ctrl.Counter, h.counter)
-		st.Set(ctrl.Pos, h.pos)
-		for j := range c.cfg.N {
-			if h.lock[j] {
-				st.Set(ctrl.Lock[j], 1)
-			}
-		}
-	}
-	return st
-}
-
-// ignoreVars returns the variable ids excluded from trace comparison: the
-// clock (different observation convention) and, for a faulty hub, the
-// interlink outputs (determined by injector choices the matcher
-// enumerates).
-func ignoreVars(m *startup.Model) map[int]bool {
-	ignore := map[int]bool{m.Clock.StartupTime.ID(): true}
-	for ch := range 2 {
-		if r := m.Relays[ch]; r.Faulty {
-			ignore[r.ILMsg.ID()] = true
-			ignore[r.ILTime.ID()] = true
-			ignore[r.FTime.ID()] = true
-			for _, v := range r.MsgTo {
-				ignore[v.ID()] = true
-			}
-		}
-	}
-	return ignore
-}
-
 // TestSimConformsToModel drives randomized simulations (fault-free, faulty
-// node, faulty hub) and checks that every simulator step corresponds to a
-// transition of the verified gcl model: the mapped successor state must be
-// among the stepper's successors of the mapped predecessor state.
+// node, faulty hub, transient restart) and checks that every simulator step
+// corresponds to a transition of the verified gcl model: the mapped
+// successor state must be among the stepper's successors of the mapped
+// predecessor state. The mapping itself lives in model_map.go, shared with
+// the mcfi campaign layer's differential replay.
 func TestSimConformsToModel(t *testing.T) {
 	cases := []struct {
 		name string
@@ -138,6 +51,22 @@ func TestSimConformsToModel(t *testing.T) {
 			mc.DeltaInit = 8
 			return sc, mc
 		}},
+		{"restart", func(rng *rand.Rand) (Config, startup.Config) {
+			sc := DefaultConfig(3)
+			for i := range sc.NodeDelay {
+				sc.NodeDelay[i] = 1 + rng.Intn(4)
+			}
+			sc.HubDelay[1] = rng.Intn(4)
+			sc.Restarts = []Restart{{
+				Node:   rng.Intn(3),
+				Slot:   2 + rng.Intn(10),
+				Window: 1 + rng.Intn(8),
+			}}
+			mc := startup.DefaultConfig(3)
+			mc.RestartableNodes = true
+			mc.DeltaInit = 8
+			return sc, mc
+		}},
 	}
 
 	for _, tc := range cases {
@@ -154,28 +83,15 @@ func TestSimConformsToModel(t *testing.T) {
 					t.Fatal(err)
 				}
 				stepper := gcl.NewStepper(model.Sys)
-				ignore := ignoreVars(model)
-				vars := model.Sys.StateVars()
+				ignore := ModelIgnoreVars(model)
 
-				matches := func(a, b gcl.State) bool {
-					for _, v := range vars {
-						if ignore[v.ID()] {
-							continue
-						}
-						if a.Get(v) != b.Get(v) {
-							return false
-						}
-					}
-					return true
-				}
-
-				prev := mapState(cluster, model)
+				prev := ModelState(cluster, model)
 				for step := 0; step < 30; step++ {
 					cluster.Step()
-					next := mapState(cluster, model)
+					next := ModelState(cluster, model)
 					found := false
 					stepper.Successors(prev, func(succ gcl.State) bool {
-						if matches(succ, next) {
+						if ModelMatches(model, ignore, succ, next) {
 							found = true
 							return false
 						}

@@ -56,10 +56,11 @@ func (c *Cluster) stepNode(i int, n *node) {
 
 	switch n.state {
 	case NodeInit:
-		// The scheduler decided the wake slot up front (NodeDelay): wake
-		// when the counter passes the delay (>= 2 keeps the guardians one
-		// slot ahead, the paper's power-on assumption).
-		delay := c.cfg.NodeDelay[i]
+		// The scheduler decided the wake slot up front (NodeDelay, or a
+		// restart's Window): wake when the counter passes the delay (>= 2
+		// keeps the guardians one slot ahead, the paper's power-on
+		// assumption).
+		delay := n.delay
 		if delay < 1 {
 			delay = 1
 		}
@@ -119,8 +120,8 @@ func (c *Cluster) stepNode(i int, n *node) {
 
 // portOut returns what port j transmits on channel ch this slot.
 func (c *Cluster) portOut(ch, j int) Frame {
-	if j == c.cfg.FaultyNode {
-		return c.favail[ch]
+	if c.injected[j] != nil {
+		return c.fout[j][ch]
 	}
 	if c.nodes[j] == nil || c.nodes[j].state == NodeInit {
 		return Frame{Kind: Quiet}

@@ -1,0 +1,152 @@
+package sim
+
+// Mapping from simulator runtime state to verified-model gcl states. The
+// conformance test uses it to check that every simulator step is a legal
+// model transition, and the mcfi campaign layer reuses it for differential
+// replay: violating or near-violating simulation traces are re-expanded and
+// driven through the gcl stepper with the checkers' lemma predicates
+// evaluated on the mapped states.
+
+import (
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/tta/startup"
+)
+
+// ModelState encodes the simulator's post-step state as a gcl state of the
+// verified model. The clock variable is NOT populated (the simulator
+// observes after the node phase; the model's observer reads latched values
+// — a one-slot bookkeeping difference), so comparisons must skip the vars
+// in ModelIgnoreVars.
+func ModelState(c *Cluster, m *startup.Model) gcl.State {
+	st := make(gcl.State, len(m.Sys.Vars()))
+	for i, nd := range m.Nodes {
+		if nd == nil {
+			continue
+		}
+		sn := c.nodes[i]
+		st.Set(nd.State, int(sn.state))
+		st.Set(nd.Counter, sn.counter)
+		st.Set(nd.Pos, sn.pos)
+		if sn.state == NodeInit {
+			st.Set(nd.Msg, int(Quiet))
+			st.Set(nd.Time, 0)
+		} else {
+			st.Set(nd.Msg, int(sn.out.Kind))
+			st.Set(nd.Time, sn.out.Time)
+		}
+		if sn.bigBang {
+			st.Set(nd.BigBang, 1)
+		}
+		if nd.Restart != nil {
+			// restart_left drops to 0 exactly when the node's transient
+			// restart has fired; nodes with no scheduled restart keep their
+			// untouched budget.
+			if c.restartAt[i] == 0 || c.restartPending[i] {
+				st.Set(nd.Restart, 1)
+			}
+		}
+	}
+	if m.Faulty != nil {
+		fout := c.fout[c.cfg.FaultyNode]
+		for ch := range 2 {
+			st.Set(m.Faulty.Msg[ch], int(fout[ch].Kind))
+			st.Set(m.Faulty.Time[ch], fout[ch].Time)
+		}
+	}
+	for ch := range 2 {
+		r := m.Relays[ch]
+		if r.Faulty {
+			for j := range c.cfg.N {
+				st.Set(r.MsgTo[j], int(c.in[ch][j].Kind))
+			}
+			st.Set(r.FTime, c.in[ch][0].Time)
+			// Interlink values are read by the correct hub within the
+			// step; reconstructing them exactly requires the injector's
+			// choice, which the successor search enumerates anyway.
+			continue
+		}
+		h := c.hubs[ch]
+		st.Set(r.Msg, int(h.relayed.Kind))
+		st.Set(r.Time, h.relayed.Time)
+		src := h.src
+		if src < 0 {
+			src = c.cfg.N
+		}
+		st.Set(r.Src, src)
+	}
+	for ch := range 2 {
+		ctrl := m.Ctrls[ch]
+		if ctrl == nil {
+			continue
+		}
+		h := c.hubs[ch]
+		st.Set(ctrl.State, int(h.state))
+		st.Set(ctrl.Counter, h.counter)
+		st.Set(ctrl.Pos, h.pos)
+		for j := range c.cfg.N {
+			if h.lock[j] {
+				st.Set(ctrl.Lock[j], 1)
+			}
+		}
+	}
+	return st
+}
+
+// ModelIgnoreVars returns the variable ids excluded from trace comparison:
+// the clock (different observation convention) and, for a faulty hub, the
+// interlink outputs (determined by injector choices the matcher
+// enumerates).
+func ModelIgnoreVars(m *startup.Model) map[int]bool {
+	ignore := map[int]bool{m.Clock.StartupTime.ID(): true}
+	for ch := range 2 {
+		if r := m.Relays[ch]; r.Faulty {
+			ignore[r.ILMsg.ID()] = true
+			ignore[r.ILTime.ID()] = true
+			ignore[r.FTime.ID()] = true
+			for _, v := range r.MsgTo {
+				ignore[v.ID()] = true
+			}
+		}
+	}
+	return ignore
+}
+
+// ModelConfig maps an in-hypothesis scenario to the verified-model
+// configuration whose behaviours contain the scenario's trace. ok is false
+// for beyond-hypothesis scenarios (two nodes, node-and-hub), which have no
+// model counterpart.
+func (s *Scenario) ModelConfig() (startup.Config, bool) {
+	if !s.InHypothesis() {
+		return startup.Config{}, false
+	}
+	var cfg startup.Config
+	switch s.Kind {
+	case ScenFaultyNode:
+		cfg = startup.DefaultConfig(s.N).WithFaultyNode(s.FaultyNodes[0].ID)
+		cfg.FaultDegree = s.FaultyNodes[0].Degree
+	case ScenFaultyHub:
+		cfg = startup.DefaultConfig(s.N).WithFaultyHub(s.FaultyHub)
+	case ScenRestart:
+		cfg = startup.DefaultConfig(s.N)
+		cfg.RestartableNodes = true
+	default:
+		cfg = startup.DefaultConfig(s.N)
+	}
+	cfg.DeltaInit = s.DeltaInit
+	cfg.DisableBigBang = s.DisableBigBang
+	return cfg, true
+}
+
+// ModelMatches reports whether two mapped states agree on every variable
+// outside the ignore set.
+func ModelMatches(m *startup.Model, ignore map[int]bool, a, b gcl.State) bool {
+	for _, v := range m.Sys.StateVars() {
+		if ignore[v.ID()] {
+			continue
+		}
+		if a.Get(v) != b.Get(v) {
+			return false
+		}
+	}
+	return true
+}

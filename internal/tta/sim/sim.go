@@ -81,6 +81,39 @@ func (s HubState) String() string {
 	return [...]string{"init", "listen", "startup", "tentative", "silence", "protected", "active"}[s]
 }
 
+// NodeFault designates one additional permanently faulty node driven by
+// its own injector. Listing any NodeFault steps outside the paper's
+// single-failure hypothesis — the model checker has no counterpart for
+// these configurations, which is exactly the scenario diversity the
+// Monte-Carlo campaigns exist to explore (multiple simultaneous faults,
+// per-component fault degrees).
+type NodeFault struct {
+	// ID is the faulty node.
+	ID int
+	// Injector drives the node's per-slot transmissions.
+	Injector NodeInjector
+}
+
+// Restart schedules a transient fault on a correct node: at Slot (or the
+// first later slot at which the node has left INIT) its protocol state is
+// wiped back to INIT — counter 1, big-bang re-armed, output quiet — and it
+// re-integrates after Window slots of power-on delay. This mirrors the
+// verified model's Section 2.1 restart problem (Config.RestartableNodes):
+// a single-node restart trace is a legal behaviour of that model, which is
+// what makes restart scenarios differentially replayable.
+type Restart struct {
+	// Node is the restarting node.
+	Node int
+	// Slot is the earliest slot at which the wipe fires (>= 1). The wipe
+	// is deferred while the node is still in INIT (the model's restart
+	// command requires a started node).
+	Slot int
+	// Window is the node's renewed power-on delay in slots (>= 1). Keep it
+	// within the model's δ_init if the trace is to replay through the
+	// RestartableNodes model.
+	Window int
+}
+
 // Config parameterises a simulation.
 type Config struct {
 	// N is the number of nodes.
@@ -96,6 +129,16 @@ type Config struct {
 	HubDelay [2]int
 	// Injector drives the faulty components (nil: everything correct).
 	Injector Injector
+	// MoreFaultyNodes lists additional permanently faulty nodes, each with
+	// its own injector — configurations beyond the single-failure
+	// hypothesis. They may be combined with FaultyHub (and with each
+	// other); only the legacy FaultyNode/FaultyHub pair keeps its
+	// single-failure validation.
+	MoreFaultyNodes []NodeFault
+	// Restarts schedules transient wipe-to-INIT faults on correct nodes,
+	// at most one per node (matching the verified model's one-restart
+	// budget).
+	Restarts []Restart
 	// DisableBigBang mirrors the verified model's Section 5.2 design
 	// variant: nodes synchronise directly on the first cs-frame.
 	DisableBigBang bool
@@ -133,14 +176,54 @@ func (c Config) Validate() error {
 	if (c.FaultyNode >= 0 || c.FaultyHub >= 0) && c.Injector == nil {
 		return fmt.Errorf("sim: faulty component configured without an injector")
 	}
+	faulty := map[int]bool{}
+	if c.FaultyNode >= 0 {
+		faulty[c.FaultyNode] = true
+	}
+	for _, nf := range c.MoreFaultyNodes {
+		if nf.ID < 0 || nf.ID >= c.N {
+			return fmt.Errorf("sim: extra faulty node %d out of range", nf.ID)
+		}
+		if faulty[nf.ID] {
+			return fmt.Errorf("sim: node %d listed faulty twice", nf.ID)
+		}
+		if nf.Injector == nil {
+			return fmt.Errorf("sim: extra faulty node %d has no injector", nf.ID)
+		}
+		faulty[nf.ID] = true
+	}
+	restarting := map[int]bool{}
+	for _, r := range c.Restarts {
+		if r.Node < 0 || r.Node >= c.N {
+			return fmt.Errorf("sim: restart node %d out of range", r.Node)
+		}
+		if faulty[r.Node] {
+			return fmt.Errorf("sim: restart node %d is already faulty", r.Node)
+		}
+		if restarting[r.Node] {
+			return fmt.Errorf("sim: node %d scheduled to restart twice", r.Node)
+		}
+		if r.Slot < 1 {
+			return fmt.Errorf("sim: restart slot %d must be >= 1", r.Slot)
+		}
+		if r.Window < 1 {
+			return fmt.Errorf("sim: restart window %d must be >= 1", r.Window)
+		}
+		restarting[r.Node] = true
+	}
 	return nil
+}
+
+// NodeInjector drives one faulty node's per-slot transmissions.
+type NodeInjector interface {
+	// FaultyNodeOutput returns the faulty node's transmission on each
+	// channel for the given slot.
+	FaultyNodeOutput(slot int) [2]Frame
 }
 
 // Injector decides a faulty component's behaviour each slot.
 type Injector interface {
-	// FaultyNodeOutput returns the faulty node's transmission on each
-	// channel for the given slot.
-	FaultyNodeOutput(slot int) [2]Frame
+	NodeInjector
 	// FaultyHubRelay decides the faulty hub's per-node delivery and
 	// interlink output given the frame it arbitrated this slot (Kind ==
 	// Quiet when no port was active). deliver[i] selects what node i
@@ -156,6 +239,7 @@ type node struct {
 	counter int
 	pos     int
 	bigBang bool
+	delay   int   // power-on delay in slots (renewed by a restart)
 	out     Frame // transmission this slot (both channels)
 }
 
@@ -176,9 +260,19 @@ type Cluster struct {
 	p    tta.Params
 	slot int
 
-	nodes  []*node
-	hubs   [2]*hub
-	favail [2]Frame // faulty node's per-channel output this slot
+	nodes []*node
+	hubs  [2]*hub
+
+	// injected[i] drives faulty node i (nil for correct nodes); fout[i] is
+	// its per-channel output this slot.
+	injected []NodeInjector
+	fout     [][2]Frame
+
+	// restartAt/restartWin[i] schedule node i's pending transient restart
+	// (restartPending[i] clears once the wipe fires).
+	restartAt      []int
+	restartWin     []int
+	restartPending []bool
 
 	// in[ch][i] is what node i hears on channel ch next slot.
 	in [2][]Frame
@@ -197,11 +291,27 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, p: tta.Params{N: cfg.N}}
 	c.nodes = make([]*node, cfg.N)
+	c.injected = make([]NodeInjector, cfg.N)
+	c.fout = make([][2]Frame, cfg.N)
+	if cfg.FaultyNode >= 0 {
+		c.injected[cfg.FaultyNode] = cfg.Injector
+	}
+	for _, nf := range cfg.MoreFaultyNodes {
+		c.injected[nf.ID] = nf.Injector
+	}
 	for i := range cfg.N {
-		if i == cfg.FaultyNode {
+		if c.injected[i] != nil {
 			continue
 		}
-		c.nodes[i] = &node{state: NodeInit, counter: 1, bigBang: true}
+		c.nodes[i] = &node{state: NodeInit, counter: 1, bigBang: true, delay: cfg.NodeDelay[i]}
+	}
+	c.restartAt = make([]int, cfg.N)
+	c.restartWin = make([]int, cfg.N)
+	c.restartPending = make([]bool, cfg.N)
+	for _, r := range cfg.Restarts {
+		c.restartAt[r.Node] = r.Slot
+		c.restartWin[r.Node] = r.Window
+		c.restartPending[r.Node] = true
 	}
 	for ch := range 2 {
 		if ch == cfg.FaultyHub {
@@ -247,6 +357,29 @@ func (c *Cluster) HubState(ch int) HubState {
 	return c.hubs[ch].state
 }
 
+// InjectedOutput returns faulty node i's per-channel output this slot
+// (zero Frames for a correct node).
+func (c *Cluster) InjectedOutput(i int) [2]Frame { return c.fout[i] }
+
+// RestartPending reports whether node i still has a scheduled transient
+// restart that has not fired yet.
+func (c *Cluster) RestartPending(i int) bool { return c.restartPending[i] }
+
+// NodeFaulty reports whether node i is driven by a fault injector.
+func (c *Cluster) NodeFaulty(i int) bool { return c.injected[i] != nil }
+
+// HubFaulty reports whether hub ch is driven by a fault injector.
+func (c *Cluster) HubFaulty(ch int) bool { return c.hubs[ch] == nil }
+
+func (c *Cluster) anyRestartPending() bool {
+	for _, p := range c.restartPending {
+		if p {
+			return true
+		}
+	}
+	return false
+}
+
 // AllCorrectActive reports whether every correct node is synchronised.
 func (c *Cluster) AllCorrectActive() bool {
 	for _, n := range c.nodes {
@@ -281,16 +414,34 @@ func (c *Cluster) Step() {
 	c.slot++
 
 	// 1. Node phase: react to last slot's channel inputs, produce outputs.
+	// A due transient restart replaces the node's step: the wipe mirrors
+	// the verified model's transient-restart command exactly (INIT, counter
+	// 1, quiet output, big-bang re-armed), and is deferred while the node
+	// is still in INIT, matching the command's ¬INIT guard.
 	for i, n := range c.nodes {
-		if n != nil {
-			c.stepNode(i, n)
+		if n == nil {
+			continue
 		}
+		if c.restartPending[i] && c.slot >= c.restartAt[i] && n.state != NodeInit {
+			c.restartPending[i] = false
+			n.state = NodeInit
+			n.counter = 1
+			n.pos = 0
+			n.bigBang = true
+			n.delay = c.restartWin[i]
+			n.out = Frame{}
+			continue
+		}
+		c.stepNode(i, n)
 	}
-	if c.cfg.FaultyNode >= 0 {
-		c.favail = c.cfg.Injector.FaultyNodeOutput(c.slot)
+	for i, inj := range c.injected {
+		if inj == nil {
+			continue
+		}
+		c.fout[i] = inj.FaultyNodeOutput(c.slot)
 		for ch := range 2 {
-			if h := c.hubs[ch]; h != nil && h.lock[c.cfg.FaultyNode] {
-				c.favail[ch] = Frame{} // feedback: locked port stays quiet
+			if h := c.hubs[ch]; h != nil && h.lock[i] {
+				c.fout[i][ch] = Frame{} // feedback: locked port stays quiet
 			}
 		}
 	}
