@@ -5,7 +5,7 @@ GO ?= go
 # model configuration, the campaign, IC3, and observability smoke tests,
 # and a short run of both fuzz harnesses.
 .PHONY: check
-check: fmt vet build race lint-models campaign-smoke ic3-smoke obs-smoke fuzz-smoke sim-smoke
+check: fmt vet build race lint-models campaign-smoke ic3-smoke obs-smoke fuzz-smoke sim-smoke served-smoke
 
 .PHONY: fmt
 fmt:
@@ -92,6 +92,17 @@ sim-smoke:
 		-out $(SIM_SMOKE_DIR)/fresh.jsonl -report $(SIM_SMOKE_DIR)/fresh.json >/dev/null
 	cmp $(SIM_SMOKE_DIR)/resumed.json $(SIM_SMOKE_DIR)/fresh.json
 	@rm -rf $(SIM_SMOKE_DIR)
+
+# Daemon smoke test: submit a campaign to ttaserved, kill -9 the daemon
+# mid-campaign, restart it on the same data directory, and require the
+# resumed canonical report to be byte-identical to a fresh daemon's; then
+# resubmit the same spec and require a 100% verdict-cache hit with zero
+# units executed. See scripts/served_smoke.sh.
+SERVED_SMOKE_DIR := .served-smoke
+.PHONY: served-smoke
+served-smoke:
+	sh scripts/served_smoke.sh $(SERVED_SMOKE_DIR)
+	@rm -rf $(SERVED_SMOKE_DIR)
 
 # Observability smoke test: record a Chrome trace of an unbounded IC3 proof
 # on the bus model, then validate it with ttatrace — the trace must parse,

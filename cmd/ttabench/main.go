@@ -24,6 +24,7 @@ import (
 	"ttastartup/internal/core"
 	"ttastartup/internal/exp"
 	"ttastartup/internal/obs"
+	"ttastartup/internal/serve"
 )
 
 func main() {
@@ -35,7 +36,7 @@ func main() {
 
 func run() error {
 	var (
-		expName  = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6a, fig6b, fig6c, fig6d, baseline, feedback, bigbang, wcsup, campaign, restart, ablation, ic3, order, opt, sim, all")
+		expName  = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6a, fig6b, fig6c, fig6d, baseline, feedback, bigbang, wcsup, campaign, restart, ablation, ic3, order, opt, sim, serve, all")
 		full     = flag.Bool("full", false, "use the paper's full parameters (slow; quick scale is the default)")
 		nsFlag   = flag.String("n", "", "comma-separated cluster sizes (default per experiment)")
 		measure  = flag.Bool("measure", true, "measure reachable-state counts where applicable")
@@ -46,8 +47,18 @@ func run() error {
 		orderOut = flag.String("order-out", "BENCH_order.json", "write the order experiment's rows as JSON to this file (empty: table only)")
 		optOut   = flag.String("opt-out", "BENCH_opt.json", "write the opt experiment's rows as JSON to this file (empty: table only)")
 		simOut   = flag.String("sim-out", "BENCH_sim.json", "write the sim experiment's report as JSON to this file (empty: table only)")
+		serveOut = flag.String("serve-out", "BENCH_serve.json", "write the serve experiment's report as JSON to this file (empty: table only)")
+
+		// -serve-worker is the serve experiment's re-exec hook: the bench
+		// spawns copies of its own binary with this flag as the daemon's
+		// worker processes. Not meant to be invoked by hand.
+		serveWorker = flag.Bool("serve-worker", false, "run as a ttaserved worker on stdin/stdout (internal; used by -exp serve)")
 	)
 	flag.Parse()
+
+	if *serveWorker {
+		return serve.RunWorker(context.Background(), os.Stdin, os.Stdout)
+	}
 
 	if *obsOut == "" && *jsonOut {
 		*obsOut = "BENCH_obs.json"
@@ -303,6 +314,26 @@ func run() error {
 					return err
 				}
 			}
+		case "serve":
+			exe, err := os.Executable()
+			if err != nil {
+				return err
+			}
+			rep, table, err := exp.ServeBench(context.Background(), scale, []string{exe, "-serve-worker"})
+			if err != nil {
+				return err
+			}
+			fmt.Println(table)
+			if *serveOut != "" {
+				f, err := os.Create(*serveOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := exp.WriteServeReport(f, rep); err != nil {
+					return err
+				}
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -319,7 +350,7 @@ func run() error {
 	}
 
 	if *expName == "all" {
-		for _, name := range []string{"fig3", "fig5", "baseline", "campaign", "sim", "restart", "ablation", "bigbang", "wcsup", "feedback", "ic3", "opt", "fig4", "fig6a", "fig6c", "fig6d", "fig6b"} {
+		for _, name := range []string{"fig3", "fig5", "baseline", "campaign", "sim", "serve", "restart", "ablation", "bigbang", "wcsup", "feedback", "ic3", "opt", "fig4", "fig6a", "fig6c", "fig6d", "fig6b"} {
 			if err := timedRun(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,0 +1,341 @@
+// Command ttactl is the client for ttaserved. Subcommands:
+//
+//	submit  build a SubmitRequest from campaign flags (or -spec file) and
+//	        POST it; -wait blocks until the job finishes
+//	status  print one job's status JSON
+//	wait    block until a job reaches a terminal state
+//	report  print a finished job's canonical report (-json for JSON)
+//	watch   stream a job's progress events as JSONL
+//	list    list all jobs
+//
+// The daemon address comes from -addr, or -addr-file (as written by
+// ttaserved -addr-file), or the TTASERVED_ADDR environment variable.
+//
+// Examples:
+//
+//	ttactl -addr 127.0.0.1:8414 submit -n 3 -degrees 1,2,3 -wait
+//	ttactl submit -kind mcfi -sim-n 4 -samples 3000 -batch 500 -seed 7
+//	ttactl report 1a2b3c4d5e6f-0
+//	ttactl watch 1a2b3c4d5e6f-0
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ttastartup/internal/campaign"
+	"ttastartup/internal/serve"
+	"ttastartup/internal/sim/mcfi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ttactl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "", "daemon address host:port (default: -addr-file, then $TTASERVED_ADDR)")
+		addrFile = flag.String("addr-file", "", "read the daemon address from this file")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ttactl [-addr host:port | -addr-file path] <submit|status|wait|report|watch|list> ...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	base, err := baseURL(*addr, *addrFile)
+	if err != nil {
+		return err
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "submit":
+		return cmdSubmit(base, args)
+	case "status":
+		return cmdStatus(base, args)
+	case "wait":
+		return cmdWait(base, args)
+	case "report":
+		return cmdReport(base, args)
+	case "watch":
+		return cmdWatch(base, args)
+	case "list":
+		return get(base+"/v1/jobs", os.Stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func baseURL(addr, addrFile string) (string, error) {
+	if addr == "" && addrFile != "" {
+		data, err := os.ReadFile(addrFile)
+		if err != nil {
+			return "", err
+		}
+		addr = strings.TrimSpace(string(data))
+	}
+	if addr == "" {
+		addr = os.Getenv("TTASERVED_ADDR")
+	}
+	if addr == "" {
+		return "", fmt.Errorf("no daemon address: use -addr, -addr-file, or $TTASERVED_ADDR")
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimSuffix(addr, "/"), nil
+}
+
+func cmdSubmit(base string, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	var (
+		specFile = fs.String("spec", "", "submit this SubmitRequest JSON file instead of building one from flags")
+		kind     = fs.String("kind", "verify", "job kind: verify, mcfi")
+		wait     = fs.Bool("wait", false, "block until the job reaches a terminal state")
+
+		// verify spec axes (mirroring ttacampaign)
+		ns         = fs.String("n", "3", "comma-separated cluster sizes")
+		topologies = fs.String("topologies", "hub", "comma-separated topologies: hub, bus")
+		bigbang    = fs.String("bigbang", "on", "hub big-bang variants: on, off, both")
+		degrees    = fs.String("degrees", "1,2,3,4,5,6", "comma-separated fault degrees")
+		lemmas     = fs.String("lemmas", "safety,liveness,timeliness,safety_2", "comma-separated lemmas")
+		engines    = fs.String("engines", "symbolic", "comma-separated engines")
+		deltaInit  = fs.Int("delta-init", 0, "power-on window in slots (0: model default)")
+
+		// run config (part of the verdict-cache key)
+		timeout     = fs.Duration("timeout", 0, "per-job engine budget (0: none)")
+		fallbackBMC = fs.Bool("fallback-bmc", false, "retry deadline-exceeded jobs with the bounded engine")
+		bmcDepth    = fs.Int("depth", 0, "bmc unrolling depth (0: 2·w_sup)")
+		noOpt       = fs.Bool("no-opt", false, "disable the static model-optimization pipeline")
+
+		// mcfi spec
+		simN    = fs.Int("sim-n", 4, "mcfi: cluster size")
+		samples = fs.Int("samples", 3000, "mcfi: scenarios to simulate")
+		seed    = fs.Int64("seed", 1, "mcfi: campaign seed")
+		batch   = fs.Int("batch", 500, "mcfi: scenarios per batch")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var req serve.SubmitRequest
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &req); err != nil {
+			return fmt.Errorf("%s: %w", *specFile, err)
+		}
+	} else {
+		req.Config = serve.RunConfig{
+			TimeoutMS:   timeout.Milliseconds(),
+			FallbackBMC: *fallbackBMC,
+			BMCDepth:    *bmcDepth,
+			NoOpt:       *noOpt,
+		}
+		switch *kind {
+		case serve.KindVerify:
+			spec := campaign.Spec{DeltaInit: *deltaInit}
+			var err error
+			if spec.Ns, err = parseInts(*ns); err != nil {
+				return fmt.Errorf("-n: %w", err)
+			}
+			if spec.Degrees, err = parseInts(*degrees); err != nil {
+				return fmt.Errorf("-degrees: %w", err)
+			}
+			spec.Topologies = splitList(*topologies)
+			spec.Lemmas = splitList(*lemmas)
+			spec.Engines = splitList(*engines)
+			switch *bigbang {
+			case "on":
+				spec.BigBang = []bool{true}
+			case "off":
+				spec.BigBang = []bool{false}
+			case "both":
+				spec.BigBang = []bool{true, false}
+			default:
+				return fmt.Errorf("-bigbang: want on, off or both, got %q", *bigbang)
+			}
+			req.Kind = serve.KindVerify
+			req.Verify = &spec
+		case serve.KindMCFI:
+			req.Kind = serve.KindMCFI
+			req.MCFI = &mcfi.Spec{N: *simN, Samples: *samples, Seed: *seed, Batch: *batch}
+		default:
+			return fmt.Errorf("-kind: want verify or mcfi, got %q", *kind)
+		}
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	var st serve.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if !*wait {
+		os.Stdout.Write(data)
+		return nil
+	}
+	return waitJob(base, st.ID)
+}
+
+func cmdStatus(base string, args []string) error {
+	id, err := oneID(args)
+	if err != nil {
+		return err
+	}
+	return get(base+"/v1/jobs/"+id, os.Stdout)
+}
+
+func cmdWait(base string, args []string) error {
+	id, err := oneID(args)
+	if err != nil {
+		return err
+	}
+	return waitJob(base, id)
+}
+
+// waitJob polls the job until it reaches a terminal state, then prints
+// the final status. Polling (rather than holding an event stream) makes
+// wait robust against daemon restarts in between.
+func waitJob(base, id string) error {
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("wait: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+		}
+		var st serve.JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return err
+		}
+		switch st.State {
+		case "done":
+			os.Stdout.Write(data)
+			return nil
+		case "failed":
+			os.Stdout.Write(data)
+			return fmt.Errorf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func cmdReport(base string, args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "fetch the JSON report instead of the canonical text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := oneID(fs.Args())
+	if err != nil {
+		return err
+	}
+	url := base + "/v1/jobs/" + id + "/report"
+	if *asJSON {
+		url += "?format=json"
+	}
+	return get(url, os.Stdout)
+}
+
+func cmdWatch(base string, args []string) error {
+	id, err := oneID(args)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events?format=ndjson")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("watch: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+	return sc.Err()
+}
+
+func oneID(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("want exactly one job ID argument")
+	}
+	return args[0], nil
+}
+
+func get(url string, w io.Writer) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

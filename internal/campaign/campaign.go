@@ -79,27 +79,27 @@ func (j Job) ID() string {
 // the spec into a deterministic, duplicate-free job list.
 type Spec struct {
 	// Ns lists the cluster sizes (default: 3).
-	Ns []int
+	Ns []int `json:"ns,omitempty"`
 	// Topologies lists the model families to sweep (default: hub).
-	Topologies []string
+	Topologies []string `json:"topologies,omitempty"`
 	// BigBang lists the hub-topology big-bang variants (default: on only).
 	// The bus topology has no big-bang mechanism and ignores this axis.
-	BigBang []bool
+	BigBang []bool `json:"big_bang,omitempty"`
 	// Degrees lists the fault degrees for faulty-node jobs (default 1..6;
 	// the bus topology's fault model stops at degree 3 and higher degrees
 	// are skipped for it).
-	Degrees []int
+	Degrees []int `json:"degrees,omitempty"`
 	// Lemmas lists lemma names (default: safety, liveness, timeliness and
 	// safety_2). Hub-topology jobs check safety_2 against a faulty hub and
 	// every other lemma against a faulty node; the bus topology supports
 	// safety and liveness and skips the rest.
-	Lemmas []string
+	Lemmas []string `json:"lemmas,omitempty"`
 	// Engines lists engine names (default: symbolic). The k-induction
 	// engine cannot prove liveness and is skipped for eventuality lemmas.
-	Engines []string
+	Engines []string `json:"engines,omitempty"`
 	// DeltaInit overrides the power-on window in slots (0: each model's
 	// default — the paper's 8·round for the hub, 2·round for the bus).
-	DeltaInit int
+	DeltaInit int `json:"delta_init,omitempty"`
 }
 
 // Paper lemma names understood by the expander. The sanity lemmas of
@@ -282,6 +282,11 @@ type Record struct {
 	// deterministic, so the digest is reproducible run to run).
 	CexLen    int    `json:"cex_len,omitempty"`
 	CexDigest string `json:"cex_digest,omitempty"`
+	// ModelDigest is the canonical content address of the checked model
+	// (gcl.System.ShortDigest of the finalized source system, independent
+	// of -opt rewriting) — the model half of the verdict-cache key and the
+	// durable replacement for ad-hoc configuration identity strings.
+	ModelDigest string `json:"model_digest,omitempty"`
 	// WallMS is the job's wall-clock time in milliseconds.
 	WallMS int64 `json:"wall_ms"`
 	// Stats carries the engine measurements (schema below).

@@ -442,3 +442,113 @@ func TestRecordJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round trip changed the record:\n%+v\n%+v", rec, back)
 	}
 }
+
+// TestResumeTornLastLine: a kill -9 mid-append leaves the checkpoint
+// ending in a truncated record. Resume must drop the partial record,
+// re-run exactly that job, and complete the campaign with a report
+// byte-identical to an uninterrupted run — not fail, and not trust the
+// torn bytes.
+func TestResumeTornLastLine(t *testing.T) {
+	jobs := testJobs(t)
+
+	fresh, err := RunJobs(context.Background(), jobs, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	store, err := OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunJobs(context.Background(), jobs, RunOptions{Workers: 2, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	// Tear the final record in half, as a crash mid-write would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := splitLines(data)
+	if len(lines) != len(jobs) {
+		t.Fatalf("store has %d lines for %d jobs", len(lines), len(jobs))
+	}
+	last := lines[len(lines)-1]
+	var lost Record
+	if err := json.Unmarshal(last, &lost); err != nil {
+		t.Fatal(err)
+	}
+	torn := len(data) - len(last)/2 - 1 // keep a strict prefix of the last line
+	if err := os.Truncate(path, int64(torn)); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenStore(path, true)
+	if err != nil {
+		t.Fatalf("resume after torn tail failed the campaign: %v", err)
+	}
+	defer reopened.Close()
+	if reopened.Len() != len(jobs)-1 {
+		t.Fatalf("want %d intact records after tearing one, got %d", len(jobs)-1, reopened.Len())
+	}
+	if _, ok := reopened.Get(lost.Job.ID()); ok {
+		t.Fatal("torn record must not be trusted")
+	}
+
+	rep, err := RunJobs(context.Background(), jobs, RunOptions{Workers: 2, Store: reopened})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != len(jobs)-1 {
+		t.Fatalf("resume should re-run exactly the torn job: skipped %d of %d", rep.Skipped, len(jobs))
+	}
+	if !rep.Complete() {
+		t.Fatal("resumed campaign incomplete")
+	}
+	if f, r := fresh.Canonical(), rep.Canonical(); f != r {
+		t.Fatalf("resumed report differs from fresh run:\n--- fresh ---\n%s--- resumed ---\n%s", f, r)
+	}
+}
+
+// TestRecordModelDigest: every verdict record carries the canonical model
+// content address, it matches the digest computed without running the
+// check, and semantically different configurations get different
+// addresses.
+func TestRecordModelDigest(t *testing.T) {
+	jobs, err := Spec{
+		Ns: []int{3}, Topologies: []string{TopologyHub, TopologyBus},
+		Degrees: []int{1, 2}, Lemmas: []string{"safety"}, DeltaInit: 4,
+	}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunJobs(context.Background(), jobs, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]string) // digest -> job ID (same-model jobs may share)
+	for _, j := range jobs {
+		rec, ok := rep.Record(j)
+		if !ok {
+			t.Fatalf("missing record for %s", j.ID())
+		}
+		if rec.ModelDigest == "" || len(rec.ModelDigest) != 16 {
+			t.Fatalf("record %s has no model digest: %+v", j.ID(), rec)
+		}
+		full, err := JobModelDigest(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full[:16] != rec.ModelDigest {
+			t.Fatalf("record digest %s disagrees with JobModelDigest %s for %s", rec.ModelDigest, full[:16], j.ID())
+		}
+		seen[rec.ModelDigest] = j.ID()
+	}
+	// Degree 1 vs 2 and hub vs bus are different transition systems: the
+	// four jobs must span four distinct model digests.
+	if len(seen) != 4 {
+		t.Fatalf("want 4 distinct model digests across the sweep, got %d: %v", len(seen), seen)
+	}
+}

@@ -217,6 +217,18 @@ feed:
 	return rep, nil
 }
 
+// ExecuteJob checks one job outside any pool: the job-level entry point
+// used by the verification service's worker processes (internal/serve),
+// which own their scheduling and durability and only need the check
+// itself — deadline classification, bounded-engine rescue, and error
+// capture included. It is runJob exported: a verdict record, an
+// "inconclusive (deadline)" record, or an error record; a non-nil error
+// is returned only when ctx itself is cancelled (the job has no verdict
+// and stays pending).
+func ExecuteJob(ctx context.Context, job Job, opts RunOptions) (Record, error) {
+	return runJob(ctx, job, opts)
+}
+
 // runJob checks one job, classifying the outcome: a verdict record, an
 // "inconclusive (deadline)" record (with optional bounded-engine rescue),
 // an error record, or — only when the campaign context itself is done — a
@@ -275,6 +287,7 @@ func runJob(ctx context.Context, job Job, opts RunOptions) (Record, error) {
 func fillResult(rec *Record, res *mc.Result, sys *gcl.System) {
 	rec.Verdict = res.Verdict.String()
 	rec.Holds = res.Holds()
+	rec.ModelDigest = sys.ShortDigest()
 	if res.Trace != nil {
 		rec.CexLen = res.Trace.Len()
 		rec.CexDigest = traceDigest(sys, res.Trace)
@@ -332,7 +345,8 @@ func checkJob(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 	}
 }
 
-func checkHub(ctx context.Context, job Job, engine string, opts RunOptions) (*mc.Result, *gcl.System, error) {
+// HubConfig maps a hub-topology job onto its model configuration.
+func HubConfig(job Job) startup.Config {
 	cfg := startup.DefaultConfig(job.N)
 	cfg.DeltaInit = job.DeltaInit
 	cfg.DisableBigBang = !job.BigBang
@@ -343,6 +357,48 @@ func checkHub(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 	case job.FaultyHub >= 0:
 		cfg = cfg.WithFaultyHub(job.FaultyHub)
 	}
+	return cfg
+}
+
+// BusConfig maps a bus-topology job onto its model configuration.
+func BusConfig(job Job) original.Config {
+	cfg := original.Config{
+		N:           job.N,
+		FaultyNode:  job.FaultyNode,
+		FaultDegree: job.Degree,
+		DeltaInit:   job.DeltaInit,
+	}
+	if cfg.FaultyNode < 0 {
+		cfg.FaultDegree = maxBusDegree // degree is irrelevant but must validate
+	}
+	return cfg
+}
+
+// JobModelDigest builds the job's model — without checking anything — and
+// returns the canonical content address of its finalized system
+// (gcl.System.Digest). The verification service computes it at submission
+// time to probe the verdict cache before scheduling a single job.
+func JobModelDigest(job Job) (string, error) {
+	switch job.Topology {
+	case TopologyHub:
+		model, err := startup.Build(HubConfig(job))
+		if err != nil {
+			return "", err
+		}
+		return model.Sys.Digest(), nil
+	case TopologyBus:
+		m, err := original.Build(BusConfig(job))
+		if err != nil {
+			return "", err
+		}
+		return m.Sys.Digest(), nil
+	default:
+		return "", fmt.Errorf("campaign: unknown topology %q", job.Topology)
+	}
+}
+
+func checkHub(ctx context.Context, job Job, engine string, opts RunOptions) (*mc.Result, *gcl.System, error) {
+	cfg := HubConfig(job)
 	lemmas, err := core.ParseLemmas(job.Lemma)
 	if err != nil || len(lemmas) != 1 {
 		return nil, nil, fmt.Errorf("campaign: bad lemma %q", job.Lemma)
@@ -365,16 +421,7 @@ func checkHub(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc.Result, *gcl.System, error) {
 	o := opts.Options
 	o.Normalize()
-	cfg := original.Config{
-		N:           job.N,
-		FaultyNode:  job.FaultyNode,
-		FaultDegree: job.Degree,
-		DeltaInit:   job.DeltaInit,
-	}
-	if cfg.FaultyNode < 0 {
-		cfg.FaultDegree = maxBusDegree // degree is irrelevant but must validate
-	}
-	m, err := original.Build(cfg)
+	m, err := original.Build(BusConfig(job))
 	if err != nil {
 		return nil, nil, err
 	}

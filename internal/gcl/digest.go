@@ -1,0 +1,131 @@
+package gcl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Digest returns the canonical SHA-256 fingerprint of a finalized system:
+// the content address used by the verdict cache of the verification
+// service (internal/serve) and recorded with every campaign result.
+//
+// The digest covers exactly the semantics-bearing content of the model —
+// module names, variable declarations (name, type, kind, initial-value
+// constraint), and guarded commands (guard, update set, fallback flag) —
+// rendered into a canonical text form and hashed. Anything that does not
+// change the transition system is normalized away:
+//
+//   - module declaration order (synchronous composition is a set),
+//   - variable declaration order (IDs only affect vector encoding),
+//   - command order within a module (one enabled command fires,
+//     nondeterministically),
+//   - update order within a command (an update set, one per variable),
+//   - command names (labels for traces and diagnostics, not semantics),
+//   - unordered initial-value sets (sorted before hashing).
+//
+// Renaming a module, variable, type, or enum value, or touching any guard,
+// update expression, initial constraint, or the fallback flag, changes the
+// digest. Two systems built by different code paths hash equal exactly
+// when their canonical forms coincide.
+//
+// Digest panics when called before Finalize: un-finalized systems are
+// still mutable and have no stable identity.
+func (s *System) Digest() string {
+	if !s.finalized {
+		panic("gcl: Digest requires a finalized system")
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "gcl-digest-v1\nsystem %s\n", s.Name)
+
+	blocks := make([]string, 0, len(s.modules))
+	for _, m := range s.modules {
+		blocks = append(blocks, moduleSig(m))
+	}
+	sort.Strings(blocks)
+	for _, b := range blocks {
+		h.Write([]byte(b))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ShortDigest is the 16-hex-char prefix of Digest, the form used in
+// campaign records and cache keys where the full 64 characters would
+// dominate the line.
+func (s *System) ShortDigest() string { return s.Digest()[:16] }
+
+// moduleSig renders one module canonically: name, sorted variable
+// signatures, sorted command signatures.
+func moduleSig(m *Module) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", m.Name)
+
+	vars := make([]string, 0, len(m.vars))
+	for _, v := range m.vars {
+		vars = append(vars, varSig(v))
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		b.WriteString(v)
+	}
+
+	cmds := make([]string, 0, len(m.cmds))
+	for _, c := range m.cmds {
+		cmds = append(cmds, cmdSig(c))
+	}
+	sort.Strings(cmds)
+	for _, c := range cmds {
+		b.WriteString(c)
+	}
+	return b.String()
+}
+
+func varSig(v *Var) string {
+	var b strings.Builder
+	kind := "state"
+	if v.Kind == KindChoice {
+		kind = "choice"
+	}
+	fmt.Fprintf(&b, "  var %s : %s kind=%s init=", v.Name, typeSig(v.Type), kind)
+	switch vals := v.init; {
+	case vals == nil:
+		b.WriteString("any")
+	default:
+		sorted := make([]int, len(vals))
+		copy(sorted, vals)
+		sort.Ints(sorted)
+		fmt.Fprintf(&b, "%v", sorted)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func typeSig(t *Type) string {
+	if names := enumNames(t); names != nil {
+		return fmt.Sprintf("%s{%s}", t.Name, strings.Join(names, ","))
+	}
+	return fmt.Sprintf("%s[0..%d]", t.Name, t.Card-1)
+}
+
+// cmdSig renders one command canonically. The command name is omitted (a
+// label, not semantics); updates sort by target variable, which is unique
+// per command by Finalize's validation.
+func cmdSig(c *Command) string {
+	var b strings.Builder
+	if c.Fallback {
+		b.WriteString("  cmd ELSE\n")
+	} else {
+		fmt.Fprintf(&b, "  cmd guard %s\n", c.Guard)
+	}
+	ups := make([]string, 0, len(c.Updates))
+	for _, u := range c.Updates {
+		ups = append(ups, fmt.Sprintf("    %s' = %s\n", u.Var, u.Expr))
+	}
+	sort.Strings(ups)
+	for _, u := range ups {
+		b.WriteString(u)
+	}
+	return b.String()
+}

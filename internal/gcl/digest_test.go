@@ -1,0 +1,191 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+)
+
+// digestSystem builds a small two-module system; the knobs let the
+// mutation tests produce semantically-equal permutations and
+// semantically-different variants from one constructor.
+type digestKnobs struct {
+	swapModules bool // declare modules in the opposite order
+	swapVars    bool // declare module-a variables in the opposite order
+	swapCmds    bool // declare module-a commands in the opposite order
+	swapUpdates bool // list the updates of a command in the opposite order
+	renameCmd   bool // rename a command (a label, not semantics)
+
+	renameVar   bool // rename a variable (semantics: different system)
+	guardConst  int  // constant in a guard (default 1)
+	initValues  []int
+	dropEnum    bool // replace the enum type with a plain int type
+	noFallback  bool // replace the fallback with a plain command
+	renameValue bool // rename an enum value
+}
+
+func buildDigestSystem(k digestKnobs) *System {
+	if k.guardConst == 0 {
+		k.guardConst = 1
+	}
+	if k.initValues == nil {
+		k.initValues = []int{0, 2}
+	}
+	s := NewSystem("digest-probe")
+
+	mkA := func() *Module {
+		m := s.Module("alpha")
+		cnt := IntType("cnt", 4)
+		var mode *Type
+		if k.dropEnum {
+			mode = IntType("mode", 3)
+		} else {
+			second := "run"
+			if k.renameValue {
+				second = "go"
+			}
+			mode = EnumType("mode", "idle", second, "halt")
+		}
+		vName := "c"
+		if k.renameVar {
+			vName = "count"
+		}
+		var c, md *Var
+		decl := func() {
+			c = m.Var(vName, cnt, InitSet(k.initValues...))
+			md = m.Var("m", mode, InitConst(0))
+		}
+		declRev := func() {
+			md = m.Var("m", mode, InitConst(0))
+			c = m.Var(vName, cnt, InitSet(k.initValues...))
+		}
+		if k.swapVars {
+			declRev()
+		} else {
+			decl()
+		}
+
+		up := []Update{SetC(c, 0), SetC(md, 2)}
+		if k.swapUpdates {
+			up = []Update{SetC(md, 2), SetC(c, 0)}
+		}
+		name1, name2 := "tick", "reset"
+		if k.renameCmd {
+			name1 = "advance"
+		}
+		c1 := func() { m.Cmd(name1, Lt(X(c), C(cnt, k.guardConst)), Set(c, AddSat(X(c), 1))) }
+		c2 := func() { m.Cmd(name2, Eq(X(md), C(mode, 1)), up...) }
+		if k.swapCmds {
+			c2()
+			c1()
+		} else {
+			c1()
+			c2()
+		}
+		if k.noFallback {
+			m.Cmd("idle", True())
+		} else {
+			m.Fallback("idle")
+		}
+		return m
+	}
+	mkB := func() {
+		m := s.Module("beta")
+		b := m.Bool("flag", InitConst(0))
+		ch := m.Choice("coin", BoolType())
+		m.Cmd("flip", True(), Set(b, Ite(Eq(X(ch), B(true)), Not(X(b)), X(b))))
+	}
+
+	if k.swapModules {
+		mkB()
+		mkA()
+	} else {
+		mkA()
+		mkB()
+	}
+	s.MustFinalize()
+	return s
+}
+
+// TestDigestGolden pins the canonical digest of the probe system. A
+// failure here means the canonical form changed — which silently
+// invalidates every persisted verdict-cache entry — so bump this golden
+// value only together with the digest version tag in digest.go.
+func TestDigestGolden(t *testing.T) {
+	const golden = "87fc3d7d4f7a03d142adc4f8102c8a9afdf9405533b33b6e6ea7601d3229e3d0"
+	got := buildDigestSystem(digestKnobs{}).Digest()
+	if got != golden {
+		t.Fatalf("canonical digest changed:\n got %s\nwant %s", got, golden)
+	}
+}
+
+func TestDigestShortForm(t *testing.T) {
+	s := buildDigestSystem(digestKnobs{})
+	if short, full := s.ShortDigest(), s.Digest(); len(short) != 16 || !strings.HasPrefix(full, short) {
+		t.Fatalf("ShortDigest %q is not the 16-char prefix of %q", short, full)
+	}
+}
+
+// TestDigestOrderIndependent: permutations that do not change the
+// transition system hash identically.
+func TestDigestOrderIndependent(t *testing.T) {
+	base := buildDigestSystem(digestKnobs{}).Digest()
+	for _, tc := range []struct {
+		name string
+		k    digestKnobs
+	}{
+		{"module order", digestKnobs{swapModules: true}},
+		{"variable order", digestKnobs{swapVars: true}},
+		{"command order", digestKnobs{swapCmds: true}},
+		{"update order", digestKnobs{swapUpdates: true}},
+		{"command rename", digestKnobs{renameCmd: true}},
+		{"all permutations", digestKnobs{swapModules: true, swapVars: true, swapCmds: true, swapUpdates: true, renameCmd: true}},
+	} {
+		if got := buildDigestSystem(tc.k).Digest(); got != base {
+			t.Errorf("%s changed the digest: %s vs %s", tc.name, got, base)
+		}
+	}
+}
+
+// TestDigestMutationsDetected: every semantics-bearing mutation moves the
+// digest.
+func TestDigestMutationsDetected(t *testing.T) {
+	base := buildDigestSystem(digestKnobs{}).Digest()
+	seen := map[string]string{base: "base"}
+	for _, tc := range []struct {
+		name string
+		k    digestKnobs
+	}{
+		{"variable rename", digestKnobs{renameVar: true}},
+		{"guard constant", digestKnobs{guardConst: 2}},
+		{"initial values", digestKnobs{initValues: []int{1}}},
+		{"enum to int type", digestKnobs{dropEnum: true}},
+		{"fallback to command", digestKnobs{noFallback: true}},
+		{"enum value rename", digestKnobs{renameValue: true}},
+	} {
+		got := buildDigestSystem(tc.k).Digest()
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s collides with %s: %s", tc.name, prev, got)
+			continue
+		}
+		seen[got] = tc.name
+	}
+}
+
+// TestDigestInitSetUnordered: InitSet is a set; permuting its values must
+// not move the digest.
+func TestDigestInitSetUnordered(t *testing.T) {
+	a := buildDigestSystem(digestKnobs{initValues: []int{0, 2, 3}}).Digest()
+	b := buildDigestSystem(digestKnobs{initValues: []int{3, 0, 2}}).Digest()
+	if a != b {
+		t.Fatalf("InitSet order changed the digest: %s vs %s", a, b)
+	}
+}
+
+func TestDigestRequiresFinalize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Digest on an un-finalized system should panic")
+		}
+	}()
+	NewSystem("raw").Digest()
+}

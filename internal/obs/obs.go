@@ -97,6 +97,17 @@ const (
 	MSimReplays     = "sim.replays"         // counter: differential replays performed
 	MSimReplayFails = "sim.replays.failed"  // counter: replays that diverged from the model
 	MSimWorkers     = "sim.workers"         // gauge: campaign worker-pool size
+
+	// Verification daemon (internal/serve).
+	MServeJobsSubmitted  = "serve.jobs.submitted"   // counter: campaign jobs accepted
+	MServeJobsDone       = "serve.jobs.done"        // counter: campaign jobs finished (any outcome)
+	MServeJobsFailed     = "serve.jobs.failed"      // counter: campaign jobs that ended in error
+	MServeUnitsExecuted  = "serve.units.executed"   // counter: work units run on a worker
+	MServeUnitsCached    = "serve.units.cached"     // counter: work units answered by the verdict cache
+	MServeUnitsRecovered = "serve.units.recovered"  // counter: leased-but-unjournaled units re-run after restart
+	MServeQueueDepth     = "serve.queue.depth"      // gauge: work units waiting for a worker
+	MServeWorkers        = "serve.workers"          // gauge: worker processes configured
+	MServeWorkerRestarts = "serve.workers.restarts" // counter: worker processes respawned after dying
 )
 
 // Span categories. The Chrome trace viewer groups and colors by "cat";
@@ -109,4 +120,5 @@ const (
 	CatBDD      = "bdd"
 	CatCampaign = "campaign"
 	CatSim      = "sim"
+	CatServe    = "serve"
 )

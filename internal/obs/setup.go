@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -35,6 +37,11 @@ func (o SetupOptions) enabled() bool {
 // closes the debug server, and prints the final metrics dump. When nothing
 // is enabled the returned scope is the zero (disabled) value and teardown
 // is a no-op.
+//
+// The teardown is idempotent: the first call does the work and every
+// later call returns the first call's error without re-flushing files or
+// double-closing sinks, so long-running daemons can wire it both to a
+// context watcher and to their own shutdown path (see SetupCtx).
 func Setup(o SetupOptions) (Scope, func() error, error) {
 	var scope Scope
 	if !o.enabled() {
@@ -72,27 +79,64 @@ func Setup(o SetupOptions) (Scope, func() error, error) {
 		fmt.Fprintf(o.LogW, "obs: serving /debug/pprof and /metricsz on http://%s\n", s.Addr())
 	}
 	stopHB := StartHeartbeat(o.LogW, scope, o.Heartbeat)
+	var (
+		once  sync.Once
+		first error
+	)
 	done := func() error {
-		stopHB()
-		var first error
-		if o.TracePath != "" {
-			if err := WriteChromeFile(scope.Trace, o.TracePath); err != nil {
-				first = err
+		once.Do(func() {
+			stopHB()
+			if o.TracePath != "" {
+				if err := WriteChromeFile(scope.Trace, o.TracePath); err != nil {
+					first = err
+				}
 			}
-		}
-		if spanlogFile != nil {
-			if err := spanlogFile.Close(); err != nil && first == nil {
-				first = err
+			if spanlogFile != nil {
+				if err := spanlogFile.Close(); err != nil && first == nil {
+					first = err
+				}
 			}
-		}
-		if srv != nil {
-			srv.Close()
-		}
-		if o.Metrics {
-			fmt.Fprintln(o.MetricsW, "metrics:")
-			scope.Reg.Fprint(o.MetricsW)
-		}
+			if srv != nil {
+				srv.Close()
+			}
+			if o.Metrics {
+				fmt.Fprintln(o.MetricsW, "metrics:")
+				scope.Reg.Fprint(o.MetricsW)
+			}
+		})
 		return first
 	}
 	return scope, done, nil
+}
+
+// SetupCtx is Setup bound to a context's lifetime, for daemon use: when
+// ctx is cancelled the sinks tear down exactly as if the returned done
+// function had been called — the heartbeat goroutine stops and the debug
+// HTTP listener closes, so a cancelled daemon leaks neither. Calling done
+// (always safe, and still required to observe the teardown error) stops
+// the watcher goroutine; teardown runs once no matter how many paths race
+// into it.
+func SetupCtx(ctx context.Context, o SetupOptions) (Scope, func() error, error) {
+	scope, done, err := Setup(o)
+	if err != nil || ctx == nil || ctx.Done() == nil {
+		return scope, done, err
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-ctx.Done():
+			done()
+		case <-stop:
+		}
+	}()
+	var once sync.Once
+	wrapped := func() error {
+		once.Do(func() { close(stop) })
+		wg.Wait()
+		return done()
+	}
+	return scope, wrapped, nil
 }

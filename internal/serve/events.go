@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"sync"
+)
+
+// Event is one line of a job's progress feed (SSE / ndjson).
+type Event struct {
+	// Seq numbers events per job, from 1.
+	Seq int `json:"seq"`
+	// Type: "queued", "unit_done", "done", "failed".
+	Type string `json:"type"`
+	// Unit identifies the finished unit on unit_done events.
+	Unit string `json:"unit,omitempty"`
+	// Cached / Recovered mirror the journal provenance flags.
+	Cached    bool `json:"cached,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
+	// Err carries a unit- or job-level failure message.
+	Err string `json:"err,omitempty"`
+	// Done/Total snapshot job progress after this event.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+}
+
+// eventLog keeps a job's full event history (campaigns are bounded: one
+// event per unit plus bookends) and fans new events out to subscribers.
+// Subscribers always receive the history first, so a late watcher sees
+// the same feed as an early one.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{subs: make(map[chan Event]struct{})}
+}
+
+// publish appends an event (stamping its sequence number) and delivers it
+// to all current subscribers.
+func (l *eventLog) publish(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	e.Seq = len(l.events) + 1
+	l.events = append(l.events, e)
+	for ch := range l.subs {
+		select {
+		case ch <- e:
+		default: // backstop: drop rather than block the publisher
+		}
+	}
+}
+
+// finish closes the stream: subscribers' channels are closed after the
+// history they have already been sent.
+func (l *eventLog) finish() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for ch := range l.subs {
+		close(ch)
+	}
+	l.subs = nil
+}
+
+// subscribe returns a channel that replays the history and then streams
+// live events; it is closed when the job finishes. cancel detaches early.
+func (l *eventLog) subscribe() (<-chan Event, func()) {
+	l.mu.Lock()
+	history := make([]Event, len(l.events))
+	copy(history, l.events)
+	closed := l.closed
+	// Buffer generously: the publisher holds the log lock while sending,
+	// so a slow subscriber must never block it. Campaign event counts are
+	// bounded by the unit count, and the HTTP layer drains promptly; the
+	// bound below is a backstop, beyond which events are dropped.
+	ch := make(chan Event, len(history)+4096)
+	if !closed {
+		l.subs[ch] = struct{}{}
+	}
+	l.mu.Unlock()
+
+	out := make(chan Event, len(history)+16)
+	go func() {
+		for _, e := range history {
+			out <- e
+		}
+		for e := range ch {
+			out <- e
+		}
+		close(out)
+	}()
+	if closed {
+		close(ch)
+	}
+	cancel := func() {
+		l.mu.Lock()
+		if !l.closed {
+			if _, ok := l.subs[ch]; ok {
+				delete(l.subs, ch)
+				close(ch)
+			}
+		}
+		l.mu.Unlock()
+	}
+	return out, cancel
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+)
+
+// executor runs one task at a time for one worker slot. execute returns
+// an error only for infrastructure failures (dead worker process, broken
+// pipe); engine-level outcomes travel inside the result.
+type executor interface {
+	execute(ctx context.Context, t task) (result, error)
+	close() error
+}
+
+// inprocExec runs tasks in the daemon process — the Workers==0 /
+// no-worker-command mode used by library tests and as a safe fallback.
+type inprocExec struct{}
+
+func (inprocExec) execute(ctx context.Context, t task) (result, error) {
+	return runTask(ctx, t), nil
+}
+
+func (inprocExec) close() error { return nil }
+
+// procExec owns one worker child process speaking the JSONL protocol
+// over its stdin/stdout. stderr passes through to the daemon's log.
+type procExec struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	out *bufio.Scanner
+}
+
+// startProc spawns argv as a worker child.
+func startProc(argv []string, stderr io.Writer) (*procExec, error) {
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("serve: empty worker command")
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stderr = stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		in.Close()
+		return nil, err
+	}
+	sc := bufio.NewScanner(outPipe)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	return &procExec{cmd: cmd, in: in, out: sc}, nil
+}
+
+func (p *procExec) execute(ctx context.Context, t task) (result, error) {
+	data, err := json.Marshal(t)
+	if err != nil {
+		return result{}, err
+	}
+	data = append(data, '\n')
+	if _, err := p.in.Write(data); err != nil {
+		return result{}, fmt.Errorf("serve: worker write: %w", err)
+	}
+	type lineOrErr struct {
+		line []byte
+		err  error
+	}
+	ch := make(chan lineOrErr, 1)
+	go func() {
+		if !p.out.Scan() {
+			err := p.out.Err()
+			if err == nil {
+				err = io.EOF
+			}
+			ch <- lineOrErr{err: fmt.Errorf("serve: worker died: %w", err)}
+			return
+		}
+		line := make([]byte, len(p.out.Bytes()))
+		copy(line, p.out.Bytes())
+		ch <- lineOrErr{line: line}
+	}()
+	select {
+	case <-ctx.Done():
+		// The daemon is shutting down; the worker may be mid-engine.
+		// Kill it rather than wait — the journal has no record for this
+		// unit, so a restarted daemon re-runs it.
+		p.close()
+		<-ch
+		return result{}, ctx.Err()
+	case lo := <-ch:
+		if lo.err != nil {
+			return result{}, lo.err
+		}
+		var res result
+		if err := json.Unmarshal(lo.line, &res); err != nil {
+			return result{}, fmt.Errorf("serve: malformed worker result: %w", err)
+		}
+		return res, nil
+	}
+}
+
+func (p *procExec) close() error {
+	p.in.Close() // EOF on the worker's stdin: normal shutdown
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+	return p.cmd.Wait()
+}

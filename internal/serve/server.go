@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs             submit a SubmitRequest; 202 + JobStatus
+//	GET  /v1/jobs             list all jobs
+//	GET  /v1/jobs/{id}        one job's status
+//	GET  /v1/jobs/{id}/events progress feed: SSE, or ndjson with
+//	                          ?format=ndjson (both replay history first)
+//	GET  /v1/jobs/{id}/report canonical report.txt; ?format=json for the
+//	                          JSON report
+//	GET  /healthz             liveness probe
+//	GET  /metricsz            the obs registry, one "name value" per line
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", d.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", d.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", d.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", d.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", d.handleReport)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		d.cfg.Scope.Reg.Fprint(w)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	st, err := d.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Jobs())
+}
+
+func (d *Daemon) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := d.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no job %s", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (d *Daemon) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var (
+		data []byte
+		err  error
+	)
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		data, err = d.ReportJSON(id)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		data, err = d.ReportText(id)
+	}
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Write(data)
+}
+
+// handleEvents streams the job's progress feed. The default wire format
+// is server-sent events (one "data: {json}" frame per event); ?format=
+// ndjson (or an Accept header preferring application/x-ndjson) switches
+// to one JSON object per line. Both replay the job's full history before
+// going live, and both end when the job reaches a terminal state.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, cancel, err := d.Events(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer cancel()
+
+	ndjson := r.URL.Query().Get("format") == "ndjson" ||
+		strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-events:
+			if !ok {
+				return
+			}
+			data, merr := json.Marshal(e)
+			if merr != nil {
+				return
+			}
+			if ndjson {
+				fmt.Fprintf(w, "%s\n", data)
+			} else {
+				fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+			}
+			flush()
+		}
+	}
+}

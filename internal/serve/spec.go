@@ -1,0 +1,198 @@
+// Package serve implements the verification-as-a-service daemon behind
+// cmd/ttaserved: it accepts verification-campaign and Monte-Carlo
+// fault-injection specs over HTTP, expands them through the deterministic
+// spec→job machinery of internal/campaign and internal/sim/mcfi, runs the
+// resulting work units on a bounded scheduler fanning out across worker
+// processes, and streams progress as SSE/JSONL events.
+//
+// Durability model: every finished unit is one fsynced JSONL journal line
+// under the job's directory, every dispatch is one lease line, and the
+// final report is written atomically. Because spec expansion is
+// deterministic and unit results are pure functions of the spec, a daemon
+// killed mid-campaign recovers on restart by re-expanding each unfinished
+// job's spec and subtracting the journaled prefix — the resumed report is
+// byte-identical to an uninterrupted run's.
+//
+// Results are fronted by a content-addressed verdict cache keyed by
+// (model digest, lemma, engine, config) — see cache.go — so resubmitting
+// an overlapping spec only schedules the delta.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ttastartup/internal/campaign"
+	"ttastartup/internal/core"
+	"ttastartup/internal/sim/mcfi"
+)
+
+// Job kinds accepted by Submit.
+const (
+	KindVerify = "verify" // model-checking campaign (internal/campaign)
+	KindMCFI   = "mcfi"   // Monte-Carlo fault injection (internal/sim/mcfi)
+)
+
+// RunConfig tunes how a submitted campaign's checks execute. It is part
+// of the verdict-cache key, so two submissions agree on a cached verdict
+// only when they agree on this configuration.
+type RunConfig struct {
+	// TimeoutMS is the per-job engine budget in milliseconds (0: none).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// FallbackBMC retries deadline-exceeded jobs with the bounded engine.
+	FallbackBMC bool `json:"fallback_bmc,omitempty"`
+	// BMCDepth bounds the bounded engine's unrolling (0: 2·w_sup).
+	BMCDepth int `json:"bmc_depth,omitempty"`
+	// NoOpt disables the static model-optimization pipeline (the daemon
+	// optimizes by default, matching ttacampaign).
+	NoOpt bool `json:"no_opt,omitempty"`
+}
+
+// runOptions maps the wire config onto campaign.RunOptions for one job.
+func (c RunConfig) runOptions() campaign.RunOptions {
+	return campaign.RunOptions{
+		Timeout:     time.Duration(c.TimeoutMS) * time.Millisecond,
+		FallbackBMC: c.FallbackBMC,
+		Options:     core.Options{BMCDepth: c.BMCDepth, Opt: !c.NoOpt},
+	}
+}
+
+// canonical renders the config's canonical JSON — the config component of
+// the verdict-cache key. json.Marshal over a flat struct is deterministic
+// (fields in declaration order), and omitempty keeps the zero config
+// stable across future additive fields.
+func (c RunConfig) canonical() string {
+	b, err := json.Marshal(c)
+	if err != nil { // flat struct of scalars: cannot happen
+		panic(err)
+	}
+	return string(b)
+}
+
+// SubmitRequest is the body of POST /v1/jobs: one campaign spec plus its
+// execution config. Exactly one of Verify/MCFI must be set, matching Kind.
+type SubmitRequest struct {
+	Kind   string         `json:"kind"`
+	Verify *campaign.Spec `json:"verify,omitempty"`
+	MCFI   *mcfi.Spec     `json:"mcfi,omitempty"`
+	Config RunConfig      `json:"config,omitempty"`
+}
+
+// Validate checks structural consistency; spec-level validation happens
+// during expansion.
+func (r SubmitRequest) Validate() error {
+	switch r.Kind {
+	case KindVerify:
+		if r.Verify == nil {
+			return fmt.Errorf("serve: kind %q needs a verify spec", r.Kind)
+		}
+		if r.MCFI != nil {
+			return fmt.Errorf("serve: kind %q must not carry an mcfi spec", r.Kind)
+		}
+	case KindMCFI:
+		if r.MCFI == nil {
+			return fmt.Errorf("serve: kind %q needs an mcfi spec", r.Kind)
+		}
+		if r.Verify != nil {
+			return fmt.Errorf("serve: kind %q must not carry a verify spec", r.Kind)
+		}
+	default:
+		return fmt.Errorf("serve: unknown kind %q (want %q or %q)", r.Kind, KindVerify, KindMCFI)
+	}
+	return nil
+}
+
+// Digest is the content address of the request: SHA-256 over its
+// canonical JSON (mcfi specs are normalized first, so cosmetic spellings
+// of the same campaign share a digest).
+func (r SubmitRequest) Digest() string {
+	if r.MCFI != nil {
+		n := r.MCFI.Normalize()
+		r.MCFI = &n
+	}
+	b, err := json.Marshal(r)
+	if err != nil { // structs of scalars and slices: cannot happen
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// unit is one schedulable piece of a job: a single model-checking job for
+// verify campaigns, a single batch for mcfi campaigns. Expansion is
+// deterministic, so the same spec always yields the same unit list in the
+// same order — the property resume and the verdict cache both lean on.
+type unit struct {
+	// ID is unique within the job (campaign.Job.ID() or "batch-%05d").
+	ID string
+	// CacheKey is the content address of this unit's result (cache.go).
+	CacheKey string
+	// Job is set for verify units.
+	Job *campaign.Job
+	// Batch is the batch index for mcfi units.
+	Batch int
+}
+
+// expand turns a validated request into its deterministic unit list.
+// For verify units it builds each job's model to compute the canonical
+// model digest (the model half of the cache key).
+func expand(req SubmitRequest) ([]unit, error) {
+	switch req.Kind {
+	case KindVerify:
+		jobs, err := req.Verify.Jobs()
+		if err != nil {
+			return nil, err
+		}
+		cfg := req.Config.canonical()
+		units := make([]unit, len(jobs))
+		for i := range jobs {
+			md, err := campaign.JobModelDigest(jobs[i])
+			if err != nil {
+				return nil, fmt.Errorf("serve: job %s: %w", jobs[i].ID(), err)
+			}
+			units[i] = unit{
+				ID:       jobs[i].ID(),
+				CacheKey: verifyCacheKey(md, jobs[i].Lemma, jobs[i].Engine, cfg),
+				Job:      &jobs[i],
+			}
+		}
+		return units, nil
+	case KindMCFI:
+		sp := req.MCFI.Normalize()
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		digest := sp.Digest()
+		units := make([]unit, sp.Batches())
+		for b := range units {
+			units[b] = unit{
+				ID:       fmt.Sprintf("batch-%05d", b),
+				CacheKey: mcfiCacheKey(digest, b),
+				Batch:    b,
+			}
+		}
+		return units, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown kind %q", req.Kind)
+	}
+}
+
+// verifyCacheKey addresses one model-checking verdict: the canonical
+// model digest ties the key to the checked system's content (not the
+// sweep coordinates that produced it), and the engine + config components
+// keep verdicts from different procedures or budgets apart.
+func verifyCacheKey(modelDigest, lemma, engine, config string) string {
+	sum := sha256.Sum256([]byte("verify\x00" + modelDigest + "\x00" + lemma + "\x00" + engine + "\x00" + config))
+	return hex.EncodeToString(sum[:])
+}
+
+// mcfiCacheKey addresses one simulated batch: the spec digest covers the
+// generator parameters and seed, and the batch index selects the slice of
+// the deterministic scenario stream.
+func mcfiCacheKey(specDigest string, batch int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("mcfi\x00%s\x00%d", specDigest, batch)))
+	return hex.EncodeToString(sum[:])
+}

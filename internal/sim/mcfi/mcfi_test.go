@@ -348,3 +348,39 @@ func TestEdgeString(t *testing.T) {
 		t.Errorf("hub edge renders as %q", s)
 	}
 }
+
+// TestExecuteBatchReduceMatchesRun: batches computed independently (and
+// fed to the reducer out of order) rebuild the exact report Run produces —
+// the property the serve daemon's per-batch fan-out relies on.
+func TestExecuteBatchReduceMatchesRun(t *testing.T) {
+	sp := testSpec()
+	want, err := Run(context.Background(), sp, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sp.Normalize().Batches()
+	recs := make([]BatchRecord, 0, n)
+	for b := n - 1; b >= 0; b-- { // deliberately reversed
+		rec, err := ExecuteBatch(sp, b)
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		recs = append(recs, rec)
+	}
+	got, err := ReduceRecords(sp, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Completed {
+		t.Fatal("reduced report not marked completed")
+	}
+	if !bytes.Equal(renderJSON(t, got), renderJSON(t, want)) {
+		t.Fatal("reduced report differs from Run report")
+	}
+	if _, err := ExecuteBatch(sp, n); err == nil {
+		t.Fatal("out-of-range batch accepted")
+	}
+	if _, err := ReduceRecords(sp, recs[:len(recs)-1]); err == nil {
+		t.Fatal("non-contiguous batch set accepted")
+	}
+}

@@ -183,6 +183,49 @@ func Run(ctx context.Context, sp Spec, opt RunOptions) (*Report, error) {
 	return rep, nil
 }
 
+// ExecuteBatch simulates one batch of the campaign described by sp: a pure
+// function of (normalized spec, batch index), so any process — in
+// particular a serve worker — can compute any batch independently and the
+// records can be reduced elsewhere. b must be in [0, sp.Batches()).
+func ExecuteBatch(sp Spec, b int) (BatchRecord, error) {
+	sp = sp.Normalize()
+	if err := sp.Validate(); err != nil {
+		return BatchRecord{}, err
+	}
+	if b < 0 || b >= sp.Batches() {
+		return BatchRecord{}, fmt.Errorf("mcfi: batch %d out of range [0,%d)", b, sp.Batches())
+	}
+	g, err := sp.GenParams()
+	if err != nil {
+		return BatchRecord{}, err
+	}
+	return runBatch(sp, g, b)
+}
+
+// ReduceRecords folds externally computed batch records into a campaign
+// report. Records may arrive in any order; they are sorted and reduced
+// strictly by batch index, so the result is byte-identical (via
+// Report canonical encoding) to what Run would produce from the same
+// batches. Completed is set when the records cover every batch of the
+// spec exactly once, starting at 0.
+func ReduceRecords(sp Spec, recs []BatchRecord) (*Report, error) {
+	sp = sp.Normalize()
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	sorted := make([]BatchRecord, len(recs))
+	copy(sorted, recs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Batch < sorted[j].Batch })
+	red := newReducer(sp)
+	for i := range sorted {
+		if sorted[i].Batch != i {
+			return nil, fmt.Errorf("mcfi: reduce needs a contiguous batch prefix; got batch %d at position %d", sorted[i].Batch, i)
+		}
+		red.reduce(&sorted[i])
+	}
+	return red.finish(len(sorted), len(sorted) == sp.Batches()), nil
+}
+
 // runBatch simulates batch b: a pure function of (spec, batch index).
 func runBatch(sp Spec, g sim.GenParams, b int) (BatchRecord, error) {
 	first := uint64(b) * uint64(sp.Batch)

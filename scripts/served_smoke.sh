@@ -1,0 +1,106 @@
+#!/bin/sh
+# served-smoke: end-to-end crash-recovery drill for ttaserved.
+#
+#   1. Start a daemon, submit a 10-job verification campaign.
+#   2. kill -9 the daemon once at least two units are journaled.
+#   3. Restart the daemon on the same data directory; it must resume the
+#      campaign and finish it.
+#   4. Run the same campaign on a fresh daemon with a fresh data
+#      directory; the two canonical reports must be byte-identical.
+#   5. Resubmit the same spec to the resumed daemon; the new job must
+#      complete with every unit answered by the verdict cache and zero
+#      units executed.
+#
+# Everything runs against built binaries (not `go run`) so the kill -9
+# hits the real daemon process.
+set -eu
+
+WORK="${1:-.served-smoke}"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+echo "served-smoke: building binaries"
+go build -o "$WORK/ttaserved" ./cmd/ttaserved
+go build -o "$WORK/ttactl" ./cmd/ttactl
+
+SPEC_FLAGS="-n 3 -degrees 1,2,3 -delta-init 4"
+
+cleanup() {
+    kill -9 "$DPID" 2>/dev/null || true
+    kill -9 "$FPID" 2>/dev/null || true
+}
+DPID=""
+FPID=""
+trap cleanup EXIT
+
+wait_addr() { # $1: addr file
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "served-smoke: daemon never bound" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+echo "served-smoke: starting daemon"
+"$WORK/ttaserved" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
+    -data "$WORK/data" -j 2 2>"$WORK/daemon1.log" &
+DPID=$!
+wait_addr "$WORK/addr"
+
+JOB=$("$WORK/ttactl" -addr-file "$WORK/addr" submit $SPEC_FLAGS |
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || { echo "served-smoke: submit returned no job id" >&2; exit 1; }
+echo "served-smoke: job $JOB submitted"
+
+JOURNAL="$WORK/data/jobs/$JOB/journal.jsonl"
+i=0
+while [ "$(wc -l <"$JOURNAL" 2>/dev/null || echo 0)" -lt 2 ]; do
+    i=$((i + 1))
+    [ "$i" -gt 600 ] && { echo "served-smoke: no journal progress" >&2; exit 1; }
+    sleep 0.1
+done
+
+echo "served-smoke: kill -9 mid-campaign ($(wc -l <"$JOURNAL") units journaled)"
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null || true
+DPID=""
+
+echo "served-smoke: restarting daemon (resume)"
+rm -f "$WORK/addr"
+"$WORK/ttaserved" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
+    -data "$WORK/data" -j 2 2>"$WORK/daemon2.log" &
+DPID=$!
+wait_addr "$WORK/addr"
+
+"$WORK/ttactl" -addr-file "$WORK/addr" wait "$JOB" >"$WORK/resumed-status.json"
+"$WORK/ttactl" -addr-file "$WORK/addr" report "$JOB" >"$WORK/resumed.txt"
+
+echo "served-smoke: running the same campaign fresh"
+"$WORK/ttaserved" -addr 127.0.0.1:0 -addr-file "$WORK/addr2" \
+    -data "$WORK/data2" -j 2 2>"$WORK/daemon3.log" &
+FPID=$!
+wait_addr "$WORK/addr2"
+FRESH=$("$WORK/ttactl" -addr-file "$WORK/addr2" submit $SPEC_FLAGS -wait |
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+"$WORK/ttactl" -addr-file "$WORK/addr2" report "$FRESH" >"$WORK/fresh.txt"
+
+if ! cmp -s "$WORK/resumed.txt" "$WORK/fresh.txt"; then
+    echo "served-smoke: FAIL: resumed report differs from fresh run" >&2
+    diff "$WORK/resumed.txt" "$WORK/fresh.txt" >&2 || true
+    exit 1
+fi
+echo "served-smoke: resumed report is byte-identical to fresh run"
+
+echo "served-smoke: resubmitting the same spec (verdict cache)"
+"$WORK/ttactl" -addr-file "$WORK/addr" submit $SPEC_FLAGS -wait >"$WORK/resubmit.json"
+grep -q '"executed": 0' "$WORK/resubmit.json" ||
+    { echo "served-smoke: FAIL: resubmission executed units" >&2
+      cat "$WORK/resubmit.json" >&2; exit 1; }
+TOTAL=$(sed -n 's/.*"total": \([0-9]*\).*/\1/p' "$WORK/resubmit.json")
+grep -q "\"cached\": $TOTAL" "$WORK/resubmit.json" ||
+    { echo "served-smoke: FAIL: resubmission not fully cached" >&2
+      cat "$WORK/resubmit.json" >&2; exit 1; }
+echo "served-smoke: resubmission fully served from cache ($TOTAL/$TOTAL units)"
+
+echo "served-smoke: PASS"
