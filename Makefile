@@ -97,12 +97,30 @@ sim-smoke:
 # mid-campaign, restart it on the same data directory, and require the
 # resumed canonical report to be byte-identical to a fresh daemon's; then
 # resubmit the same spec and require a 100% verdict-cache hit with zero
-# units executed. See scripts/served_smoke.sh.
+# units executed, per-unit stats for every unit, a valid Prometheus
+# exposition, and a merged multi-process trace (kept at
+# .served-smoke.trace.json for CI to archive). See scripts/served_smoke.sh.
 SERVED_SMOKE_DIR := .served-smoke
 .PHONY: served-smoke
 served-smoke:
 	sh scripts/served_smoke.sh $(SERVED_SMOKE_DIR)
 	@rm -rf $(SERVED_SMOKE_DIR)
+
+# Bench regression gate: re-run the quick serve benchmark and diff it
+# leaf-by-leaf against the committed BENCH_serve.json. The tolerance is
+# generous because wall times on shared machines are noisy; CI runs this
+# report-only (BENCH_COMPARE_FLAGS=-report-only) and humans tighten
+# BENCH_COMPARE_TOL when chasing a suspected regression.
+BENCH_COMPARE_TOL ?= 0.5
+BENCH_COMPARE_FLAGS ?=
+BENCH_COMPARE_OUT := .bench-compare.json
+.PHONY: bench-compare
+bench-compare:
+	@rm -f $(BENCH_COMPARE_OUT)
+	$(GO) run ./cmd/ttabench -exp serve -serve-out $(BENCH_COMPARE_OUT) >/dev/null
+	$(GO) run ./cmd/ttabench -compare -tolerance $(BENCH_COMPARE_TOL) \
+		$(BENCH_COMPARE_FLAGS) BENCH_serve.json $(BENCH_COMPARE_OUT)
+	@rm -f $(BENCH_COMPARE_OUT)
 
 # Observability smoke test: record a Chrome trace of an unbounded IC3 proof
 # on the bus model, then validate it with ttatrace — the trace must parse,

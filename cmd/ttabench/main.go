@@ -8,6 +8,13 @@
 //	ttabench -exp fig4 -j 8           sweep on a worker pool
 //	ttabench -exp fig6a -json         campaign-store records on stdout,
 //	                                  metrics registry in BENCH_obs.json
+//	ttabench -compare old.json new.json
+//	                                  bench regression gate: diff two
+//	                                  benchmark JSON files, exit non-zero
+//	                                  if a directed leaf (wall time,
+//	                                  throughput, ...) worsened beyond
+//	                                  -tolerance (-report-only to only
+//	                                  report)
 package main
 
 import (
@@ -49,6 +56,11 @@ func run() error {
 		simOut   = flag.String("sim-out", "BENCH_sim.json", "write the sim experiment's report as JSON to this file (empty: table only)")
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "write the serve experiment's report as JSON to this file (empty: table only)")
 
+		// bench regression gate
+		compare    = flag.Bool("compare", false, "compare two benchmark JSON files (old new); exit non-zero on regression")
+		tolerance  = flag.Float64("tolerance", 0.10, "with -compare: relative worsening allowed before a leaf regresses")
+		reportOnly = flag.Bool("report-only", false, "with -compare: print the comparison but always exit zero")
+
 		// -serve-worker is the serve experiment's re-exec hook: the bench
 		// spawns copies of its own binary with this flag as the daemon's
 		// worker processes. Not meant to be invoked by hand.
@@ -58,6 +70,10 @@ func run() error {
 
 	if *serveWorker {
 		return serve.RunWorker(context.Background(), os.Stdin, os.Stdout)
+	}
+
+	if *compare {
+		return runCompare(flag.Args(), *tolerance, *reportOnly)
 	}
 
 	if *obsOut == "" && *jsonOut {
@@ -358,4 +374,30 @@ func run() error {
 		return nil
 	}
 	return timedRun(*expName)
+}
+
+// runCompare is the bench regression gate: diff the old (committed) and
+// new (freshly generated) benchmark JSON files and fail on regression.
+func runCompare(args []string, tolerance float64, reportOnly bool) error {
+	if len(args) != 2 {
+		return fmt.Errorf("-compare wants exactly two arguments: old.json new.json")
+	}
+	oldJSON, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	newJSON, err := os.ReadFile(args[1])
+	if err != nil {
+		return err
+	}
+	rows, err := exp.CompareBench(oldJSON, newJSON, tolerance)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("comparing %s -> %s (tolerance %.0f%%)\n", args[0], args[1], 100*tolerance)
+	regressions := exp.WriteCompareTable(os.Stdout, rows, tolerance)
+	if regressions > 0 && !reportOnly {
+		return fmt.Errorf("%d benchmark leaf(s) regressed beyond %.0f%%", regressions, 100*tolerance)
+	}
+	return nil
 }

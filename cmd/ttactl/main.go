@@ -2,11 +2,18 @@
 //
 //	submit  build a SubmitRequest from campaign flags (or -spec file) and
 //	        POST it; -wait blocks until the job finishes
-//	status  print one job's status JSON
+//	status  print one job's status: a human summary with the cache-hit
+//	        ratio, recovered-unit count, and saved wall time (-json for
+//	        the raw JSON)
 //	wait    block until a job reaches a terminal state
 //	report  print a finished job's canonical report (-json for JSON)
 //	watch   stream a job's progress events as JSONL
 //	list    list all jobs
+//	units   print a job's per-unit accounting JSON
+//	top     rank a job's units by cost: -by wall|cpu|rss|nodes|conflicts
+//	metrics print the daemon's Prometheus exposition (-validate checks it
+//	        parses as Prometheus text format 0.0.4)
+//	trace   fetch a job's merged multi-process Chrome trace (-o file)
 //
 // The daemon address comes from -addr, or -addr-file (as written by
 // ttaserved -addr-file), or the TTASERVED_ADDR environment variable.
@@ -16,7 +23,8 @@
 //	ttactl -addr 127.0.0.1:8414 submit -n 3 -degrees 1,2,3 -wait
 //	ttactl submit -kind mcfi -sim-n 4 -samples 3000 -batch 500 -seed 7
 //	ttactl report 1a2b3c4d5e6f-0
-//	ttactl watch 1a2b3c4d5e6f-0
+//	ttactl top -by nodes 1a2b3c4d5e6f-0
+//	ttactl trace -o trace.json 1a2b3c4d5e6f-0
 package main
 
 import (
@@ -28,11 +36,14 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"ttastartup/internal/campaign"
+	"ttastartup/internal/obs"
 	"ttastartup/internal/serve"
 	"ttastartup/internal/sim/mcfi"
 )
@@ -50,7 +61,7 @@ func run() error {
 		addrFile = flag.String("addr-file", "", "read the daemon address from this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ttactl [-addr host:port | -addr-file path] <submit|status|wait|report|watch|list> ...")
+		fmt.Fprintln(os.Stderr, "usage: ttactl [-addr host:port | -addr-file path] <submit|status|wait|report|watch|list|units|top|metrics|trace> ...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,6 +87,18 @@ func run() error {
 		return cmdWatch(base, args)
 	case "list":
 		return get(base+"/v1/jobs", os.Stdout)
+	case "units":
+		id, err := oneID(args)
+		if err != nil {
+			return err
+		}
+		return get(base+"/v1/jobs/"+id+"/units", os.Stdout)
+	case "top":
+		return cmdTop(base, args)
+	case "metrics":
+		return cmdMetrics(base, args)
+	case "trace":
+		return cmdTrace(base, args)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -207,11 +230,177 @@ func cmdSubmit(base string, args []string) error {
 }
 
 func cmdStatus(base string, args []string) error {
-	id, err := oneID(args)
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "print the raw status JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := oneID(fs.Args())
 	if err != nil {
 		return err
 	}
-	return get(base+"/v1/jobs/"+id, os.Stdout)
+	if *asJSON {
+		return get(base+"/v1/jobs/"+id, os.Stdout)
+	}
+	var buf bytes.Buffer
+	if err := get(base+"/v1/jobs/"+id, &buf); err != nil {
+		return err
+	}
+	var st serve.JobStatus
+	if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+		return err
+	}
+	fmt.Printf("job      %s (%s)\n", st.ID, st.Kind)
+	fmt.Printf("state    %s", st.State)
+	if st.Summary != "" {
+		fmt.Printf("  %s", st.Summary)
+	}
+	fmt.Println()
+	fmt.Printf("units    %d/%d done (%d executed, %d cached, %d failed)\n",
+		st.Done, st.Total, st.Executed, st.Cached, st.Failed)
+	hitRatio := 0.0
+	if st.Done > 0 {
+		hitRatio = float64(st.Cached) / float64(st.Done)
+	}
+	fmt.Printf("cache    %.0f%% hit ratio, %s of execution saved\n", 100*hitRatio, msString(st.SavedMS))
+	fmt.Printf("exec     %s of worker wall time\n", msString(st.ExecMS))
+	fmt.Printf("recover  %d units re-run after a crash\n", st.Recovered)
+	if st.Error != "" {
+		fmt.Printf("error    %s\n", st.Error)
+	}
+	return nil
+}
+
+// msString renders milliseconds human-readably without sub-ms noise.
+func msString(ms int64) string {
+	return (time.Duration(ms) * time.Millisecond).String()
+}
+
+// cmdTop ranks a job's units by resource cost, like a per-campaign
+// process monitor: which model checks are eating the fleet.
+func cmdTop(base string, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	by := fs.String("by", "wall", "rank by: wall, cpu, rss, nodes, conflicts")
+	limit := fs.Int("n", 20, "show the top N units (0: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := oneID(fs.Args())
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := get(base+"/v1/jobs/"+id+"/units", &buf); err != nil {
+		return err
+	}
+	var ur serve.UnitsResponse
+	if err := json.Unmarshal(buf.Bytes(), &ur); err != nil {
+		return err
+	}
+
+	type row struct {
+		unit                            string
+		flags                           string
+		wall, cpu, rss, nodes, conflict int64
+	}
+	rows := make([]row, 0, len(ur.Units))
+	for _, u := range ur.Units {
+		if u.Pending || u.Stats == nil {
+			continue
+		}
+		flags := ""
+		if u.Cached {
+			flags += "C"
+		}
+		if u.Recovered {
+			flags += "R"
+		}
+		if u.Err != "" {
+			flags += "!"
+		}
+		rows = append(rows, row{
+			unit: u.Unit, flags: flags,
+			wall:     u.Stats.WallMS,
+			cpu:      u.Stats.CPUMS,
+			rss:      u.Stats.MaxRSSKB,
+			nodes:    u.Stats.Metrics.Gauges["bdd.nodes.peak"],
+			conflict: u.Stats.Metrics.Counters["sat.conflicts"],
+		})
+	}
+	key := func(r row) int64 { return r.wall }
+	switch *by {
+	case "wall":
+	case "cpu":
+		key = func(r row) int64 { return r.cpu }
+	case "rss":
+		key = func(r row) int64 { return r.rss }
+	case "nodes":
+		key = func(r row) int64 { return r.nodes }
+	case "conflicts":
+		key = func(r row) int64 { return r.conflict }
+	default:
+		return fmt.Errorf("-by: want wall, cpu, rss, nodes or conflicts, got %q", *by)
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return key(rows[i]) > key(rows[j]) })
+	if *limit > 0 && len(rows) > *limit {
+		rows = rows[:*limit]
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "UNIT\tFLAGS\tWALL_MS\tCPU_MS\tRSS_KB\tBDD_PEAK\tSAT_CONFL")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
+			r.unit, r.flags, r.wall, r.cpu, r.rss, r.nodes, r.conflict)
+	}
+	return w.Flush()
+}
+
+// cmdMetrics fetches the daemon's Prometheus exposition; -validate parses
+// it instead of printing, failing on malformed output (the smoke script's
+// scrape check).
+func cmdMetrics(base string, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	validate := fs.Bool("validate", false, "parse the exposition instead of printing it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := get(base+"/metricsz?format=prom", &buf); err != nil {
+		return err
+	}
+	if !*validate {
+		_, err := os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	n, err := obs.ValidatePromText(&buf)
+	if err != nil {
+		return fmt.Errorf("prometheus exposition invalid: %w", err)
+	}
+	fmt.Printf("ok: %d samples\n", n)
+	return nil
+}
+
+// cmdTrace fetches a job's merged multi-process Chrome trace document.
+func cmdTrace(base string, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	out := fs.String("o", "", "write the trace to this file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := oneID(fs.Args())
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return get(base+"/v1/jobs/"+id+"/trace", w)
 }
 
 func cmdWait(base string, args []string) error {

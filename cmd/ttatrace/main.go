@@ -1,15 +1,19 @@
-// Command ttatrace validates and summarises Chrome trace_event JSON files
-// written by ttamc/ttacampaign -trace. It round-trips the file through the
-// JSON decoder, checks the invariants the viewer relies on (events present,
-// timestamps non-decreasing per thread, "X" events with non-negative
-// durations), and prints an event/category summary. The Makefile obs-smoke
-// target uses it as a machine check on a freshly recorded trace.
+// Command ttatrace validates and summarises Chrome trace_event JSON files:
+// single-process traces written by ttamc/ttacampaign -trace, and merged
+// multi-process traces from ttaserved's GET /v1/jobs/{id}/trace. It
+// round-trips the file through the JSON decoder, checks the invariants the
+// viewer relies on (events present, timestamps non-decreasing per
+// (pid, tid) lane, "X" events with non-negative durations, one lane per
+// distinct (pid, tid) pair), and prints an event/category summary. The
+// Makefile obs-smoke and served-smoke targets use it as a machine check on
+// freshly recorded traces.
 //
 // Examples:
 //
 //	ttamc -model bus -lemma safety -engine ic3 -trace /tmp/t.json
 //	ttatrace /tmp/t.json
 //	ttatrace -min-cats 3 -min-events 100 /tmp/t.json
+//	ttactl trace -o /tmp/job.json <job-id> && ttatrace -min-pids 2 /tmp/job.json
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // event mirrors the subset of the trace_event schema that obs emits.
@@ -37,79 +42,106 @@ type traceFile struct {
 	DisplayTimeUnit string  `json:"displayTimeUnit"`
 }
 
+// limits are the validation thresholds from the command line.
+type limits struct {
+	minCats, minEvents, minPids int
+}
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ttatrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("ttatrace", flag.ContinueOnError)
 	var (
-		minCats   = flag.Int("min-cats", 0, "fail unless the trace has at least this many distinct categories")
-		minEvents = flag.Int("min-events", 1, "fail unless the trace has at least this many events")
-		quiet     = flag.Bool("q", false, "suppress the summary; exit status only")
+		minCats   = fs.Int("min-cats", 0, "fail unless the trace has at least this many distinct categories")
+		minEvents = fs.Int("min-events", 1, "fail unless the trace has at least this many events")
+		minPids   = fs.Int("min-pids", 0, "fail unless the trace has at least this many distinct pids (merged multi-process traces)")
+		quiet     = fs.Bool("q", false, "suppress the summary; exit status only")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: ttatrace [flags] trace.json")
 	}
-	path := flag.Arg(0)
+	path := fs.Arg(0)
 
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
+	summary, err := validateTrace(data, limits{*minCats, *minEvents, *minPids})
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if !*quiet {
+		fmt.Fprintf(out, "%s: %s", path, summary)
+	}
+	return nil
+}
+
+// lane is one timeline row of the viewer: a (pid, tid) pair. Merged
+// multi-process traces reuse tid numbers across pids (worker 0's thread 0
+// and the daemon's thread 0), so monotonicity is a per-lane property, not
+// a per-tid one.
+type lane struct{ pid, tid int }
+
+// validateTrace checks the trace invariants and renders the summary.
+func validateTrace(data []byte, lim limits) (string, error) {
 	var tf traceFile
 	if err := json.Unmarshal(data, &tf); err != nil {
-		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
+		return "", fmt.Errorf("not valid trace JSON: %w", err)
 	}
-	if len(tf.TraceEvents) < *minEvents {
-		return fmt.Errorf("%s: %d event(s), want at least %d", path, len(tf.TraceEvents), *minEvents)
+	if len(tf.TraceEvents) < lim.minEvents {
+		return "", fmt.Errorf("%d event(s), want at least %d", len(tf.TraceEvents), lim.minEvents)
 	}
 
 	cats := map[string]int{}
 	phases := map[string]int{}
-	lastTS := map[int]float64{} // per tid; obs sorts the stream by (ts, seq)
-	var prevTS float64
+	pids := map[int]bool{}
+	lastTS := map[lane]float64{}
 	for i, ev := range tf.TraceEvents {
 		switch ev.Ph {
 		case "X", "i", "C", "M":
 		default:
-			return fmt.Errorf("%s: event %d (%q): unknown phase %q", path, i, ev.Name, ev.Ph)
+			return "", fmt.Errorf("event %d (%q): unknown phase %q", i, ev.Name, ev.Ph)
 		}
+		pids[ev.PID] = true
 		if ev.Ph != "M" { // metadata events carry no timestamp semantics
-			if ev.TS < prevTS {
-				return fmt.Errorf("%s: event %d (%q): timestamps out of order (%.1f after %.1f)", path, i, ev.Name, ev.TS, prevTS)
+			l := lane{ev.PID, ev.TID}
+			if ev.TS < lastTS[l] {
+				return "", fmt.Errorf("event %d (%q): lane pid=%d tid=%d goes back in time (%.1f after %.1f)", i, ev.Name, ev.PID, ev.TID, ev.TS, lastTS[l])
 			}
-			prevTS = ev.TS
-			if ev.TS < lastTS[ev.TID] {
-				return fmt.Errorf("%s: event %d (%q): tid %d goes back in time", path, i, ev.Name, ev.TID)
-			}
-			lastTS[ev.TID] = ev.TS
+			lastTS[l] = ev.TS
 		}
 		if ev.Ph == "X" && ev.Dur < 0 {
-			return fmt.Errorf("%s: event %d (%q): negative duration %.1f", path, i, ev.Name, ev.Dur)
+			return "", fmt.Errorf("event %d (%q): negative duration %.1f", i, ev.Name, ev.Dur)
 		}
 		if ev.Cat != "" {
 			cats[ev.Cat]++
 		}
 		phases[ev.Ph]++
 	}
-	if len(cats) < *minCats {
-		return fmt.Errorf("%s: %d distinct categor(ies) %v, want at least %d", path, len(cats), keys(cats), *minCats)
+	if len(cats) < lim.minCats {
+		return "", fmt.Errorf("%d distinct categor(ies) %v, want at least %d", len(cats), keys(cats), lim.minCats)
+	}
+	if len(pids) < lim.minPids {
+		return "", fmt.Errorf("%d distinct pid(s), want at least %d", len(pids), lim.minPids)
 	}
 
-	if !*quiet {
-		fmt.Printf("%s: ok — %d events, %d lanes\n", path, len(tf.TraceEvents), len(lastTS))
-		for _, c := range keys(cats) {
-			fmt.Printf("  cat %-10s %d\n", c, cats[c])
-		}
-		for _, p := range keys(phases) {
-			fmt.Printf("  ph  %-10s %d\n", p, phases[p])
-		}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok — %d events, %d pids, %d lanes\n", len(tf.TraceEvents), len(pids), len(lastTS))
+	for _, c := range keys(cats) {
+		fmt.Fprintf(&b, "  cat %-10s %d\n", c, cats[c])
 	}
-	return nil
+	for _, p := range keys(phases) {
+		fmt.Fprintf(&b, "  ph  %-10s %d\n", p, phases[p])
+	}
+	return b.String(), nil
 }
 
 func keys(m map[string]int) []string {

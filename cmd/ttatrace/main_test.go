@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The fixture is a merged multi-process trace in the shape ttaserved's
+// GET /v1/jobs/{id}/trace emits: process_name metadata for the daemon
+// (pid 0) and two workers (pids 1, 2), daemon-side X slices mirroring
+// each unit, a cache-hit instant, and rebased worker spans whose tid 0
+// collides across pids.
+func TestValidateMergedTraceGolden(t *testing.T) {
+	data, err := os.ReadFile("testdata/merged.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, err := validateTrace(data, limits{minCats: 3, minEvents: 10, minPids: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/merged.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary != string(golden) {
+		t.Errorf("summary differs from testdata/merged.golden:\n got:\n%s\nwant:\n%s", summary, golden)
+	}
+}
+
+func TestValidateTraceRejections(t *testing.T) {
+	data, err := os.ReadFile("testdata/merged.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, tc := range map[string]struct {
+		mutate func(string) string
+		lim    limits
+		want   string
+	}{
+		"too few pids": {
+			mutate: func(s string) string { return s },
+			lim:    limits{minPids: 4},
+			want:   "3 distinct pid(s), want at least 4",
+		},
+		"too few events": {
+			mutate: func(s string) string { return s },
+			lim:    limits{minEvents: 100},
+			want:   "12 event(s), want at least 100",
+		},
+		"too few categories": {
+			mutate: func(s string) string { return s },
+			lim:    limits{minCats: 9},
+			want:   "want at least 9",
+		},
+		// Rewinding one worker span's timestamp keeps the trace legal as
+		// an interleaving (other lanes are untouched) but breaks that
+		// lane's ordering.
+		"lane goes back in time": {
+			mutate: func(s string) string {
+				return strings.Replace(s, `"cat": "mc", "ph": "X", "ts": 2600`, `"cat": "mc", "ph": "X", "ts": 300`, 1)
+			},
+			want: "lane pid=2 tid=0 goes back in time",
+		},
+		"negative duration": {
+			mutate: func(s string) string {
+				return strings.Replace(s, `"dur": 5900`, `"dur": -1`, 1)
+			},
+			want: "negative duration",
+		},
+		"unknown phase": {
+			mutate: func(s string) string {
+				return strings.Replace(s, `"ph": "C"`, `"ph": "Z"`, 1)
+			},
+			want: `unknown phase "Z"`,
+		},
+		"not json": {
+			mutate: func(string) string { return "nope" },
+			want:   "not valid trace JSON",
+		},
+	} {
+		_, err := validateTrace([]byte(tc.mutate(string(data))), tc.lim)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// A trace that interleaves lanes out of global timestamp order is still
+// valid: the viewer only needs each (pid, tid) lane to be monotone.
+func TestValidateTraceInterleavedLanes(t *testing.T) {
+	trace := `{"traceEvents": [
+		{"name": "a", "cat": "mc", "ph": "X", "ts": 100, "dur": 5, "pid": 1, "tid": 0},
+		{"name": "b", "cat": "mc", "ph": "X", "ts": 10, "dur": 5, "pid": 2, "tid": 0},
+		{"name": "c", "cat": "mc", "ph": "X", "ts": 200, "dur": 5, "pid": 1, "tid": 0}
+	]}`
+	summary, err := validateTrace([]byte(trace), limits{minPids: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(summary, "ok — 3 events, 2 pids, 2 lanes") {
+		t.Errorf("unexpected summary: %s", summary)
+	}
+}

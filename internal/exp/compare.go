@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Bench regression gate: diff two benchmark JSON documents (any of the
+// committed BENCH_*.json shapes) leaf-by-leaf and flag numeric leaves
+// that moved in the bad direction by more than a tolerance. The
+// direction of "bad" is inferred from the key: wall times, pauses, and
+// misses should go down; throughputs, speedups, and hits should go up;
+// undirected leaves (counts, parameters) are reported but never gate.
+
+// CompareRow is one numeric leaf's comparison.
+type CompareRow struct {
+	// Key is the dotted path of the leaf ("rows[0].cold_ms").
+	Key string
+	// Old and New are the two documents' values.
+	Old, New float64
+	// Direction is +1 for higher-is-better leaves, -1 for lower-is-better,
+	// 0 for undirected ones.
+	Direction int
+	// Delta is the relative change oriented so positive means worse
+	// (undirected leaves report the raw relative change).
+	Delta float64
+	// Regressed marks a directed leaf whose Delta exceeds the tolerance.
+	Regressed bool
+	// Added / Missing mark leaves present in only one document (schema
+	// drift, reported but never a regression).
+	Added, Missing bool
+}
+
+// CompareBench diffs two benchmark JSON documents. Rows come back sorted
+// by key; tolerance is the relative worsening a directed leaf may show
+// before it is flagged (0.10 = 10%).
+func CompareBench(oldJSON, newJSON []byte, tolerance float64) ([]CompareRow, error) {
+	oldLeaves, err := flattenJSON(oldJSON)
+	if err != nil {
+		return nil, fmt.Errorf("old document: %w", err)
+	}
+	newLeaves, err := flattenJSON(newJSON)
+	if err != nil {
+		return nil, fmt.Errorf("new document: %w", err)
+	}
+	keys := make([]string, 0, len(oldLeaves)+len(newLeaves))
+	for k := range oldLeaves {
+		keys = append(keys, k)
+	}
+	for k := range newLeaves {
+		if _, ok := oldLeaves[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	rows := make([]CompareRow, 0, len(keys))
+	for _, k := range keys {
+		row := CompareRow{Key: k, Direction: keyDirection(k)}
+		oldV, haveOld := oldLeaves[k]
+		newV, haveNew := newLeaves[k]
+		row.Old, row.New = oldV, newV
+		switch {
+		case !haveOld:
+			row.Added = true
+		case !haveNew:
+			row.Missing = true
+		default:
+			row.Delta = relativeWorsening(oldV, newV, row.Direction)
+			row.Regressed = row.Direction != 0 && row.Delta > tolerance
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// relativeWorsening orients the relative change so positive means worse.
+// A zero baseline cannot scale: any worsening from 0 reports 1 (100%),
+// no change reports 0.
+func relativeWorsening(oldV, newV float64, direction int) float64 {
+	diff := newV - oldV // raw change; for lower-better, growth is bad
+	if direction > 0 {
+		diff = oldV - newV // for higher-better, shrinkage is bad
+	}
+	base := oldV
+	if base < 0 {
+		base = -base
+	}
+	if base == 0 {
+		if diff > 0 {
+			return 1
+		}
+		return 0
+	}
+	return diff / base
+}
+
+// flattenJSON reduces a JSON document to its numeric leaves keyed by
+// dotted path, arrays indexed as "key[i]".
+func flattenJSON(data []byte) (map[string]float64, error) {
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	flattenInto(out, "", v)
+	return out, nil
+}
+
+func flattenInto(out map[string]float64, prefix string, v any) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, c := range t {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flattenInto(out, key, c)
+		}
+	case []any:
+		for i, c := range t {
+			flattenInto(out, fmt.Sprintf("%s[%d]", prefix, i), c)
+		}
+	case float64:
+		out[prefix] = t
+	}
+}
+
+// Key tokens that carry a direction. Matching is on whole tokens (split
+// at any non-alphanumeric rune), so "cold_ms" is lower-is-better while
+// "atoms" is not.
+var (
+	lowerBetterTokens = map[string]bool{
+		"ms": true, "us": true, "ns": true,
+		"wall": true, "pause": true, "peak": true, "rss": true,
+		"miss": true, "misses": true, "bytes": true,
+		"conflict": true, "conflicts": true,
+	}
+	higherBetterTokens = map[string]bool{
+		"speedup": true, "hits": true, "throughput": true,
+	}
+)
+
+// keyDirection classifies a leaf: +1 higher-is-better, -1 lower-is-
+// better, 0 undirected. "per-second" style rates ("units_per_sec") are
+// higher-is-better and take precedence over their time-unit token.
+func keyDirection(key string) int {
+	tokens := strings.FieldsFunc(strings.ToLower(key), func(r rune) bool {
+		return !('a' <= r && r <= 'z' || '0' <= r && r <= '9')
+	})
+	per := false
+	for i, tok := range tokens {
+		if tok == "per" && i+1 < len(tokens) {
+			per = true
+		}
+		if higherBetterTokens[tok] {
+			return 1
+		}
+	}
+	if per {
+		return 1
+	}
+	for _, tok := range tokens {
+		if lowerBetterTokens[tok] {
+			return -1
+		}
+	}
+	return 0
+}
+
+// WriteCompareTable renders the comparison human-readably: regressions
+// first, then improvements and drift, then a one-line verdict. Returns
+// the number of regressions.
+func WriteCompareTable(w io.Writer, rows []CompareRow, tolerance float64) int {
+	regressions := 0
+	for _, r := range rows {
+		if r.Regressed {
+			regressions++
+		}
+	}
+	fmt.Fprintf(w, "%-40s %12s %12s %9s\n", "KEY", "OLD", "NEW", "DELTA")
+	for _, r := range rows {
+		switch {
+		case r.Added:
+			fmt.Fprintf(w, "%-40s %12s %12.4g %9s\n", r.Key, "-", r.New, "added")
+		case r.Missing:
+			fmt.Fprintf(w, "%-40s %12.4g %12s %9s\n", r.Key, r.Old, "-", "missing")
+		default:
+			mark := ""
+			if r.Regressed {
+				mark = "  REGRESSED"
+			}
+			fmt.Fprintf(w, "%-40s %12.4g %12.4g %+8.1f%%%s\n", r.Key, r.Old, r.New, 100*signedChange(r), mark)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d leaf(s) regressed beyond the %.0f%% tolerance\n", regressions, 100*tolerance)
+	} else {
+		fmt.Fprintf(w, "\nno regressions beyond the %.0f%% tolerance\n", 100*tolerance)
+	}
+	return regressions
+}
+
+// signedChange renders the raw relative change (positive = value grew)
+// regardless of direction, which reads naturally in the table.
+func signedChange(r CompareRow) float64 {
+	base := r.Old
+	if base < 0 {
+		base = -base
+	}
+	if base == 0 {
+		if r.New != 0 {
+			return 1
+		}
+		return 0
+	}
+	return (r.New - r.Old) / base
+}

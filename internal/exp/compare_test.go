@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchFixture mimics the committed BENCH_serve.json shape.
+const benchFixture = `{
+  "scale": "quick",
+  "rows": [
+    {"workers": 1, "units": 10, "cold_ms": 500, "cold_units_per_sec": 20.0,
+     "warm_ms": 30, "cache_hits": 10, "speedup": 16.6}
+  ]
+}`
+
+func TestCompareDetectsWallRegression(t *testing.T) {
+	// 25% slower cold run: a >=20% wall-time regression must be flagged
+	// at the default 10% tolerance.
+	slower := strings.Replace(benchFixture, `"cold_ms": 500`, `"cold_ms": 625`, 1)
+	rows, err := CompareBench([]byte(benchFixture), []byte(slower), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regressed := map[string]bool{}
+	for _, r := range rows {
+		if r.Regressed {
+			regressed[r.Key] = true
+		}
+	}
+	if !regressed["rows[0].cold_ms"] {
+		t.Fatalf("25%% cold_ms growth not flagged: %+v", rows)
+	}
+	if len(regressed) != 1 {
+		t.Fatalf("unexpected extra regressions: %v", regressed)
+	}
+	var buf strings.Builder
+	if n := WriteCompareTable(&buf, rows, 0.10); n != 1 {
+		t.Fatalf("table counted %d regressions, want 1", n)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Fatalf("table does not mark the regression:\n%s", buf.String())
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	oldDoc := `{"cold_ms": 100, "units_per_sec": 50, "speedup": 10, "cache_hits": 8, "units": 10}`
+	for name, tc := range map[string]struct {
+		newDoc string
+		bad    string
+	}{
+		"throughput drop":  {`{"cold_ms": 100, "units_per_sec": 30, "speedup": 10, "cache_hits": 8, "units": 10}`, "units_per_sec"},
+		"speedup drop":     {`{"cold_ms": 100, "units_per_sec": 50, "speedup": 5, "cache_hits": 8, "units": 10}`, "speedup"},
+		"cache hits drop":  {`{"cold_ms": 100, "units_per_sec": 50, "speedup": 10, "cache_hits": 2, "units": 10}`, "cache_hits"},
+		"wall time growth": {`{"cold_ms": 150, "units_per_sec": 50, "speedup": 10, "cache_hits": 8, "units": 10}`, "cold_ms"},
+	} {
+		rows, err := CompareBench([]byte(oldDoc), []byte(tc.newDoc), 0.10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Regressed != (r.Key == tc.bad) {
+				t.Errorf("%s: key %s regressed=%v, want %v", name, r.Key, r.Regressed, r.Key == tc.bad)
+			}
+		}
+	}
+
+	// An undirected count changing wildly must not gate.
+	rows, err := CompareBench([]byte(`{"units": 10}`), []byte(`{"units": 400}`), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Regressed {
+		t.Fatal("undirected leaf gated the comparison")
+	}
+}
+
+func TestCompareImprovementAndDrift(t *testing.T) {
+	oldDoc := `{"cold_ms": 100, "gone_ms": 5}`
+	newDoc := `{"cold_ms": 50, "fresh_ms": 7}`
+	rows, err := CompareBench([]byte(oldDoc), []byte(newDoc), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]CompareRow{}
+	for _, r := range rows {
+		byKey[r.Key] = r
+	}
+	if r := byKey["cold_ms"]; r.Regressed || r.Delta >= 0 {
+		t.Fatalf("halved wall time misreported: %+v", r)
+	}
+	if r := byKey["gone_ms"]; !r.Missing || r.Regressed {
+		t.Fatalf("removed leaf misreported: %+v", r)
+	}
+	if r := byKey["fresh_ms"]; !r.Added || r.Regressed {
+		t.Fatalf("added leaf misreported: %+v", r)
+	}
+}
+
+func TestCompareRejectsMalformed(t *testing.T) {
+	if _, err := CompareBench([]byte(`{`), []byte(`{}`), 0.1); err == nil {
+		t.Fatal("malformed old document accepted")
+	}
+	if _, err := CompareBench([]byte(`{}`), []byte(`nope`), 0.1); err == nil {
+		t.Fatal("malformed new document accepted")
+	}
+}
+
+func TestKeyDirection(t *testing.T) {
+	for key, want := range map[string]int{
+		"rows[0].cold_ms":            -1,
+		"rows[2].warm_units_per_sec": 1,
+		"speedup":                    1,
+		"cache_hits":                 1,
+		"bdd.gc.pause_us":            -1,
+		"atoms":                      0, // "ms" inside a word is not a time unit
+		"units":                      0,
+		"workers":                    0,
+	} {
+		if got := keyDirection(key); got != want {
+			t.Errorf("keyDirection(%q) = %d, want %d", key, got, want)
+		}
+	}
+}

@@ -4,8 +4,25 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
+
+// PromContentType is the content type of the Prometheus text exposition.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WantProm reports whether a /metricsz request asked for the Prometheus
+// text format: ?format=prom, or an Accept header naming text/plain (what
+// a Prometheus scraper sends). Explicit other formats keep their default.
+func WantProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	if r.URL.Query().Get("format") != "" {
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/plain")
+}
 
 // DebugServer is the optional live-introspection endpoint: the standard
 // net/http/pprof handlers plus /metricsz, a JSON dump of the registry.
@@ -21,7 +38,12 @@ type DebugServer struct {
 // is bound synchronously so a bad addr fails here, not in the goroutine.
 func ServeDebug(addr string, scope Scope) (*DebugServer, error) {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		if WantProm(r) {
+			w.Header().Set("Content-Type", PromContentType)
+			scope.Reg.WriteProm(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		scope.Reg.WriteJSON(w)
 	})

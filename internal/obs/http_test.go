@@ -52,6 +52,52 @@ func TestServeDebugMetricsz(t *testing.T) {
 	io.Copy(io.Discard, resp2.Body)
 }
 
+func TestServeDebugMetricszProm(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MSATConflicts).Add(9)
+	reg.Histogram(MRunMS).Observe(12)
+	srv, err := ServeDebug("127.0.0.1:0", Scope{Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// ?format=prom and a scraper-style Accept header both negotiate the
+	// Prometheus text format; the default stays JSON.
+	for _, req := range []func() (*http.Request, error){
+		func() (*http.Request, error) {
+			return http.NewRequest("GET", "http://"+srv.Addr()+"/metricsz?format=prom", nil)
+		},
+		func() (*http.Request, error) {
+			r, err := http.NewRequest("GET", "http://"+srv.Addr()+"/metricsz", nil)
+			if r != nil {
+				r.Header.Set("Accept", "text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+			}
+			return r, err
+		},
+	} {
+		r, err := req()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+			t.Errorf("content type %q, want %q", ct, PromContentType)
+		}
+		n, verr := ValidatePromText(resp.Body)
+		resp.Body.Close()
+		if verr != nil {
+			t.Errorf("prom exposition invalid: %v", verr)
+		}
+		if n < 2 {
+			t.Errorf("prom exposition has %d samples, want >= 2", n)
+		}
+	}
+}
+
 func TestServeDebugBadAddr(t *testing.T) {
 	if _, err := ServeDebug("256.256.256.256:0", Scope{}); err == nil {
 		t.Fatal("expected error for bad address")

@@ -107,7 +107,15 @@ const (
 	MServeUnitsRecovered = "serve.units.recovered"  // counter: leased-but-unjournaled units re-run after restart
 	MServeQueueDepth     = "serve.queue.depth"      // gauge: work units waiting for a worker
 	MServeWorkers        = "serve.workers"          // gauge: worker processes configured
+	MServeWorkersBusy    = "serve.workers.busy"     // gauge: worker slots currently executing a unit
 	MServeWorkerRestarts = "serve.workers.restarts" // counter: worker processes respawned after dying
+	MServeSavedMS        = "serve.saved_ms"         // counter: wall-ms the verdict cache saved (summed per hit)
+
+	// Per-unit fleet accounting: the daemon observes one sample per
+	// executed unit from the worker's shipped UnitStats.
+	MServeUnitWallMS = "serve.unit.wall_ms" // histogram: wall time per executed unit
+	MServeUnitCPUMS  = "serve.unit.cpu_ms"  // histogram: CPU time per executed unit
+	MServeUnitRSSKB  = "serve.unit.rss_kb"  // histogram: worker peak RSS at unit completion
 )
 
 // Span categories. The Chrome trace viewer groups and colors by "cat";

@@ -1,0 +1,29 @@
+package obs
+
+import "runtime"
+
+// ResourceUsage is a point-in-time read of the process's resource
+// counters — the cost side of a work unit's profile. Worker processes
+// read it before and after a unit and ship the delta (CPU) plus the
+// high-water marks (RSS) to the daemon.
+type ResourceUsage struct {
+	// CPUMS is cumulative user+system CPU time, milliseconds.
+	CPUMS int64 `json:"cpu_ms"`
+	// MaxRSSKB is the peak resident set size, KiB (0 where unavailable).
+	MaxRSSKB int64 `json:"max_rss_kb"`
+	// HeapKB is the Go heap in use (runtime.ReadMemStats HeapAlloc), KiB.
+	HeapKB int64 `json:"heap_kb"`
+}
+
+// ReadResourceUsage samples the process's resource counters: CPU time and
+// peak RSS from the OS (getrusage on unix; zero elsewhere) and the live
+// Go heap from the runtime. It allocates nothing on the OS side but
+// ReadMemStats does stop the world briefly — call it at unit boundaries,
+// not in hot loops.
+func ReadResourceUsage() ResourceUsage {
+	u := readRusage()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	u.HeapKB = int64(ms.HeapAlloc / 1024)
+	return u
+}

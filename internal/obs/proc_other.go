@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// readRusage is unavailable off unix; CPU and RSS read as zero and the
+// per-unit profile degrades to wall time plus Go-heap numbers.
+func readRusage() ResourceUsage { return ResourceUsage{} }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package obs
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// readRusage reads CPU time and peak RSS via getrusage(RUSAGE_SELF).
+func readRusage() ResourceUsage {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return ResourceUsage{}
+	}
+	cpuUS := (int64(ru.Utime.Sec)+int64(ru.Stime.Sec))*1_000_000 +
+		int64(ru.Utime.Usec) + int64(ru.Stime.Usec)
+	maxRSS := int64(ru.Maxrss)
+	if runtime.GOOS == "darwin" { // ru_maxrss is bytes on darwin, KiB on linux
+		maxRSS /= 1024
+	}
+	return ResourceUsage{CPUMS: cpuUS / 1000, MaxRSSKB: maxRSS}
+}

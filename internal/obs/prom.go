@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the registry, so a
+// long-running daemon can be scraped with stock tooling instead of the
+// JSON/"name value" dumps the CLIs use. The mapping:
+//
+//   - metric names are sanitised to [a-zA-Z_:][a-zA-Z0-9_:]* — dots and
+//     dashes (the registry's namespace separators) become underscores;
+//   - counters and gauges export verbatim with a `# TYPE` line;
+//   - log2 histograms export as native Prometheus histograms: cumulative
+//     `_bucket{le="..."}` series (le = each bucket's inclusive upper
+//     bound, 2^i - 1), plus `_sum` and `_count`, and the max as a
+//     separate `<name>_max` gauge (Prometheus histograms have no max).
+
+// promNameRe matches a valid Prometheus metric name.
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// PromName sanitises a registry metric name into a valid Prometheus one.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if valid {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// WriteProm writes the registry in the Prometheus text format, metrics
+// sorted by exposed name so output is deterministic. Two registry names
+// that sanitise to the same Prometheus name would produce a duplicate
+// family; the second is skipped (the registry's dot-separated naming
+// discipline makes this a non-issue in practice).
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type family struct {
+		kind string // "counter" | "gauge" | "histogram"
+		reg  string // registry name
+	}
+	snap := r.Export()
+	fams := make(map[string]family)
+	add := func(promName, kind, regName string) {
+		if _, dup := fams[promName]; !dup {
+			fams[promName] = family{kind: kind, reg: regName}
+		}
+	}
+	for name := range snap.Counters {
+		add(PromName(name), "counter", name)
+	}
+	for name := range snap.Gauges {
+		add(PromName(name), "gauge", name)
+	}
+	for name := range snap.Histograms {
+		add(PromName(name), "histogram", name)
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, pname := range names {
+		f := fams[pname]
+		fmt.Fprintf(bw, "# TYPE %s %s\n", pname, f.kind)
+		switch f.kind {
+		case "counter":
+			fmt.Fprintf(bw, "%s %d\n", pname, snap.Counters[f.reg])
+		case "gauge":
+			fmt.Fprintf(bw, "%s %d\n", pname, snap.Gauges[f.reg])
+		case "histogram":
+			writePromHistogram(bw, pname, snap.Histograms[f.reg])
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram renders one log2 histogram as cumulative buckets.
+func writePromHistogram(w io.Writer, pname string, hs HistogramSnapshot) {
+	// Reconstruct per-bucket counts in index order.
+	perBucket := make([]int64, histBuckets)
+	for lo, n := range hs.Buckets {
+		v, err := strconv.ParseInt(lo, 10, 64)
+		if err != nil {
+			continue
+		}
+		perBucket[bucketIndex(v)] += n
+	}
+	var cum int64
+	for i, n := range perBucket {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		// Bucket i holds values v with bits.Len64(v) == i, i.e. v in
+		// [2^(i-1), 2^i), so the inclusive upper bound is 2^i - 1.
+		var le int64
+		if i == 0 {
+			le = 0
+		} else if i >= 63 {
+			le = int64(^uint64(0) >> 1) // clamp: the top bucket is open-ended
+		} else {
+			le = int64(1)<<i - 1
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pname, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pname, hs.Count)
+	fmt.Fprintf(w, "%s_sum %d\n", pname, hs.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", pname, hs.Count)
+	fmt.Fprintf(w, "# TYPE %s_max gauge\n", pname)
+	fmt.Fprintf(w, "%s_max %d\n", pname, hs.Max)
+}
+
+// promSampleRe matches one sample line: a metric name, an optional label
+// set, and a value. Exposition timestamps are not emitted by WriteProm and
+// are rejected by the validator to keep its contract tight.
+var promSampleRe = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$`)
+
+// ValidatePromText checks that r is a well-formed Prometheus text-format
+// exposition: every line is a `# TYPE`/`# HELP` comment or a sample whose
+// name matches the metric-name grammar and whose value parses as a float,
+// and every sample belongs to a family announced by a preceding TYPE line
+// (modulo the standard _bucket/_sum/_count suffixes for histograms).
+// It returns the number of samples and the first error found.
+func ValidatePromText(r io.Reader) (samples int, err error) {
+	types := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] != "TYPE" && fields[1] != "HELP" {
+				return samples, fmt.Errorf("prom: line %d: unknown comment keyword %q", lineNo, fields[1])
+			}
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return samples, fmt.Errorf("prom: line %d: malformed TYPE line", lineNo)
+				}
+				name, kind := fields[2], fields[3]
+				if !promNameRe.MatchString(name) {
+					return samples, fmt.Errorf("prom: line %d: invalid metric name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("prom: line %d: invalid metric type %q", lineNo, kind)
+				}
+				if _, dup := types[name]; dup {
+					return samples, fmt.Errorf("prom: line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = kind
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return samples, fmt.Errorf("prom: line %d: malformed sample %q", lineNo, line)
+		}
+		name := m[1]
+		if _, ok := types[familyOf(name, types)]; !ok {
+			return samples, fmt.Errorf("prom: line %d: sample %q has no TYPE line", lineNo, name)
+		}
+		if v := m[3]; v != "+Inf" && v != "-Inf" && v != "NaN" {
+			if _, perr := strconv.ParseFloat(v, 64); perr != nil {
+				return samples, fmt.Errorf("prom: line %d: bad value %q", lineNo, v)
+			}
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("prom: no samples")
+	}
+	return samples, nil
+}
+
+// familyOf resolves a sample name to its family: itself, or the base name
+// when it carries a histogram/summary series suffix with an announced TYPE.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}

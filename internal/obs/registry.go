@@ -316,7 +316,12 @@ func (r *Registry) Fprint(w io.Writer) {
 
 // summaryOrder is the preferred key order for the heartbeat line: the
 // numbers an operator watches during a long run, most informative first.
+// Inside the daemon the serve.* scheduler keys lead — queue depth and
+// busy workers are the fleet's health at a glance — followed by the
+// engine counters the workers merge back.
 var summaryOrder = []string{
+	MServeQueueDepth, MServeWorkersBusy, MServeUnitsExecuted, MServeUnitsCached,
+	MServeUnitsRecovered, MServeJobsDone,
 	MIC3Frames, MIC3QueueDepth, MSATQueries, MSATConflicts, MSATPropagations,
 	MSymbolicIters, MExplicitLayers, MExplicitVisited, MExplicitFrontier,
 	MBDDNodes, MBDDNodesPeak, MCampaignJobs, MRuns,

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExportMergeSemantics(t *testing.T) {
+	worker1 := NewRegistry()
+	worker1.Counter("sat.conflicts").Add(100)
+	worker1.Gauge("bdd.nodes.peak").SetMax(5000)
+	worker1.Histogram("engine.run_ms").Observe(3)
+	worker1.Histogram("engine.run_ms").Observe(100)
+
+	worker2 := NewRegistry()
+	worker2.Counter("sat.conflicts").Add(40)
+	worker2.Counter("sat.queries").Add(7)
+	worker2.Gauge("bdd.nodes.peak").SetMax(2000)
+	worker2.Histogram("engine.run_ms").Observe(100)
+
+	fleet := NewRegistry()
+	fleet.Counter("sat.conflicts").Add(1) // pre-existing local activity
+	fleet.Merge(worker1.Export())
+	fleet.Merge(worker2.Export())
+
+	if got := fleet.Counter("sat.conflicts").Value(); got != 141 {
+		t.Errorf("counters must sum: sat.conflicts = %d, want 141", got)
+	}
+	if got := fleet.Counter("sat.queries").Value(); got != 7 {
+		t.Errorf("sat.queries = %d, want 7", got)
+	}
+	if got := fleet.Gauge("bdd.nodes.peak").Value(); got != 5000 {
+		t.Errorf("gauges must max-merge: bdd.nodes.peak = %d, want 5000", got)
+	}
+	h := fleet.Histogram("engine.run_ms")
+	if h.Count() != 3 || h.Sum() != 203 || h.Max() != 100 {
+		t.Errorf("histogram merge: count=%d sum=%d max=%d, want 3/203/100",
+			h.Count(), h.Sum(), h.Max())
+	}
+	// Bucket-wise: 3 lands in bucket [2,4), both 100s in [64,128).
+	hs := fleet.Export().Histograms["engine.run_ms"]
+	if hs.Buckets["2"] != 1 || hs.Buckets["64"] != 2 {
+		t.Errorf("bucket merge wrong: %v", hs.Buckets)
+	}
+}
+
+func TestMergeGaugeNeverGoesBackwards(t *testing.T) {
+	fleet := NewRegistry()
+	fleet.Gauge("bdd.nodes.peak").Set(9000)
+	low := NewRegistry()
+	low.Gauge("bdd.nodes.peak").Set(10)
+	fleet.Merge(low.Export())
+	if got := fleet.Gauge("bdd.nodes.peak").Value(); got != 9000 {
+		t.Errorf("late low report lowered the high-water mark: %d", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Add(3)
+	r.Gauge("c").Set(4)
+	r.Histogram("h").Observe(0)
+	r.Histogram("h").Observe(17)
+
+	data, err := json.Marshal(r.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	fleet := NewRegistry()
+	fleet.Merge(back)
+	if fleet.Counter("a.b").Value() != 3 || fleet.Gauge("c").Value() != 4 {
+		t.Errorf("round trip lost scalars: %s", data)
+	}
+	h := fleet.Histogram("h")
+	if h.Count() != 2 || h.Sum() != 17 || h.Max() != 17 {
+		t.Errorf("round trip lost histogram: count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+}
+
+func TestMergeNilAndEmpty(t *testing.T) {
+	var r *Registry
+	r.Merge(Snapshot{Counters: map[string]int64{"x": 1}}) // must not panic
+	if !r.Export().Empty() {
+		t.Error("nil registry must export an empty snapshot")
+	}
+	fleet := NewRegistry()
+	fleet.Merge(Snapshot{})
+	if !fleet.Export().Empty() {
+		t.Error("merging an empty snapshot must not create metrics")
+	}
+}
+
+func TestMergeConcurrent(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("n").Add(1)
+	src.Gauge("g").Set(5)
+	src.Histogram("h").Observe(9)
+	snap := src.Export()
+
+	fleet := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				fleet.Merge(snap)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fleet.Counter("n").Value(); got != 400 {
+		t.Errorf("concurrent merges lost counts: %d, want 400", got)
+	}
+	if got := fleet.Histogram("h").Count(); got != 400 {
+		t.Errorf("concurrent merges lost observations: %d, want 400", got)
+	}
+}
+
+func TestTracerExport(t *testing.T) {
+	var now time.Duration
+	tr := NewTracerWithClock(func() time.Duration { return now })
+	s := tr.StartOn(3, CatEngine, "check")
+	now = 50 * time.Microsecond
+	child := s.Start(CatSAT, "solve")
+	now = 80 * time.Microsecond
+	child.End()
+	now = 100 * time.Microsecond
+	s.End()
+
+	events := tr.Export(0)
+	if len(events) != 2 {
+		t.Fatalf("exported %d events, want 2", len(events))
+	}
+	// Sorted by TS: the outer span starts first.
+	if events[0].Name != "check" || events[0].TS != 0 || events[0].Dur != 100 || events[0].TID != 3 {
+		t.Errorf("outer span wrong: %+v", events[0])
+	}
+	if events[1].Name != "solve" || events[1].TS != 50 || events[1].Dur != 30 {
+		t.Errorf("child span wrong: %+v", events[1])
+	}
+	if got := tr.Export(1); len(got) != 1 || got[0].Name != "check" {
+		t.Errorf("limit=1 export wrong: %+v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []SpanEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteChromeEvents output is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Errorf("chrome doc has %d events, want 2", len(doc.TraceEvents))
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sat.conflicts").Add(42)
+	r.Gauge("bdd.nodes.peak").Set(1000)
+	r.Histogram("engine.run_ms").Observe(3)
+	r.Histogram("engine.run_ms").Observe(70)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sat_conflicts counter\nsat_conflicts 42\n",
+		"# TYPE bdd_nodes_peak gauge\nbdd_nodes_peak 1000\n",
+		"# TYPE engine_run_ms histogram\n",
+		"engine_run_ms_bucket{le=\"3\"} 1\n",
+		"engine_run_ms_bucket{le=\"127\"} 2\n",
+		"engine_run_ms_bucket{le=\"+Inf\"} 2\n",
+		"engine_run_ms_sum 73\n",
+		"engine_run_ms_count 2\n",
+		"engine_run_ms_max 70\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	n, err := ValidatePromText(strings.NewReader(out))
+	if err != nil {
+		t.Errorf("own output does not validate: %v\n%s", err, out)
+	}
+	if n < 7 {
+		t.Errorf("validated only %d samples", n)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"sat.conflicts":    "sat_conflicts",
+		"bench.fig4.ms":    "bench_fig4_ms",
+		"ok_name:sub":      "ok_name:sub",
+		"9starts.digit":    "_starts_digit",
+		"weird-dash space": "weird_dash_space",
+	} {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+		if !promNameRe.MatchString(PromName(in)) {
+			t.Errorf("PromName(%q) is not a valid prom name", in)
+		}
+	}
+}
+
+func TestValidatePromTextRejects(t *testing.T) {
+	for name, text := range map[string]string{
+		"no samples":       "# TYPE x counter\n",
+		"no type":          "x 1\n",
+		"bad name":         "# TYPE 9x counter\n9x 1\n",
+		"bad value":        "# TYPE x counter\nx one\n",
+		"malformed sample": "# TYPE x counter\nx 1 2 3 4\n",
+	} {
+		if _, err := ValidatePromText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: validated but should not:\n%s", name, text)
+		}
+	}
+}

@@ -20,12 +20,15 @@ type cache struct {
 }
 
 // cacheEntry is the on-disk envelope. Exactly one of Record/BatchRecord
-// is set, matching Kind.
+// is set, matching Kind. Stats (added with journal v2; absent in older
+// entries) is the span-stripped profile of the execution that produced
+// the verdict, so a warm hit can report the cost it saved.
 type cacheEntry struct {
 	Key         string           `json:"key"`
 	Kind        string           `json:"kind"`
 	Record      *json.RawMessage `json:"record,omitempty"`
 	BatchRecord *json.RawMessage `json:"batch_record,omitempty"`
+	Stats       *UnitStats       `json:"stats,omitempty"`
 }
 
 func openCache(dir string) (*cache, error) {

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ttastartup/internal/campaign"
 	"ttastartup/internal/obs"
@@ -53,10 +54,39 @@ type JobStatus struct {
 	Recovered int `json:"recovered"`
 	// Failed counts units whose execution errored (after worker retries).
 	Failed int `json:"failed"`
+	// ExecMS sums the wall time of the job's executed units, milliseconds.
+	ExecMS int64 `json:"exec_ms"`
+	// SavedMS sums the wall time the verdict cache saved this job: for each
+	// cached unit, the cost of the execution that populated its entry.
+	SavedMS int64 `json:"saved_ms"`
 	// Error is the job-level failure message (state == "failed").
 	Error string `json:"error,omitempty"`
 	// Summary is the one-line result tally (terminal states).
 	Summary string `json:"summary,omitempty"`
+}
+
+// tallyLocked folds one unit result into the job's counters. It is the
+// single accounting path for live completions and journal replay, so a
+// recovered job's saved/executed totals match an uninterrupted run's.
+// Caller holds j.mu (or owns j exclusively during recovery).
+func (j *jobRun) tallyLocked(ur unitResult) {
+	switch {
+	case ur.Err != "":
+		j.failed++
+	case ur.Cached:
+		j.cached++
+		if ur.Stats != nil {
+			j.savedMS += ur.Stats.WallMS
+		}
+	default:
+		j.executed++
+		if ur.Stats != nil {
+			j.execMS += ur.Stats.WallMS
+		}
+	}
+	if ur.Recovered {
+		j.recovered++
+	}
 }
 
 // dispatch pairs a unit with its job for the scheduler queue.
@@ -80,6 +110,8 @@ type jobRun struct {
 	executed  int
 	recovered int
 	failed    int
+	execMS    int64
+	savedMS   int64
 	errMsg    string
 	summary   string
 	journal   *appendFile
@@ -97,11 +129,15 @@ type jobRun struct {
 type Daemon struct {
 	cfg   Config
 	cache *cache
+	// epoch anchors unit dispatch times: every journaled StartUS is
+	// microseconds since this instant, the time base of the merged trace.
+	epoch time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	queue  chan dispatch
 	depth  atomic.Int64
+	busy   atomic.Int64
 	wg     sync.WaitGroup
 
 	mu      sync.Mutex
@@ -121,6 +157,12 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Log == nil {
 		cfg.Log = io.Discard
 	}
+	if cfg.Scope.Reg == nil {
+		// The HTTP API always exposes /metricsz and the fleet accounting
+		// behind it, so the daemon needs a live registry even when the
+		// caller did not wire any other obs sink.
+		cfg.Scope.Reg = obs.NewRegistry()
+	}
 	if err := os.MkdirAll(filepath.Join(cfg.Dir, "jobs"), 0o755); err != nil {
 		return nil, err
 	}
@@ -132,6 +174,7 @@ func New(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		cfg:     cfg,
 		cache:   c,
+		epoch:   time.Now(),
 		ctx:     ctx,
 		cancel:  cancel,
 		queue:   make(chan dispatch),
@@ -204,7 +247,8 @@ func (d *Daemon) recoverJob(id string) error {
 			state:    st.State,
 			cached:   st.Cached,
 			executed: st.Executed, recovered: st.Recovered,
-			failed: st.Failed, errMsg: st.Error, summary: st.Summary,
+			failed: st.Failed, execMS: st.ExecMS, savedMS: st.SavedMS,
+			errMsg: st.Error, summary: st.Summary,
 			results:  map[string]unitResult{},
 			events:   newEventLog(),
 			finished: make(chan struct{}),
@@ -231,17 +275,7 @@ func (d *Daemon) recoverJob(id string) error {
 	}
 	for _, r := range journaled {
 		j.results[r.Unit] = r
-		switch {
-		case r.Err != "":
-			j.failed++
-		case r.Cached:
-			j.cached++
-		default:
-			j.executed++
-		}
-		if r.Recovered {
-			j.recovered++
-		}
+		j.tallyLocked(r)
 	}
 	for _, l := range leased {
 		if _, ok := j.results[l.Unit]; !ok {
@@ -416,7 +450,20 @@ func (d *Daemon) workerLoop(slot int) {
 func (d *Daemon) runUnit(slot int, ex executor, dp dispatch) executor {
 	j, u := dp.job, dp.u
 	if e, ok := d.cache.get(u.CacheKey); ok && e.Kind == j.req.Kind {
-		ur := unitResult{Unit: u.ID, CacheKey: u.CacheKey, Cached: true}
+		ur := unitResult{
+			V: journalVersion, Unit: u.ID, CacheKey: u.CacheKey, Cached: true,
+			// A dangling-lease unit counts as recovered however it gets
+			// re-resolved: the crash abandoned it mid-flight, and whether
+			// its re-resolution finds the cache populated (the crash hit
+			// between journal append and cache put, or another job cached
+			// the key since) is an accident of timing the operator should
+			// not have to reason about.
+			Recovered: j.recoverSet[u.ID],
+			StartUS:   time.Since(d.epoch).Microseconds(),
+			// The entry's stats are the cost of the execution that populated
+			// it — what this hit saved.
+			Stats: e.Stats,
+		}
 		switch {
 		case e.Record != nil:
 			ur.Record = *e.Record
@@ -424,6 +471,12 @@ func (d *Daemon) runUnit(slot int, ex executor, dp dispatch) executor {
 			ur.Record = *e.BatchRecord
 		}
 		d.cfg.Scope.Reg.Counter(obs.MServeUnitsCached).Add(1)
+		if ur.Recovered {
+			d.cfg.Scope.Reg.Counter(obs.MServeUnitsRecovered).Add(1)
+		}
+		if e.Stats != nil {
+			d.cfg.Scope.Reg.Counter(obs.MServeSavedMS).Add(e.Stats.WallMS)
+		}
 		d.complete(j, ur)
 		return ex
 	}
@@ -432,6 +485,11 @@ func (d *Daemon) runUnit(slot int, ex executor, dp dispatch) executor {
 		d.failJob(j, fmt.Errorf("serve: lease append: %w", err))
 		return ex
 	}
+	d.cfg.Scope.Reg.Gauge(obs.MServeWorkersBusy).Set(d.busy.Add(1))
+	defer func() {
+		d.cfg.Scope.Reg.Gauge(obs.MServeWorkersBusy).Set(d.busy.Add(-1))
+	}()
+	startUS := time.Since(d.epoch).Microseconds()
 	t := task{Kind: j.req.Kind, Unit: u.ID}
 	switch j.req.Kind {
 	case KindVerify:
@@ -466,7 +524,11 @@ func (d *Daemon) runUnit(slot int, ex executor, dp dispatch) executor {
 		d.cfg.Scope.Reg.Counter(obs.MServeWorkerRestarts).Add(1)
 	}
 
-	ur := unitResult{Unit: u.ID, CacheKey: u.CacheKey, Recovered: j.recoverSet[u.ID]}
+	ur := unitResult{
+		V: journalVersion, Unit: u.ID, CacheKey: u.CacheKey,
+		Recovered: j.recoverSet[u.ID],
+		Worker:    slot, StartUS: startUS, Stats: res.Stats,
+	}
 	if ur.Recovered {
 		d.cfg.Scope.Reg.Counter(obs.MServeUnitsRecovered).Add(1)
 	}
@@ -488,13 +550,21 @@ func (d *Daemon) runUnit(slot int, ex executor, dp dispatch) executor {
 		}
 	}
 	d.cfg.Scope.Reg.Counter(obs.MServeUnitsExecuted).Add(1)
+	if res.Stats != nil {
+		// Fold the worker's registry snapshot into the fleet registry and
+		// observe the unit's cost in the fleet-wide distributions.
+		d.cfg.Scope.Reg.Merge(res.Stats.Metrics)
+		d.cfg.Scope.Reg.Histogram(obs.MServeUnitWallMS).Observe(res.Stats.WallMS)
+		d.cfg.Scope.Reg.Histogram(obs.MServeUnitCPUMS).Observe(res.Stats.CPUMS)
+		d.cfg.Scope.Reg.Histogram(obs.MServeUnitRSSKB).Observe(res.Stats.MaxRSSKB)
+	}
 	d.complete(j, ur)
 
 	// Populate the verdict cache — but never with failures, and never
 	// with engine-level errors (a Record carrying Error is a transient
 	// outcome, not a content-addressed fact about the model).
 	if ur.Err == "" && cacheable(j.req.Kind, ur.Record) {
-		e := cacheEntry{Key: u.CacheKey, Kind: j.req.Kind}
+		e := cacheEntry{Key: u.CacheKey, Kind: j.req.Kind, Stats: res.Stats.withoutSpans()}
 		raw := json.RawMessage(ur.Record)
 		if j.req.Kind == KindVerify {
 			e.Record = &raw
@@ -538,17 +608,7 @@ func (d *Daemon) complete(j *jobRun, ur unitResult) {
 		return
 	}
 	j.results[ur.Unit] = ur
-	switch {
-	case ur.Err != "":
-		j.failed++
-	case ur.Cached:
-		j.cached++
-	default:
-		j.executed++
-	}
-	if ur.Recovered {
-		j.recovered++
-	}
+	j.tallyLocked(ur)
 	done, total := len(j.results), len(j.units)
 	j.mu.Unlock()
 	j.events.publish(Event{
@@ -700,6 +760,7 @@ func (d *Daemon) statusLocked(j *jobRun) JobStatus {
 		Total: len(j.units), Done: len(j.results),
 		Cached: j.cached, Executed: j.executed,
 		Recovered: j.recovered, Failed: j.failed,
+		ExecMS: j.execMS, SavedMS: j.savedMS,
 		Error: j.errMsg, Summary: j.summary,
 	}
 }

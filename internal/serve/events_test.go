@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSubscribeRacesPublish: subscribers joining while the publisher is
+// mid-job must see every event exactly once, in order — the history
+// snapshot and the live registration happen atomically under the log
+// lock, so no event is dropped or doubled at the join boundary. Run
+// under -race, this also exercises the locking itself.
+func TestSubscribeRacesPublish(t *testing.T) {
+	const (
+		events      = 500
+		subscribers = 16
+	)
+	l := newEventLog()
+
+	var wg sync.WaitGroup
+	feeds := make([][]Event, subscribers)
+	start := make(chan struct{})
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Stagger joins across the publisher's run: subscriber i waits
+			// until roughly i/subscribers of the stream has been published.
+			for {
+				l.mu.Lock()
+				published := len(l.events)
+				l.mu.Unlock()
+				if published >= i*events/subscribers {
+					break
+				}
+			}
+			ch, cancel := l.subscribe()
+			defer cancel()
+			for e := range ch {
+				feeds[i] = append(feeds[i], e)
+			}
+		}(i)
+	}
+
+	close(start)
+	for n := 0; n < events; n++ {
+		l.publish(Event{Type: "unit_done", Done: n + 1, Total: events})
+	}
+	l.finish()
+	wg.Wait()
+
+	for i, feed := range feeds {
+		if len(feed) != events {
+			t.Fatalf("subscriber %d saw %d events, want %d", i, len(feed), events)
+		}
+		for k, e := range feed {
+			if e.Seq != k+1 {
+				t.Fatalf("subscriber %d: position %d has seq %d (dropped or doubled at the join boundary)", i, k, e.Seq)
+			}
+		}
+	}
+}

@@ -22,7 +22,7 @@ type executor interface {
 type inprocExec struct{}
 
 func (inprocExec) execute(ctx context.Context, t task) (result, error) {
-	return runTask(ctx, t), nil
+	return runTaskInstrumented(ctx, t), nil
 }
 
 func (inprocExec) close() error { return nil }

@@ -24,9 +24,17 @@ import (
 // prefix and drop the torn tail (the unit simply re-runs — results are
 // pure functions of the spec, so re-execution is idempotent).
 
+// journalVersion is the schema version stamped on new journal lines.
+// Version 2 added per-unit accounting (Worker, StartUS, Stats); version
+// 0/absent is the original stats-free shape. All added fields are
+// optional, so loaders replay both without a migration step.
+const journalVersion = 2
+
 // unitResult is one journal line: the unit's outcome plus provenance
 // (cache hit vs executed vs recovered after a crash).
 type unitResult struct {
+	// V is the record's schema version (see journalVersion).
+	V        int    `json:"v,omitempty"`
 	Unit     string `json:"unit"`
 	CacheKey string `json:"cache_key"`
 	// Cached marks a verdict answered by the content-addressed cache
@@ -40,6 +48,16 @@ type unitResult struct {
 	Record json.RawMessage `json:"record"`
 	// Err records an execution failure (worker crash after retries).
 	Err string `json:"err,omitempty"`
+	// Worker is the slot that executed the unit (trace lane; v2).
+	Worker int `json:"worker,omitempty"`
+	// StartUS is the unit's dispatch time, microseconds since the daemon
+	// epoch — the rebasing offset for its worker spans in the merged
+	// trace (v2).
+	StartUS int64 `json:"start_us,omitempty"`
+	// Stats is the unit's resource/metric profile. For cached units it is
+	// the profile of the execution that populated the cache — the cost the
+	// hit saved (v2).
+	Stats *UnitStats `json:"stats,omitempty"`
 }
 
 // lease is one leases.jsonl line.

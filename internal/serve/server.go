@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"ttastartup/internal/obs"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -16,8 +18,13 @@ import (
 //	                          ?format=ndjson (both replay history first)
 //	GET  /v1/jobs/{id}/report canonical report.txt; ?format=json for the
 //	                          JSON report
+//	GET  /v1/jobs/{id}/units  per-unit accounting: provenance + UnitStats
+//	GET  /v1/jobs/{id}/trace  merged multi-process Chrome trace_event doc
 //	GET  /healthz             liveness probe
-//	GET  /metricsz            the obs registry, one "name value" per line
+//	GET  /metricsz            the obs registry, one "name value" per line;
+//	                          ?format=prom (or Accept: text/plain, what a
+//	                          Prometheus scraper sends) for the Prometheus
+//	                          text exposition
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", d.handleSubmit)
@@ -25,14 +32,47 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", d.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", d.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", d.handleReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/units", d.handleUnits)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", d.handleTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
+		if obs.WantProm(r) {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			d.cfg.Scope.Reg.WriteProm(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		d.cfg.Scope.Reg.Fprint(w)
 	})
 	return mux
+}
+
+// UnitsResponse is the body of GET /v1/jobs/{id}/units.
+type UnitsResponse struct {
+	ID    string     `json:"id"`
+	Units []UnitInfo `json:"units"`
+}
+
+func (d *Daemon) handleUnits(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	units, err := d.Units(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, UnitsResponse{ID: id, Units: units})
+}
+
+func (d *Daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
+	events, err := d.JobTrace(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeEvents(w, events)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"ttastartup/internal/obs"
+)
+
+// Per-unit resource accounting. Worker processes die with their metric
+// registries, so each task execution runs under a private obs scope and
+// ships a final UnitStats — counters, gauges, histograms, spans, wall and
+// CPU time, peak RSS — back over the JSONL protocol. The daemon merges
+// the metric snapshot into its fleet registry (obs.Registry.Merge),
+// journals the stats with the unit result, and stores the cost in the
+// verdict cache so a warm hit can report what it saved.
+
+// maxUnitSpans bounds the spans one unit ships back, keeping journal
+// lines and worker responses bounded even for span-heavy engines (IC3
+// emits one span per frame and per SAT query).
+const maxUnitSpans = 4096
+
+// UnitStats is one unit's resource and metric profile.
+type UnitStats struct {
+	// WallMS is the unit's wall-clock execution time, milliseconds.
+	WallMS int64 `json:"wall_ms"`
+	// CPUMS is user+system CPU consumed by the executing process during
+	// the unit, milliseconds (rusage delta).
+	CPUMS int64 `json:"cpu_ms,omitempty"`
+	// MaxRSSKB is the executing process's peak resident set at unit
+	// completion, KiB. Worker processes run units sequentially, so this
+	// is a faithful high-water mark for the units seen so far.
+	MaxRSSKB int64 `json:"max_rss_kb,omitempty"`
+	// HeapKB is the Go heap in use at unit completion, KiB.
+	HeapKB int64 `json:"heap_kb,omitempty"`
+	// Metrics is the unit's full registry snapshot (engine counters,
+	// gauges like bdd.nodes.peak, histograms).
+	Metrics obs.Snapshot `json:"metrics"`
+	// Spans are the unit's trace spans, timestamps relative to the start
+	// of the unit, capped at maxUnitSpans.
+	Spans []obs.SpanEvent `json:"spans,omitempty"`
+}
+
+// withoutSpans returns a copy suitable for the units API and the verdict
+// cache: the cost numbers without the (potentially large, and for cached
+// replays meaningless) span payload.
+func (s *UnitStats) withoutSpans() *UnitStats {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Spans = nil
+	return &c
+}
+
+// runTaskInstrumented executes one task under a fresh obs scope and
+// attaches the resulting UnitStats to the result. It is the execution
+// path of both worker processes (RunWorker) and the in-process executor,
+// so every unit carries a profile regardless of isolation mode.
+func runTaskInstrumented(ctx context.Context, t task) result {
+	scope := obs.Scope{Reg: obs.NewRegistry(), Trace: obs.NewTracer()}
+	before := obs.ReadResourceUsage()
+	start := time.Now()
+	span := scope.Trace.StartOn(0, obs.CatServe, t.Unit)
+	res := runTask(ctx, t, scope)
+	span.End()
+	wall := time.Since(start)
+	after := obs.ReadResourceUsage()
+	res.Stats = &UnitStats{
+		WallMS:   wall.Milliseconds(),
+		CPUMS:    after.CPUMS - before.CPUMS,
+		MaxRSSKB: after.MaxRSSKB,
+		HeapKB:   after.HeapKB,
+		Metrics:  scope.Reg.Export(),
+		Spans:    scope.Trace.Export(maxUnitSpans),
+	}
+	return res
+}

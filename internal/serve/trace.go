@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"ttastartup/internal/obs"
+)
+
+// The merged fleet trace: every journaled unit contributes its worker's
+// spans to one Chrome trace_event timeline. Worker span timestamps are
+// relative to the start of their unit (each worker runs a fresh tracer
+// per task), so the daemon rebases them by the unit's journaled dispatch
+// offset (StartUS, microseconds since the daemon epoch). Lanes:
+//
+//	pid 0          the daemon: one "serve" slice per executed unit on the
+//	               worker slot's tid, plus an instant per cache hit
+//	pid slot+1     that worker slot's own spans (engine, sat, frame, ...)
+//
+// Workers run units sequentially and a unit's spans never outlast its
+// wall time, so rebased timestamps are monotone within every (pid, tid)
+// lane — the invariant ttatrace validates.
+
+// JobTrace assembles the job's merged multi-process trace events,
+// including trace_event process_name metadata for each lane.
+func (d *Daemon) JobTrace(id string) ([]obs.SpanEvent, error) {
+	d.mu.Lock()
+	j, ok := d.jobs[id]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: no job %s", id)
+	}
+	results, _, err := j.resultsInOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	var events []obs.SpanEvent
+	pids := map[int]string{0: "ttaserved daemon"}
+	for _, ur := range results {
+		if ur.Stats == nil {
+			continue // pre-v2 journal record: no profile to place
+		}
+		if ur.Cached {
+			events = append(events, obs.SpanEvent{
+				Name: "cache-hit " + ur.Unit, Cat: obs.CatServe,
+				Ph: "i", TS: ur.StartUS, S: "p",
+			})
+			continue
+		}
+		events = append(events, obs.SpanEvent{
+			Name: ur.Unit, Cat: obs.CatServe, Ph: "X",
+			TS: ur.StartUS, Dur: ur.Stats.WallMS * 1000, TID: ur.Worker,
+		})
+		wpid := ur.Worker + 1
+		pids[wpid] = fmt.Sprintf("worker %d", ur.Worker)
+		for _, sp := range ur.Stats.Spans {
+			sp.PID = wpid
+			sp.TS += ur.StartUS
+			events = append(events, sp)
+		}
+	}
+
+	lanes := make([]int, 0, len(pids))
+	for pid := range pids {
+		lanes = append(lanes, pid)
+	}
+	sort.Ints(lanes)
+	meta := make([]obs.SpanEvent, 0, len(lanes))
+	for _, pid := range lanes {
+		meta = append(meta, obs.SpanEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": pids[pid]},
+		})
+	}
+	return append(meta, events...), nil
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"ttastartup/internal/campaign"
+	"ttastartup/internal/obs"
 	"ttastartup/internal/sim/mcfi"
 )
 
@@ -33,16 +34,19 @@ type task struct {
 
 // result is the worker's answer. Err is an infrastructure-level failure
 // (an engine-level error is inside Record, like in a local campaign run).
+// Stats is the unit's resource/metric profile captured around execution.
 type result struct {
 	Unit        string            `json:"unit"`
 	Record      *campaign.Record  `json:"record,omitempty"`
 	BatchRecord *mcfi.BatchRecord `json:"batch_record,omitempty"`
+	Stats       *UnitStats        `json:"unitStats,omitempty"`
 	Err         string            `json:"err,omitempty"`
 }
 
 // runTask executes one task in this process — shared by worker processes
-// and the in-process executor used in tests.
-func runTask(ctx context.Context, t task) result {
+// and the in-process executor used in tests. Engines publish into scope;
+// the caller (runTaskInstrumented) exports it into the result's Stats.
+func runTask(ctx context.Context, t task, scope obs.Scope) result {
 	res := result{Unit: t.Unit}
 	switch t.Kind {
 	case KindVerify:
@@ -50,7 +54,9 @@ func runTask(ctx context.Context, t task) result {
 			res.Err = "serve: verify task without a job"
 			return res
 		}
-		rec, err := campaign.ExecuteJob(ctx, *t.Job, t.Config.runOptions())
+		opts := t.Config.runOptions()
+		opts.Options.Obs = scope
+		rec, err := campaign.ExecuteJob(ctx, *t.Job, opts)
 		if err != nil {
 			res.Err = err.Error()
 			return res
@@ -67,6 +73,16 @@ func runTask(ctx context.Context, t task) result {
 			return res
 		}
 		res.BatchRecord = &rec
+		// ExecuteBatch has no obs hook; publish the batch-level counters
+		// from its record so mcfi units profile like verify units.
+		scope.Reg.Counter(obs.MSimRuns).Add(int64(rec.Count))
+		scope.Reg.Counter(obs.MSimBatches).Inc()
+		for _, ks := range rec.Kinds {
+			scope.Reg.Counter(obs.MSimSlots).Add(ks.TotalSlots)
+			scope.Reg.Counter(obs.MSimUnsynced).Add(int64(ks.Unsynced))
+			scope.Reg.Counter(obs.MSimViolations).Add(int64(ks.Disagreements + ks.OverBound))
+			scope.Reg.Counter(obs.MSimNear).Add(int64(ks.Near))
+		}
 	default:
 		res.Err = fmt.Sprintf("serve: unknown task kind %q", t.Kind)
 	}
@@ -88,7 +104,7 @@ func RunWorker(ctx context.Context, r io.Reader, w io.Writer) error {
 		if err := json.Unmarshal(in.Bytes(), &t); err != nil {
 			res.Err = fmt.Sprintf("serve: malformed task: %v", err)
 		} else {
-			res = runTask(ctx, t)
+			res = runTaskInstrumented(ctx, t)
 		}
 		if err := enc.Encode(res); err != nil {
 			return err

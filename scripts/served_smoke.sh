@@ -9,7 +9,13 @@
 #      directory; the two canonical reports must be byte-identical.
 #   5. Resubmit the same spec to the resumed daemon; the new job must
 #      complete with every unit answered by the verdict cache and zero
-#      units executed.
+#      units executed, and the status must report the execution cost the
+#      cache saved.
+#   6. Check the resumed job's observability surfaces: per-unit stats on
+#      /units for every unit (including recovered ones), a valid
+#      Prometheus exposition on /metricsz, and a merged multi-process
+#      Chrome trace that ttatrace accepts with at least two pids. The
+#      trace is left at .served-smoke.trace.json for CI to archive.
 #
 # Everything runs against built binaries (not `go run`) so the kill -9
 # hits the real daemon process.
@@ -22,6 +28,7 @@ mkdir -p "$WORK"
 echo "served-smoke: building binaries"
 go build -o "$WORK/ttaserved" ./cmd/ttaserved
 go build -o "$WORK/ttactl" ./cmd/ttactl
+go build -o "$WORK/ttatrace" ./cmd/ttatrace
 
 SPEC_FLAGS="-n 3 -degrees 1,2,3 -delta-init 4"
 
@@ -101,6 +108,29 @@ TOTAL=$(sed -n 's/.*"total": \([0-9]*\).*/\1/p' "$WORK/resubmit.json")
 grep -q "\"cached\": $TOTAL" "$WORK/resubmit.json" ||
     { echo "served-smoke: FAIL: resubmission not fully cached" >&2
       cat "$WORK/resubmit.json" >&2; exit 1; }
-echo "served-smoke: resubmission fully served from cache ($TOTAL/$TOTAL units)"
+SAVED=$(sed -n 's/.*"saved_ms": \([0-9]*\).*/\1/p' "$WORK/resubmit.json")
+[ -n "$SAVED" ] && [ "$SAVED" -gt 0 ] ||
+    { echo "served-smoke: FAIL: warm resubmission reports no saved cost" >&2
+      cat "$WORK/resubmit.json" >&2; exit 1; }
+echo "served-smoke: resubmission fully served from cache ($TOTAL/$TOTAL units, ${SAVED}ms saved)"
+
+echo "served-smoke: checking per-unit stats on the resumed job"
+"$WORK/ttactl" -addr-file "$WORK/addr" units "$JOB" >"$WORK/units.json"
+UNITS=$(grep -o '"unit":' "$WORK/units.json" | wc -l)
+WITH_STATS=$(grep -o '"wall_ms":' "$WORK/units.json" | wc -l)
+[ "$UNITS" -gt 0 ] && [ "$WITH_STATS" -eq "$UNITS" ] ||
+    { echo "served-smoke: FAIL: $WITH_STATS/$UNITS units carry stats" >&2
+      cat "$WORK/units.json" >&2; exit 1; }
+RECOVERED=$(grep -o '"recovered": true' "$WORK/units.json" | wc -l)
+echo "served-smoke: all $UNITS units carry stats ($RECOVERED recovered)"
+"$WORK/ttactl" -addr-file "$WORK/addr" top -n 3 "$JOB" >/dev/null
+
+echo "served-smoke: validating the Prometheus exposition"
+"$WORK/ttactl" -addr-file "$WORK/addr" metrics -validate
+
+echo "served-smoke: validating the merged multi-process trace"
+"$WORK/ttactl" -addr-file "$WORK/addr" trace -o "$WORK/trace.json" "$JOB"
+"$WORK/ttatrace" -min-pids 2 -min-cats 1 "$WORK/trace.json"
+cp "$WORK/trace.json" .served-smoke.trace.json
 
 echo "served-smoke: PASS"
