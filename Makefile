@@ -106,11 +106,15 @@ served-smoke:
 	sh scripts/served_smoke.sh $(SERVED_SMOKE_DIR)
 	@rm -rf $(SERVED_SMOKE_DIR)
 
-# Bench regression gate: re-run the quick serve benchmark and diff it
-# leaf-by-leaf against the committed BENCH_serve.json. The tolerance is
-# generous because wall times on shared machines are noisy; CI runs this
-# report-only (BENCH_COMPARE_FLAGS=-report-only) and humans tighten
-# BENCH_COMPARE_TOL when chasing a suspected regression.
+# Bench regression gate: re-run the quick serve and l2s benchmarks and
+# diff each leaf-by-leaf against its committed BENCH_*.json. The l2s leg
+# gates more than wall time: the experiment itself errors out if any SAT
+# engine's liveness verdict disagrees with the symbolic fixpoint or a
+# refutation lacks a lasso, so a compare run doubles as a cross-engine
+# agreement check. The tolerance is generous because wall times on shared
+# machines are noisy; CI runs this report-only
+# (BENCH_COMPARE_FLAGS=-report-only) and humans tighten BENCH_COMPARE_TOL
+# when chasing a suspected regression.
 BENCH_COMPARE_TOL ?= 0.5
 BENCH_COMPARE_FLAGS ?=
 BENCH_COMPARE_OUT := .bench-compare.json
@@ -120,6 +124,10 @@ bench-compare:
 	$(GO) run ./cmd/ttabench -exp serve -serve-out $(BENCH_COMPARE_OUT) >/dev/null
 	$(GO) run ./cmd/ttabench -compare -tolerance $(BENCH_COMPARE_TOL) \
 		$(BENCH_COMPARE_FLAGS) BENCH_serve.json $(BENCH_COMPARE_OUT)
+	@rm -f $(BENCH_COMPARE_OUT)
+	$(GO) run ./cmd/ttabench -exp l2s -l2s-out $(BENCH_COMPARE_OUT) >/dev/null
+	$(GO) run ./cmd/ttabench -compare -tolerance $(BENCH_COMPARE_TOL) \
+		$(BENCH_COMPARE_FLAGS) BENCH_l2s.json $(BENCH_COMPARE_OUT)
 	@rm -f $(BENCH_COMPARE_OUT)
 
 # Observability smoke test: record a Chrome trace of an unbounded IC3 proof

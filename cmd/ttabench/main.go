@@ -43,7 +43,7 @@ func main() {
 
 func run() error {
 	var (
-		expName  = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6a, fig6b, fig6c, fig6d, baseline, feedback, bigbang, wcsup, campaign, restart, ablation, ic3, order, opt, sim, serve, all")
+		expName  = flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6a, fig6b, fig6c, fig6d, baseline, feedback, bigbang, wcsup, campaign, restart, ablation, ic3, order, opt, l2s, sim, serve, all")
 		full     = flag.Bool("full", false, "use the paper's full parameters (slow; quick scale is the default)")
 		nsFlag   = flag.String("n", "", "comma-separated cluster sizes (default per experiment)")
 		measure  = flag.Bool("measure", true, "measure reachable-state counts where applicable")
@@ -53,6 +53,7 @@ func run() error {
 		obsOut   = flag.String("obs-out", "", "write the final metrics registry as JSON to this file (default BENCH_obs.json with -json, off otherwise)")
 		orderOut = flag.String("order-out", "BENCH_order.json", "write the order experiment's rows as JSON to this file (empty: table only)")
 		optOut   = flag.String("opt-out", "BENCH_opt.json", "write the opt experiment's rows as JSON to this file (empty: table only)")
+		l2sOut   = flag.String("l2s-out", "BENCH_l2s.json", "write the l2s experiment's rows as JSON to this file (empty: table only)")
 		simOut   = flag.String("sim-out", "BENCH_sim.json", "write the sim experiment's report as JSON to this file (empty: table only)")
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "write the serve experiment's report as JSON to this file (empty: table only)")
 
@@ -314,6 +315,26 @@ func run() error {
 					return err
 				}
 			}
+		case "l2s":
+			n := 3
+			if len(ns) == 1 {
+				n = ns[0]
+			}
+			rows, table, err := exp.L2SCompare(scale, n)
+			if err != nil {
+				return err
+			}
+			fmt.Println(table)
+			if *l2sOut != "" {
+				f, err := os.Create(*l2sOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := exp.WriteL2SReport(f, scale, n, rows); err != nil {
+					return err
+				}
+			}
 		case "sim":
 			rep, table, err := exp.SimFuzz(context.Background(), scale, *workers)
 			if err != nil {
@@ -366,7 +387,7 @@ func run() error {
 	}
 
 	if *expName == "all" {
-		for _, name := range []string{"fig3", "fig5", "baseline", "campaign", "sim", "serve", "restart", "ablation", "bigbang", "wcsup", "feedback", "ic3", "opt", "fig4", "fig6a", "fig6c", "fig6d", "fig6b"} {
+		for _, name := range []string{"fig3", "fig5", "baseline", "campaign", "sim", "serve", "restart", "ablation", "bigbang", "wcsup", "feedback", "ic3", "opt", "l2s", "fig4", "fig6a", "fig6c", "fig6d", "fig6b"} {
 			if err := timedRun(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

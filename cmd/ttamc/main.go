@@ -481,15 +481,20 @@ func checkBusProp(ctx context.Context, m *original.Model, comp *gcl.Compiled, pr
 		}
 	case core.EngineInduction:
 		if prop.Kind == mc.Eventually {
-			return nil, fmt.Errorf("k-induction cannot prove liveness")
+			// Liveness through the l2s product; SimplePath for
+			// completeness on the finite product.
+			res, err = bmc.CheckEventuallyInductionCtx(ctx, sys, prop,
+				bmc.InductionOptions{MaxK: opts.BMCDepth, SimplePath: true, Obs: opts.Obs})
+		} else {
+			res, err = bmc.CheckInvariantInductionCtx(ctx, compile(), prop,
+				bmc.InductionOptions{MaxK: opts.BMCDepth, Obs: opts.Obs})
 		}
-		res, err = bmc.CheckInvariantInductionCtx(ctx, compile(), prop,
-			bmc.InductionOptions{MaxK: opts.BMCDepth, Obs: opts.Obs})
 	case core.EngineIC3:
 		if prop.Kind == mc.Eventually {
-			return nil, fmt.Errorf("ic3 cannot prove liveness")
+			res, err = ic3.CheckEventuallyCtx(ctx, sys, prop, opts.IC3)
+		} else {
+			res, err = ic3.CheckInvariantCtx(ctx, compile(), prop, opts.IC3)
 		}
-		res, err = ic3.CheckInvariantCtx(ctx, compile(), prop, opts.IC3)
 	default:
 		return nil, fmt.Errorf("unknown engine %v", eng)
 	}

@@ -94,8 +94,11 @@ type Spec struct {
 	// every other lemma against a faulty node; the bus topology supports
 	// safety and liveness and skips the rest.
 	Lemmas []string `json:"lemmas,omitempty"`
-	// Engines lists engine names (default: symbolic). The k-induction
-	// engine cannot prove liveness and is skipped for eventuality lemmas.
+	// Engines lists engine names (default: symbolic). Every engine now
+	// covers every lemma: k-induction and IC3 prove eventuality lemmas
+	// through the liveness-to-safety product (internal/gcl/l2s), so the
+	// expansion no longer drops those pairs. Records for the previously
+	// skipped pairs carry Transition "skipped->executed".
 	Engines []string `json:"engines,omitempty"`
 	// DeltaInit overrides the power-on window in slots (0: each model's
 	// default — the paper's 8·round for the hub, 2·round for the bus).
@@ -110,9 +113,21 @@ var hubFaultyHubLemmas = map[string]bool{"safety_2": true}
 // busLemmas lists the lemmas the bus-topology baseline model defines.
 var busLemmas = map[string]bool{"safety": true, "liveness": true}
 
-// eventuality reports whether a lemma is an eventuality (F p) property,
-// which bounded engines can only refute and k-induction cannot handle.
+// eventuality reports whether a lemma is an eventuality (F p) property.
+// Campaign expanders before the liveness-to-safety transform dropped
+// (induction|ic3) × eventuality pairs; Transitioned identifies them.
 func eventuality(lemma string) bool { return lemma == "liveness" }
+
+// TransitionSkippedExecuted is the Record.Transition marker for job
+// classes that older campaign versions silently skipped and that now
+// execute.
+const TransitionSkippedExecuted = "skipped->executed"
+
+// Transitioned reports whether a job belongs to a class that earlier
+// campaign expanders silently skipped (SAT-engine eventuality lemmas).
+func Transitioned(j Job) bool {
+	return (j.Engine == "induction" || j.Engine == "ic3") && eventuality(j.Lemma)
+}
 
 // maxBusDegree is the bus topology's fault-model ceiling.
 const maxBusDegree = 3
@@ -194,9 +209,6 @@ func (s Spec) Jobs() ([]Job, error) {
 							continue
 						}
 						for _, engine := range s.engines() {
-							if (engine == "induction" || engine == "ic3") && eventuality(lemma) {
-								continue // invariant-only engines cannot prove liveness
-							}
 							j := Job{
 								Topology:   topo,
 								N:          n,
@@ -287,6 +299,13 @@ type Record struct {
 	// of -opt rewriting) — the model half of the verdict-cache key and the
 	// durable replacement for ad-hoc configuration identity strings.
 	ModelDigest string `json:"model_digest,omitempty"`
+	// Transition documents a job-class status change across campaign
+	// versions: "skipped->executed" marks SAT-engine liveness jobs that
+	// earlier expanders silently dropped (the invariant-only era) and
+	// that now execute through the liveness-to-safety product. Old
+	// checkpoints never contain such jobs, so resuming one replays its
+	// records byte-identically and only appends the transitioned jobs.
+	Transition string `json:"transition,omitempty"`
 	// WallMS is the job's wall-clock time in milliseconds.
 	WallMS int64 `json:"wall_ms"`
 	// Stats carries the engine measurements (schema below).

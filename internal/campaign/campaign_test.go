@@ -552,3 +552,117 @@ func TestRecordModelDigest(t *testing.T) {
 		t.Fatalf("want 4 distinct model digests across the sweep, got %d: %v", len(seen), seen)
 	}
 }
+
+// TestTransitionSkippedExecuted: campaign expanders before the
+// liveness-to-safety transform silently dropped (induction|ic3)×liveness
+// jobs. The same spec now expands to a superset, the new jobs execute and
+// carry the explicit "skipped->executed" transition marker, and resuming
+// a checkpoint written by the old expander replays its records
+// byte-identically — the store grows strictly by appending the
+// transitioned jobs.
+func TestTransitionSkippedExecuted(t *testing.T) {
+	spec := Spec{
+		Ns:         []int{3},
+		Topologies: []string{TopologyBus},
+		Degrees:    []int{3},
+		Lemmas:     []string{"safety", "liveness"},
+		Engines:    []string{"symbolic", "induction", "ic3"},
+		DeltaInit:  2,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oldJobs, newJobs []Job
+	for _, j := range jobs {
+		if Transitioned(j) {
+			newJobs = append(newJobs, j)
+		} else {
+			oldJobs = append(oldJobs, j)
+		}
+	}
+	if len(newJobs) != 2 {
+		t.Fatalf("want induction+ic3 liveness in the expansion, got %d transitioned jobs", len(newJobs))
+	}
+
+	// Write an old-era checkpoint: the expansion without the SAT liveness
+	// jobs, fully executed.
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	store, err := OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunJobs(context.Background(), oldJobs, RunOptions{Workers: 1, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume the old checkpoint against the new, larger expansion.
+	reopened, err := OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	rep, err := RunJobs(context.Background(), jobs, RunOptions{Workers: 1, Store: reopened})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != len(oldJobs) {
+		t.Fatalf("resume replayed %d records, want every old-era record (%d)", rep.Skipped, len(oldJobs))
+	}
+	if !rep.Complete() {
+		t.Fatal("resumed campaign incomplete")
+	}
+
+	// Old records replay byte-identically: the store grew strictly by
+	// appending.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) <= len(before) || string(after[:len(before)]) != string(before) {
+		t.Fatal("resume rewrote old-era records instead of appending the transitioned jobs")
+	}
+
+	// The transitioned jobs executed, carry the marker, and agree with the
+	// symbolic liveness verdict; untransitioned records carry no marker.
+	var symLive *Record
+	for _, j := range oldJobs {
+		rec, ok := rep.Record(j)
+		if !ok {
+			t.Fatalf("old job %s missing", j.ID())
+		}
+		if rec.Transition != "" {
+			t.Errorf("untransitioned job %s carries marker %q", j.ID(), rec.Transition)
+		}
+		if j.Engine == "symbolic" && j.Lemma == "liveness" {
+			r := rec
+			symLive = &r
+		}
+	}
+	if symLive == nil {
+		t.Fatal("no symbolic liveness job in the expansion")
+	}
+	for _, j := range newJobs {
+		rec, ok := rep.Record(j)
+		if !ok {
+			t.Fatalf("transitioned job %s missing", j.ID())
+		}
+		if rec.Error != "" {
+			t.Fatalf("transitioned job %s errored: %s", j.ID(), rec.Error)
+		}
+		if rec.Transition != TransitionSkippedExecuted {
+			t.Errorf("job %s transition %q, want %q", j.ID(), rec.Transition, TransitionSkippedExecuted)
+		}
+		if rec.Holds != symLive.Holds {
+			t.Errorf("job %s holds=%v disagrees with symbolic liveness holds=%v", j.ID(), rec.Holds, symLive.Holds)
+		}
+		if !rec.Holds && rec.CexLen == 0 {
+			t.Errorf("job %s refuted liveness without a lasso", j.ID())
+		}
+	}
+}

@@ -243,6 +243,9 @@ func runJob(ctx context.Context, job Job, opts RunOptions) (Record, error) {
 	}
 	res, sys, err := checkJob(jctx, job, job.Engine, opts)
 	rec := Record{Job: job}
+	if Transitioned(job) {
+		rec.Transition = TransitionSkippedExecuted
+	}
 	switch {
 	case err == nil:
 		fillResult(&rec, res, sys)
@@ -489,17 +492,21 @@ func checkBus(ctx context.Context, job Job, engine string, opts RunOptions) (*mc
 		}
 	case "induction":
 		if prop.Kind == mc.Eventually {
-			return nil, nil, fmt.Errorf("campaign: k-induction cannot prove liveness")
+			// Liveness via the l2s product; SimplePath makes the
+			// induction complete on the finite product.
+			res, err = bmc.CheckEventuallyInductionCtx(ctx, sys, prop, bmc.InductionOptions{MaxK: depth, SimplePath: true, Obs: o.Obs})
+		} else {
+			res, err = bmc.CheckInvariantInductionCtx(ctx, sys.Compile(), prop, bmc.InductionOptions{MaxK: depth, Obs: o.Obs})
 		}
-		res, err = bmc.CheckInvariantInductionCtx(ctx, sys.Compile(), prop, bmc.InductionOptions{MaxK: depth, Obs: o.Obs})
 		if err != nil {
 			return nil, nil, err
 		}
 	case "ic3":
 		if prop.Kind == mc.Eventually {
-			return nil, nil, fmt.Errorf("campaign: ic3 cannot prove liveness")
+			res, err = ic3.CheckEventuallyCtx(ctx, sys, prop, o.IC3)
+		} else {
+			res, err = ic3.CheckInvariantCtx(ctx, sys.Compile(), prop, o.IC3)
 		}
-		res, err = ic3.CheckInvariantCtx(ctx, sys.Compile(), prop, o.IC3)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -151,22 +151,29 @@ func (s *Suite) checkOptCtx(ctx context.Context, l Lemma, e Engine) (*mc.Result,
 			return nil, err
 		}
 	case EngineInduction:
-		if prop.Kind == mc.Eventually {
-			return nil, fmt.Errorf("core: k-induction cannot prove liveness lemma %v", l)
-		}
 		depth := s.opts.BMCDepth
 		if depth == 0 {
 			depth = 2 * s.Model.P.WorstCaseStartup()
 		}
-		res, err = bmc.CheckInvariantInductionCtx(ctx, ent.compiled(), prop, bmc.InductionOptions{MaxK: depth, Obs: s.opts.Obs})
+		if prop.Kind == mc.Eventually {
+			// The l2s product is built from the already-sliced system:
+			// slicing first is what keeps the monitor small (it shadows
+			// every surviving state variable), and it is sound because
+			// COI slicing preserves all behaviors observable through the
+			// predicate. SimplePath makes the induction complete.
+			res, err = bmc.CheckEventuallyInductionCtx(ctx, ent.o.Sys, prop, bmc.InductionOptions{MaxK: depth, SimplePath: true, Obs: s.opts.Obs})
+		} else {
+			res, err = bmc.CheckInvariantInductionCtx(ctx, ent.compiled(), prop, bmc.InductionOptions{MaxK: depth, Obs: s.opts.Obs})
+		}
 		if err != nil {
 			return nil, err
 		}
 	case EngineIC3:
 		if prop.Kind == mc.Eventually {
-			return nil, fmt.Errorf("core: ic3 cannot prove liveness lemma %v", l)
+			res, err = ic3.CheckEventuallyCtx(ctx, ent.o.Sys, prop, s.opts.IC3)
+		} else {
+			res, err = ic3.CheckInvariantCtx(ctx, ent.compiled(), prop, s.opts.IC3)
 		}
-		res, err = ic3.CheckInvariantCtx(ctx, ent.compiled(), prop, s.opts.IC3)
 		if err != nil {
 			return nil, err
 		}

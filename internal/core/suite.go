@@ -125,13 +125,18 @@ const (
 	// EngineExplicit is the explicit-state engine (Section 3's baseline).
 	EngineExplicit
 	// EngineBMC is SAT-based bounded model checking: bug hunting for
-	// invariants, lasso refutation for liveness.
+	// invariants, lasso refutation for liveness — now with a
+	// recurrence-diameter fallback that upgrades liveness verdicts to a
+	// definitive Holds when the simple-path query closes.
 	EngineBMC
 	// EngineInduction is SAT-based k-induction: unbounded invariant
 	// proofs without BDDs (an extension beyond the paper's SAL 2.0).
+	// Liveness lemmas run as simple-path induction on the
+	// liveness-to-safety product (internal/gcl/l2s).
 	EngineInduction
 	// EngineIC3 is IC3/PDR: unbounded invariant proofs by incremental
-	// induction with many small SAT queries and no unrolling.
+	// induction with many small SAT queries and no unrolling. Liveness
+	// lemmas run as invariant proofs on the liveness-to-safety product.
 	EngineIC3
 )
 
@@ -353,17 +358,20 @@ func (s *Suite) CheckCtx(ctx context.Context, l Lemma, e Engine) (*mc.Result, er
 		}
 		return bmc.CheckInvariantCtx(ctx, s.Compiled(), prop, bmc.Options{MaxDepth: depth, Obs: s.opts.Obs})
 	case EngineInduction:
-		if prop.Kind == mc.Eventually {
-			return nil, fmt.Errorf("core: k-induction cannot prove liveness lemma %v", l)
-		}
 		depth := s.opts.BMCDepth
 		if depth == 0 {
 			depth = 2 * s.Model.P.WorstCaseStartup()
 		}
+		if prop.Kind == mc.Eventually {
+			// Liveness goes through the l2s product. SimplePath makes
+			// the induction complete on the finite product, so a true
+			// lemma proves outright instead of stalling at HoldsBounded.
+			return bmc.CheckEventuallyInductionCtx(ctx, s.Model.Sys, prop, bmc.InductionOptions{MaxK: depth, SimplePath: true, Obs: s.opts.Obs})
+		}
 		return bmc.CheckInvariantInductionCtx(ctx, s.Compiled(), prop, bmc.InductionOptions{MaxK: depth, Obs: s.opts.Obs})
 	case EngineIC3:
 		if prop.Kind == mc.Eventually {
-			return nil, fmt.Errorf("core: ic3 cannot prove liveness lemma %v", l)
+			return ic3.CheckEventuallyCtx(ctx, s.Model.Sys, prop, s.opts.IC3)
 		}
 		return ic3.CheckInvariantCtx(ctx, s.Compiled(), prop, s.opts.IC3)
 	default:

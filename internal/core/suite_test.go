@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ttastartup/internal/mc"
+	"ttastartup/internal/mc/ic3"
 	"ttastartup/internal/tta/startup"
 )
 
@@ -57,18 +58,23 @@ func TestSanityLemmas(t *testing.T) {
 	}
 }
 
-// TestEnginesAgreeOnStartupModel cross-validates symbolic against explicit
-// and bounded on the real startup model (small window, degree-1 fault to
-// keep the explicit run tractable).
+// TestEnginesAgreeOnStartupModel is the suite-level engine×lemma
+// agreement matrix: every engine accepts every lemma kind — liveness
+// included, which the SAT engines settle through the l2s product — and
+// no engine may contradict the exact ones. The SAT provers run
+// depth/frame-capped here (the hub lemmas are deep, DESIGN.md), so
+// agreement for them means "no fabricated violation"; the unbounded
+// verdicts are pinned on the bus and clique models in
+// internal/mc/tta_engines_test.go.
 func TestEnginesAgreeOnStartupModel(t *testing.T) {
 	cfg := startup.DefaultConfig(3).WithFaultyNode(2)
 	cfg.FaultDegree = 1
 	cfg.DeltaInit = 3
-	s, err := NewSuite(cfg, Options{BMCDepth: 12})
+	s, err := NewSuite(cfg, Options{BMCDepth: 12, IC3: ic3.Options{MaxFrames: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, l := range []Lemma{LemmaSafety, LemmaNoError} {
+	for _, l := range []Lemma{LemmaSafety, LemmaNoError, LemmaLiveness} {
 		sym, err := s.Check(l, EngineSymbolic)
 		if err != nil {
 			t.Fatal(err)
@@ -77,25 +83,31 @@ func TestEnginesAgreeOnStartupModel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bounded, err := s.Check(l, EngineBMC)
-		if err != nil {
-			t.Fatal(err)
-		}
 		if sym.Verdict != mc.Holds || exp.Verdict != mc.Holds {
 			t.Errorf("%v: symbolic %v explicit %v", l, sym.Verdict, exp.Verdict)
 		}
-		if bounded.Verdict != mc.HoldsBounded {
-			t.Errorf("%v: bmc %v", l, bounded.Verdict)
-		}
-		if sym.Stats.Reachable.Cmp(exp.Stats.Reachable) != 0 {
+		if l != LemmaLiveness && sym.Stats.Reachable.Cmp(exp.Stats.Reachable) != 0 {
 			t.Errorf("%v: state counts differ: %v vs %v", l, sym.Stats.Reachable, exp.Stats.Reachable)
+		}
+		for _, e := range []Engine{EngineBMC, EngineInduction, EngineIC3} {
+			res, err := s.Check(l, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict == mc.Violated {
+				t.Errorf("%v: %v fabricated a violation of a lemma the exact engines prove", l, e)
+			}
+			if e == EngineBMC && l != LemmaLiveness && res.Verdict != mc.HoldsBounded {
+				t.Errorf("%v: bmc %v, want holds-bounded at depth 12", l, res.Verdict)
+			}
 		}
 	}
 }
 
-// TestBMCLivenessRefutation: the bounded engine can only refute liveness;
-// on the (true) liveness lemma it must report holds-bounded, not a
-// spurious lasso.
+// TestBMCLivenessRefutation: on the (true) liveness lemma the bounded
+// engine must never fabricate a lasso. Below the recurrence diameter it
+// reports holds-bounded; if the diameter query closes within the budget a
+// definitive holds is also sound.
 func TestBMCLivenessRefutation(t *testing.T) {
 	cfg := startup.DefaultConfig(3)
 	cfg.DeltaInit = 3
@@ -107,13 +119,15 @@ func TestBMCLivenessRefutation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Verdict != mc.HoldsBounded {
-		t.Errorf("verdict %v, want holds-bounded", res.Verdict)
+	if !res.Holds() {
+		t.Errorf("verdict %v, want holds or holds-bounded", res.Verdict)
 	}
 }
 
 // TestInductionEngineOnSanityLemma: k-induction proves the no-error lemma
-// outright when it is inductive, and stays sound otherwise.
+// outright when it is inductive, and stays sound otherwise. Liveness
+// lemmas are accepted via the l2s product and must never yield a spurious
+// lasso within the depth budget.
 func TestInductionEngineOnSanityLemma(t *testing.T) {
 	cfg := startup.DefaultConfig(3)
 	cfg.DeltaInit = 3
@@ -128,8 +142,12 @@ func TestInductionEngineOnSanityLemma(t *testing.T) {
 	if res.Verdict == mc.Violated {
 		t.Errorf("k-induction fabricated a violation of a true lemma")
 	}
-	if _, err := s.Check(LemmaLiveness, EngineInduction); err == nil {
-		t.Error("k-induction should refuse liveness lemmas")
+	live, err := s.Check(LemmaLiveness, EngineInduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Verdict == mc.Violated {
+		t.Error("k-induction fabricated a liveness violation through the l2s product")
 	}
 }
 

@@ -103,7 +103,11 @@ func TestLassoRefutesLiveness(t *testing.T) {
 	}
 }
 
-func TestLassoHoldsBoundedOnTrueLiveness(t *testing.T) {
+// TestLassoDiameterUpgradeOnTrueLiveness: with the depth budget past the
+// recurrence diameter the lasso search upgrades to a definitive holds
+// (every ¬p-path long enough must revisit a state); below the diameter
+// the verdict stays honestly bounded.
+func TestLassoDiameterUpgradeOnTrueLiveness(t *testing.T) {
 	sys, v := saturatingCounter(6)
 	prop := mc.Property{Name: "v-reaches-top", Kind: mc.Eventually,
 		Pred: gcl.Eq(gcl.X(v), gcl.C(gcl.IntType("c", 6), 5))}
@@ -111,8 +115,18 @@ func TestLassoHoldsBoundedOnTrueLiveness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Verdict != mc.HoldsBounded {
-		t.Errorf("verdict %v, want holds-bounded (liveness is true)", res.Verdict)
+	if res.Verdict != mc.Holds {
+		t.Errorf("verdict %v, want a definitive holds via the recurrence diameter", res.Verdict)
+	}
+	if res.Stats.Iterations >= 15 {
+		t.Errorf("diameter closed at depth %d, expected well under the budget", res.Stats.Iterations)
+	}
+	shallow, err := bmc.CheckEventuallyRefute(sys.Compile(), prop, bmc.Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shallow.Verdict != mc.HoldsBounded {
+		t.Errorf("verdict %v, want holds-bounded below the recurrence diameter", shallow.Verdict)
 	}
 }
 

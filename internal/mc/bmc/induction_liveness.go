@@ -1,0 +1,48 @@
+package bmc
+
+import (
+	"context"
+	"fmt"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/gcl/l2s"
+	"ttastartup/internal/mc"
+)
+
+// CheckEventuallyInduction attempts an unbounded proof of AF(pred) by
+// temporal induction over the liveness-to-safety product
+// (internal/gcl/l2s): the product's "no closed p-free loop" invariant is
+// equivalence-preserving for the eventuality, so proving it by
+// k-induction proves the liveness lemma outright. With SimplePath set the
+// method is complete on finite systems; without it the prover may return
+// HoldsBounded. Violated results carry a concrete lasso of the source
+// system, projected back from the product counterexample.
+func CheckEventuallyInduction(comp *gcl.System, prop mc.Property, opts InductionOptions) (*mc.Result, error) {
+	return CheckEventuallyInductionCtx(context.Background(), comp, prop, opts)
+}
+
+// CheckEventuallyInductionCtx is CheckEventuallyInduction with
+// cancellation plumbed through the underlying induction run.
+func CheckEventuallyInductionCtx(ctx context.Context, sys *gcl.System, prop mc.Property, opts InductionOptions) (*mc.Result, error) {
+	if prop.Kind != mc.Eventually {
+		return nil, fmt.Errorf("bmc: CheckEventuallyInduction on %v property", prop.Kind)
+	}
+	prod, err := l2s.Transform(sys, prop.Pred)
+	if err != nil {
+		return nil, err
+	}
+	safe := mc.Property{Name: prop.Name, Kind: mc.Invariant, Pred: prod.Safe}
+	res, err := CheckInvariantInductionCtx(ctx, prod.Sys.Compile(), safe, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Property = prop
+	if res.Verdict == mc.Violated {
+		states, loopsTo, perr := prod.ProjectLasso(res.Trace.States)
+		if perr != nil {
+			return nil, perr
+		}
+		res.Trace = &mc.Trace{States: states, LoopsTo: loopsTo}
+	}
+	return res, nil
+}

@@ -12,9 +12,16 @@ import (
 
 // CheckEventuallyRefute searches for a counterexample to F(pred) on all
 // paths: a lasso — a path x_0 … x_k with x_k equal to some earlier x_l —
-// every state of which violates pred. Like all bounded methods it can only
-// refute (Violated with a lasso trace) or report HoldsBounded: no
-// pred-avoiding lasso exists whose unrolled length is within MaxDepth.
+// every state of which violates pred. Refutations come back as Violated
+// with a lasso trace. The search is additionally complete at the
+// recurrence diameter: a second, simple-path-constrained query asks per
+// depth whether any loop-free ¬pred path of k+1 states leaves an initial
+// state. When that query goes unsatisfiable, every infinite ¬pred path
+// would have to revisit a state within the already-refuted lasso depths
+// (the short-counterexample argument of Konnov et al., arXiv:1608.05327),
+// so the eventuality is proved outright and the verdict is a definitive
+// Holds. Only when MaxDepth is exhausted below the recurrence diameter
+// does the method fall back to HoldsBounded.
 func CheckEventuallyRefute(comp *gcl.Compiled, prop mc.Property, opts Options) (*mc.Result, error) {
 	return CheckEventuallyRefuteCtx(context.Background(), comp, prop, opts)
 }
@@ -41,6 +48,18 @@ func CheckEventuallyRefuteCtx(ctx context.Context, comp *gcl.Compiled, prop mc.P
 			curIDs = append(curIDs, id)
 		}
 	}
+
+	// Recurrence-diameter checker: initial states at frame 0, ¬pred
+	// asserted at every frame, all frames pairwise distinct. While it
+	// stays satisfiable there are loop-free ¬pred paths longer than the
+	// lasso search has covered; the first unsatisfiable depth proves the
+	// eventuality (see the doc comment). It cannot share the lasso
+	// checker's solver — loop closure requires frame equality, which the
+	// permanent distinctness clauses forbid.
+	diam := NewChecker(comp)
+	diam.attachObs(opts.Obs)
+	diamInterrupted := diam.bindCtx(ctx)
+	diam.assertLit(diam.encode(notP, 0))
 
 	res := &mc.Result{Property: prop, Verdict: mc.HoldsBounded}
 	// avoid[t] asserts ¬pred at frame t; asserted permanently as we
@@ -107,8 +126,31 @@ func CheckEventuallyRefuteCtx(ctx context.Context, comp *gcl.Compiled, prop mc.P
 		// (the disjunction is then satisfied by ¬act, leaving the
 		// selectors free).
 		c.solver.AddClause(act.Not())
+
+		// No ¬pred lasso of unrolled length ≤ k. If additionally no
+		// loop-free ¬pred path of k+1 states exists, any infinite ¬pred
+		// path would revisit a state within depth k and form a lasso the
+		// search above already excluded — the property holds outright.
+		dsp := opts.Obs.Trace.Start(obs.CatFrame, fmt.Sprintf("diameter k=%d", k))
+		diam.extendTo(k)
+		diam.assertLit(diam.encode(notP, k))
+		diam.assertDistinct(curIDs, k)
+		longer := diam.solve()
+		dsp.End()
+		if err := diamInterrupted(); err != nil {
+			run.Abort(err)
+			return nil, err
+		}
+		if !longer {
+			res.Verdict = mc.Holds
+			c.fillStats(&run.Stats, k)
+			diam.tap.FillStats(&run.Stats)
+			res.Stats = run.Finish(res.Verdict)
+			return res, nil
+		}
 	}
 	c.fillStats(&run.Stats, opts.MaxDepth)
+	diam.tap.FillStats(&run.Stats)
 	res.Stats = run.Finish(res.Verdict)
 	return res, nil
 }

@@ -244,6 +244,42 @@ func TestEnginesAgree(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
+					// The SAT engines decide eventualities through the
+					// liveness-to-safety product: exact verdicts, and
+					// refutations come back as concrete source lassos.
+					indRes, err := bmc.CheckEventuallyInduction(sys, pc.prop,
+						bmc.InductionOptions{MaxK: 60, SimplePath: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					icRes, err := ic3.CheckEventually(sys, pc.prop, ic3.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Plain BMC is complete here too: the recurrence-diameter
+					// fallback upgrades holds-bounded to a definitive holds
+					// once the simple-path query closes.
+					bmcRes, err := bmc.CheckEventuallyRefute(comp, pc.prop, bmc.Options{MaxDepth: 80})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, r := range []*mc.Result{indRes, icRes, bmcRes} {
+						if pc.holds && r.Verdict != mc.Holds {
+							t.Errorf("%s: %s verdict %v, want holds (unbounded)",
+								pc.prop.Name, r.Stats.Engine, r.Verdict)
+						}
+						if !pc.holds {
+							if r.Verdict != mc.Violated {
+								t.Errorf("%s: %s verdict %v, want violated",
+									pc.prop.Name, r.Stats.Engine, r.Verdict)
+							} else if r.Trace.LoopsTo < 0 {
+								t.Errorf("%s: %s refutation lacks a lasso back-edge",
+									pc.prop.Name, r.Stats.Engine)
+							} else {
+								verifyTrace(t, sys, pc.prop, r.Trace)
+							}
+						}
+					}
 				}
 				for _, r := range []*mc.Result{expRes, symRes} {
 					wantV := mc.Holds

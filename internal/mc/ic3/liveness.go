@@ -1,0 +1,47 @@
+package ic3
+
+import (
+	"context"
+	"fmt"
+
+	"ttastartup/internal/gcl"
+	"ttastartup/internal/gcl/l2s"
+	"ttastartup/internal/mc"
+)
+
+// CheckEventually proves or refutes AF(pred) without a depth bound by
+// running the invariant engine on the liveness-to-safety product
+// (internal/gcl/l2s): IC3 proves the product's "no closed p-free loop"
+// invariant, which is equivalence-preserving for the eventuality. On
+// Violated the product counterexample is projected back to a concrete
+// lasso of the source system, back-edge included, so replay machinery
+// sees an ordinary eventuality trace.
+func CheckEventually(sys *gcl.System, prop mc.Property, opts Options) (*mc.Result, error) {
+	return CheckEventuallyCtx(context.Background(), sys, prop, opts)
+}
+
+// CheckEventuallyCtx is CheckEventually with cancellation plumbed through
+// the underlying invariant run.
+func CheckEventuallyCtx(ctx context.Context, sys *gcl.System, prop mc.Property, opts Options) (*mc.Result, error) {
+	if prop.Kind != mc.Eventually {
+		return nil, fmt.Errorf("ic3: CheckEventually on %v property", prop.Kind)
+	}
+	prod, err := l2s.Transform(sys, prop.Pred)
+	if err != nil {
+		return nil, err
+	}
+	safe := mc.Property{Name: prop.Name, Kind: mc.Invariant, Pred: prod.Safe}
+	res, err := CheckInvariantCtx(ctx, prod.Sys.Compile(), safe, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Property = prop
+	if res.Verdict == mc.Violated {
+		states, loopsTo, perr := prod.ProjectLasso(res.Trace.States)
+		if perr != nil {
+			return nil, perr
+		}
+		res.Trace = &mc.Trace{States: states, LoopsTo: loopsTo}
+	}
+	return res, nil
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package mc_test
+
+// raceEnabled reports whether this binary was built with the race
+// detector. The agreement-matrix rows marked slow take minutes plain and
+// multiply by the detector's ~10× overhead, so they skip under race the
+// same way they skip under -short; the bus rows and the capped hub rows
+// still run, which is what the CI race job exercises.
+const raceEnabled = true

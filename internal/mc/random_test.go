@@ -290,6 +290,102 @@ func TestRandomSystemsEnginesAgree(t *testing.T) {
 	}
 }
 
+// FuzzRandomLiveness is the liveness counterpart of the invariant fuzzing
+// oracle: random Eventually goals on random systems, with the explicit
+// lasso search as ground truth. IC3 answers through the l2s product
+// (internal/gcl/l2s) and must agree exactly; simple-path k-induction on
+// the product and the BMC recurrence-diameter fallback may stop bounded
+// but must never contradict; and every refutation must come back as a
+// concrete lasso on the SOURCE system that replays through the
+// interpreter, back-edge included. The seed corpus (f.Add plus
+// testdata/fuzz) covers both verdicts on systems with choice variables,
+// fallbacks, and cross-module primed reads.
+func FuzzRandomLiveness(f *testing.F) {
+	for _, seed := range []int64{3, 7, 19, 42, 1234, 4071} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		sys, vars := randomSystem(seed % 10_000)
+		rng := rand.New(rand.NewSource(seed ^ 0x11fe))
+
+		// A random reachability goal over a random variable.
+		v := vars[rng.Intn(len(vars))]
+		goal := rng.Intn(v.Type.Card)
+		prop := mc.Property{
+			Name: "rand-live",
+			Kind: mc.Eventually,
+			Pred: gcl.Ge(gcl.X(v), gcl.C(v.Type, goal)),
+		}
+
+		expRes, err := explicit.CheckEventually(sys, prop, explicit.Options{MaxStates: 200_000})
+		if err != nil {
+			t.Fatalf("seed %d: explicit: %v", seed, err)
+		}
+		if !expRes.Holds() {
+			if expRes.Trace.LoopsTo < 0 {
+				t.Fatalf("seed %d: explicit refutation has no lasso", seed)
+			}
+			verifyTrace(t, sys, prop, expRes.Trace)
+		}
+
+		// IC3 through the l2s product is unbounded: exact agreement.
+		icRes, err := ic3.CheckEventually(sys, prop, ic3.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: ic3: %v", seed, err)
+		}
+		if expRes.Holds() {
+			if icRes.Verdict != mc.Holds {
+				t.Fatalf("seed %d: ic3 verdict %v on a goal the explicit search proves", seed, icRes.Verdict)
+			}
+		} else {
+			if icRes.Verdict != mc.Violated {
+				t.Fatalf("seed %d: ic3 verdict %v on a refuted goal", seed, icRes.Verdict)
+			}
+			if icRes.Trace.LoopsTo < 0 {
+				t.Fatalf("seed %d: ic3 projected lasso has no back-edge", seed)
+			}
+			verifyTrace(t, sys, prop, icRes.Trace)
+		}
+
+		// Simple-path induction on the product closes when k reaches the
+		// product's recurrence diameter; below that it reports bounded.
+		// Only definite verdicts are compared.
+		indRes, err := bmc.CheckEventuallyInduction(sys, prop, bmc.InductionOptions{MaxK: 25, SimplePath: true})
+		if err != nil {
+			t.Fatalf("seed %d: induction: %v", seed, err)
+		}
+		if indRes.Verdict == mc.Holds && !expRes.Holds() {
+			t.Fatalf("seed %d: induction proved a refuted goal", seed)
+		}
+		if indRes.Verdict == mc.Violated {
+			if expRes.Holds() {
+				t.Fatalf("seed %d: induction refuted a proved goal", seed)
+			}
+			if indRes.Trace.LoopsTo < 0 {
+				t.Fatalf("seed %d: induction projected lasso has no back-edge", seed)
+			}
+			verifyTrace(t, sys, prop, indRes.Trace)
+		}
+
+		// BMC: lasso refutation up to the depth bound, with the
+		// recurrence-diameter fallback upgrading to a definitive Holds on
+		// systems this small. Definite verdicts must agree.
+		bmcRes, err := bmc.CheckEventuallyRefute(sys.Compile(), prop, bmc.Options{MaxDepth: 25})
+		if err != nil {
+			t.Fatalf("seed %d: bmc: %v", seed, err)
+		}
+		if bmcRes.Verdict == mc.Holds && !expRes.Holds() {
+			t.Fatalf("seed %d: bmc diameter fallback proved a refuted goal", seed)
+		}
+		if bmcRes.Verdict == mc.Violated {
+			if expRes.Holds() {
+				t.Fatalf("seed %d: bmc refuted a proved goal", seed)
+			}
+			verifyTrace(t, sys, prop, bmcRes.Trace)
+		}
+	})
+}
+
 // bfsDepth computes the height of the exploration tree.
 func bfsDepth(g *explicit.Graph) int {
 	depth := make([]int, len(g.States))

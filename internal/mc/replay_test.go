@@ -106,9 +106,13 @@ func TestReplaySafetyAllEngines(t *testing.T) {
 	replayOracle(t, sys, prop, icRes, "ic3")
 }
 
-// TestReplayLivenessLassos replays liveness lassos (the engines that can
-// produce them: explicit, symbolic, BMC-refute) on the bus model, where a
-// degree-3 faulty node keeps the cluster from ever starting up.
+// TestReplayLivenessLassos replays liveness lassos from all five engines
+// on the bus model, where a degree-3 faulty node keeps the cluster from
+// ever starting up. Explicit and symbolic find lassos natively, BMC
+// unrolls them, and induction/IC3 refute through the l2s product
+// (internal/gcl/l2s) — for those the projected trace must land back on
+// the SOURCE state space with a concrete back-edge, which is exactly what
+// the replay oracle certifies.
 func TestReplayLivenessLassos(t *testing.T) {
 	model, err := original.Build(original.Config{N: 3, FaultyNode: 1, FaultDegree: 3, DeltaInit: 2})
 	if err != nil {
@@ -146,6 +150,24 @@ func TestReplayLivenessLassos(t *testing.T) {
 		t.Fatal(err)
 	}
 	replayOracle(t, sys, prop, bmcRes, "bmc")
+
+	indRes, err := bmc.CheckEventuallyInduction(sys, prop, bmc.InductionOptions{MaxK: 20, SimplePath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayOracle(t, sys, prop, indRes, "induction")
+	if indRes.Trace.LoopsTo < 0 {
+		t.Fatalf("induction: projected l2s refutation has no lasso back-edge")
+	}
+
+	icRes, err := ic3.CheckEventually(sys, prop, ic3.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayOracle(t, sys, prop, icRes, "ic3")
+	if icRes.Trace.LoopsTo < 0 {
+		t.Fatalf("ic3: projected l2s refutation has no lasso back-edge")
+	}
 }
 
 // TestReplayHubClique replays the paper's big-bang-off clique

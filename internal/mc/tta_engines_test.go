@@ -14,33 +14,37 @@ import (
 )
 
 // TestTTAEnginesAgree runs the shipped TTA models — both topologies, big
-// bang on and off — through all five engines on small configurations and
-// demands consistent verdicts. On the bus topology every prover is exact:
-// symbolic, explicit, IC3, and k-induction must return the same unbounded
-// verdict, and every refutation must replay. The hub safety lemma is not
-// k-inductive at small k and IC3 needs minutes to close it (DESIGN.md), so
-// on the hub holds-case the SAT provers run depth/frame-capped and must
-// merely not contradict the exact engines.
+// bang on and off, safety and liveness lemmas — through all five engines on
+// small configurations and demands consistent verdicts. On the bus topology
+// every prover is exact: symbolic, explicit, IC3, and k-induction must
+// return the same unbounded verdict, and every refutation must replay
+// concretely, including the lasso back-edge on liveness counterexamples.
+// The hub safety lemma is not k-inductive at small k and IC3 needs minutes
+// to close it (DESIGN.md), so on the hub holds-case the SAT provers run
+// depth/frame-capped and must merely not contradict the exact engines.
+// Liveness on the SAT engines goes through the l2s product (internal/gcl/l2s):
+// a Violated verdict there must come back as a concrete lasso on the SOURCE
+// system, which is exactly what verifyTrace replays.
 func TestTTAEnginesAgree(t *testing.T) {
 	type ttaCase struct {
 		name     string
 		sys      *gcl.System
 		prop     mc.Property
 		holds    bool
-		exactSAT bool // demand unbounded verdicts from induction and IC3
+		exactInd bool // demand an unbounded verdict from k-induction
+		exactIC3 bool // demand an unbounded verdict from IC3
 		slow     bool // skipped with -short
 	}
 
-	busCase := func(deg int, holds bool) ttaCase {
+	busModel := func(deg int) *original.Model {
 		m, err := original.Build(original.Config{N: 3, FaultyNode: 1, FaultDegree: deg, DeltaInit: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return ttaCase{
-			name: "bus/deg" + string(rune('0'+deg)) + "-safety",
-			sys:  m.Sys, prop: m.Safety(), holds: holds, exactSAT: true,
-		}
+		return m
 	}
+	bus1 := busModel(1)
+	bus3 := busModel(3)
 
 	hubOn := startup.DefaultConfig(3)
 	hubOn.DeltaInit = 2
@@ -57,23 +61,42 @@ func TestTTAEnginesAgree(t *testing.T) {
 	}
 
 	cases := []ttaCase{
-		busCase(1, true),
-		busCase(3, false),
+		{name: "bus/deg1-safety", sys: bus1.Sys, prop: bus1.Safety(),
+			holds: true, exactInd: true, exactIC3: true},
+		{name: "bus/deg1-liveness", sys: bus1.Sys, prop: bus1.Liveness(),
+			holds: true, exactInd: true, exactIC3: true},
+		{name: "bus/deg3-safety", sys: bus3.Sys, prop: bus3.Safety(),
+			holds: false, exactInd: true, exactIC3: true},
+		{name: "bus/deg3-liveness", sys: bus3.Sys, prop: bus3.Liveness(),
+			holds: false, exactInd: true, exactIC3: true},
 		{name: "hub/big-bang-on-safety", sys: hubOnModel.Sys, prop: hubOnModel.Safety(),
-			holds: true, exactSAT: false},
+			holds: true},
+		// IC3 proves the hub liveness lemma on the l2s product in about a
+		// minute (23 frames); k-induction does not close it by k=40, so the
+		// induction leg runs capped and must merely not contradict.
+		{name: "hub/big-bang-on-liveness", sys: hubOnModel.Sys, prop: hubOnModel.Liveness(),
+			holds: true, exactIC3: true, slow: true},
 		{name: "hub/big-bang-off-clique", sys: hubOffModel.Sys, prop: hubOffModel.Safety(),
-			holds: false, exactSAT: true, slow: true},
+			holds: false, exactInd: true, exactIC3: true, slow: true},
+		{name: "hub/big-bang-off-clique-liveness", sys: hubOffModel.Sys, prop: hubOffModel.Liveness(),
+			holds: false, exactInd: true, exactIC3: true, slow: true},
 	}
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if tc.slow && testing.Short() {
-				t.Skip("IC3 needs tens of seconds on this configuration")
+			if tc.slow && (testing.Short() || raceEnabled) {
+				t.Skip("IC3 needs tens of seconds on this configuration (minutes under the race detector)")
 			}
 			comp := tc.sys.Compile()
 			depth := 20
+			eventually := tc.prop.Kind == mc.Eventually
 
-			expRes, err := explicit.CheckInvariant(tc.sys, tc.prop, explicit.Options{})
+			var expRes *mc.Result
+			if eventually {
+				expRes, err = explicit.CheckEventually(tc.sys, tc.prop, explicit.Options{})
+			} else {
+				expRes, err = explicit.CheckInvariant(tc.sys, tc.prop, explicit.Options{})
+			}
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -81,7 +104,12 @@ func TestTTAEnginesAgree(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			symRes, err := eng.CheckInvariant(tc.prop)
+			var symRes *mc.Result
+			if eventually {
+				symRes, err = eng.CheckEventually(tc.prop)
+			} else {
+				symRes, err = eng.CheckInvariant(tc.prop)
+			}
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -98,23 +126,38 @@ func TestTTAEnginesAgree(t *testing.T) {
 				}
 			}
 
-			bmcRes, err := bmc.CheckInvariant(comp, tc.prop, bmc.Options{MaxDepth: depth})
+			var bmcRes *mc.Result
+			if eventually {
+				bmcRes, err = bmc.CheckEventuallyRefute(comp, tc.prop, bmc.Options{MaxDepth: depth})
+			} else {
+				bmcRes, err = bmc.CheckInvariant(comp, tc.prop, bmc.Options{MaxDepth: depth})
+			}
 			if err != nil {
 				t.Fatal(err)
 			}
-			indOpts := bmc.InductionOptions{MaxK: depth, SimplePath: tc.exactSAT}
-			if !tc.exactSAT {
+			indOpts := bmc.InductionOptions{MaxK: depth, SimplePath: tc.exactInd}
+			if !tc.exactInd {
 				indOpts.MaxK = 5 // capped: agreement means "does not refute"
 			}
-			indRes, err := bmc.CheckInvariantInduction(comp, tc.prop, indOpts)
+			var indRes *mc.Result
+			if eventually {
+				indRes, err = bmc.CheckEventuallyInduction(tc.sys, tc.prop, indOpts)
+			} else {
+				indRes, err = bmc.CheckInvariantInduction(comp, tc.prop, indOpts)
+			}
 			if err != nil {
 				t.Fatal(err)
 			}
 			icOpts := ic3.Options{}
-			if !tc.exactSAT {
+			if !tc.exactIC3 {
 				icOpts.MaxFrames = 5
 			}
-			icRes, err := ic3.CheckInvariant(comp, tc.prop, icOpts)
+			var icRes *mc.Result
+			if eventually {
+				icRes, err = ic3.CheckEventually(tc.sys, tc.prop, icOpts)
+			} else {
+				icRes, err = ic3.CheckInvariant(comp, tc.prop, icOpts)
+			}
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -128,16 +171,21 @@ func TestTTAEnginesAgree(t *testing.T) {
 					if !tc.holds {
 						if r.Verdict != mc.Violated {
 							t.Errorf("[%s] verdict %v, want violated", name, r.Verdict)
-						} else {
-							verifyTrace(t, tc.sys, tc.prop, r.Trace)
+							return
 						}
+						if eventually && r.Trace.LoopsTo < 0 {
+							t.Fatalf("[%s] liveness refutation without a lasso back-edge", name)
+						}
+						verifyTrace(t, tc.sys, tc.prop, r.Trace)
 					}
 				})
 			}
-			if tc.holds && tc.exactSAT {
+			if tc.holds && tc.exactInd {
 				if indRes.Verdict != mc.Holds {
 					t.Errorf("[induction] verdict %v, want an unbounded proof", indRes.Verdict)
 				}
+			}
+			if tc.holds && tc.exactIC3 {
 				if icRes.Verdict != mc.Holds {
 					t.Errorf("[ic3] verdict %v, want an unbounded proof", icRes.Verdict)
 				}
